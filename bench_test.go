@@ -1,0 +1,278 @@
+// Benchmarks regenerating the measurements behind every table and figure of
+// the paper's evaluation (§6), one benchmark family per artifact. Sizes are
+// capped at 16K tuples here so `go test -bench=.` stays quick; the full
+// 1K–64K sweep with median-of-seeds reporting is cmd/benchharness.
+package tempagg_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tempagg"
+)
+
+var benchSizes = []int{1 << 10, 1 << 12, 1 << 14}
+
+func generate(b *testing.B, size, longPct int, order tempagg.WorkloadConfig) *tempagg.Relation {
+	b.Helper()
+	cfg := order
+	cfg.Tuples = size
+	cfg.LongLivedPct = longPct
+	if cfg.Seed == 0 {
+		cfg.Seed = 101
+	}
+	rel, err := tempagg.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rel
+}
+
+func benchEvaluate(b *testing.B, rel *tempagg.Relation, spec tempagg.Spec) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var peak int64
+	for i := 0; i < b.N; i++ {
+		res, stats, err := tempagg.ComputeByInstant(rel, tempagg.Count, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+		peak = stats.PeakBytes()
+	}
+	b.ReportMetric(float64(peak), "peakB")
+	b.ReportMetric(float64(rel.Len())/b.Elapsed().Seconds()*float64(b.N), "tuples/s")
+}
+
+// --- Table 1: the Employed example, every algorithm ---
+
+func BenchmarkTable1Employed(b *testing.B) {
+	rel := tempagg.Employed()
+	specs := map[string]tempagg.Spec{
+		"linked-list": {Algorithm: tempagg.LinkedList},
+		"agg-tree":    {Algorithm: tempagg.AggregationTree},
+		"ktree-k4":    {Algorithm: tempagg.KOrderedTree, K: 4},
+		"btree":       {Algorithm: tempagg.BalancedTree},
+	}
+	for name, spec := range specs {
+		b.Run(name, func(b *testing.B) { benchEvaluate(b, rel, spec) })
+	}
+}
+
+// --- Table 2: sortedness metrics at the paper's n=10000, k=100 ---
+
+func BenchmarkTable2KOrderedPercentage(b *testing.B) {
+	rel := generate(b, 10000, 0, tempagg.WorkloadConfig{Order: tempagg.WorkloadKOrdered, K: 100, KPct: 0.05})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tempagg.KOrderedPercentage(rel.Tuples, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 6: unordered relations ---
+
+func BenchmarkFigure6(b *testing.B) {
+	series := []struct {
+		name    string
+		spec    tempagg.Spec
+		longPct int
+	}{
+		{"linked-list/ll=0", tempagg.Spec{Algorithm: tempagg.LinkedList}, 0},
+		{"linked-list/ll=80", tempagg.Spec{Algorithm: tempagg.LinkedList}, 80},
+		{"agg-tree/ll=0", tempagg.Spec{Algorithm: tempagg.AggregationTree}, 0},
+		{"agg-tree/ll=40", tempagg.Spec{Algorithm: tempagg.AggregationTree}, 40},
+		{"agg-tree/ll=80", tempagg.Spec{Algorithm: tempagg.AggregationTree}, 80},
+	}
+	for _, s := range series {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/n=%d", s.name, n), func(b *testing.B) {
+				rel := generate(b, n, s.longPct, tempagg.WorkloadConfig{Order: tempagg.WorkloadRandom})
+				benchEvaluate(b, rel, s.spec)
+			})
+		}
+	}
+}
+
+// --- Figures 7 and 8: ordered relations, 0% and 80% long-lived ---
+
+func benchOrderedFigure(b *testing.B, longPct int) {
+	type series struct {
+		name string
+		spec tempagg.Spec
+		cfg  tempagg.WorkloadConfig
+	}
+	kcfg := func(k int) tempagg.WorkloadConfig {
+		return tempagg.WorkloadConfig{Order: tempagg.WorkloadKOrdered, K: k, KPct: 0.08}
+	}
+	all := []series{
+		{"linked-list", tempagg.Spec{Algorithm: tempagg.LinkedList},
+			tempagg.WorkloadConfig{Order: tempagg.WorkloadSorted}},
+		{"agg-tree-sorted", tempagg.Spec{Algorithm: tempagg.AggregationTree},
+			tempagg.WorkloadConfig{Order: tempagg.WorkloadSorted}},
+		{"ktree-k400", tempagg.Spec{Algorithm: tempagg.KOrderedTree, K: 400}, kcfg(400)},
+		{"ktree-k40", tempagg.Spec{Algorithm: tempagg.KOrderedTree, K: 40}, kcfg(40)},
+		{"ktree-k4", tempagg.Spec{Algorithm: tempagg.KOrderedTree, K: 4}, kcfg(4)},
+		{"ktree-sorted-k1", tempagg.Spec{Algorithm: tempagg.KOrderedTree, K: 1},
+			tempagg.WorkloadConfig{Order: tempagg.WorkloadSorted}},
+	}
+	for _, s := range all {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/n=%d", s.name, n), func(b *testing.B) {
+				rel := generate(b, n, longPct, s.cfg)
+				benchEvaluate(b, rel, s.spec)
+			})
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) { benchOrderedFigure(b, 0) }
+
+func BenchmarkFigure8(b *testing.B) { benchOrderedFigure(b, 80) }
+
+// --- Figure 9: memory (peakB metric carries the result) ---
+
+func BenchmarkFigure9Memory(b *testing.B) {
+	series := []struct {
+		name string
+		spec tempagg.Spec
+		cfg  tempagg.WorkloadConfig
+	}{
+		{"agg-tree", tempagg.Spec{Algorithm: tempagg.AggregationTree},
+			tempagg.WorkloadConfig{Order: tempagg.WorkloadRandom}},
+		{"linked-list", tempagg.Spec{Algorithm: tempagg.LinkedList},
+			tempagg.WorkloadConfig{Order: tempagg.WorkloadRandom}},
+		{"ktree-k40", tempagg.Spec{Algorithm: tempagg.KOrderedTree, K: 40},
+			tempagg.WorkloadConfig{Order: tempagg.WorkloadKOrdered, K: 40, KPct: 0.08}},
+		{"ktree-sorted-k1", tempagg.Spec{Algorithm: tempagg.KOrderedTree, K: 1},
+			tempagg.WorkloadConfig{Order: tempagg.WorkloadSorted}},
+	}
+	for _, s := range series {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/n=%d", s.name, n), func(b *testing.B) {
+				rel := generate(b, n, 0, s.cfg)
+				benchEvaluate(b, rel, s.spec)
+			})
+		}
+	}
+}
+
+// --- §6.2 prose: k-ordered tree memory under long-lived tuples ---
+
+func BenchmarkMemoryLongLived(b *testing.B) {
+	for _, longPct := range []int{0, 80} {
+		b.Run(fmt.Sprintf("ktree-k4/ll=%d", longPct), func(b *testing.B) {
+			rel := generate(b, 1<<13, longPct,
+				tempagg.WorkloadConfig{Order: tempagg.WorkloadKOrdered, K: 4, KPct: 0.08})
+			benchEvaluate(b, rel, tempagg.Spec{Algorithm: tempagg.KOrderedTree, K: 4})
+		})
+	}
+}
+
+// --- Ablations (future work §7) ---
+
+func BenchmarkAblationBalancedTree(b *testing.B) {
+	for _, s := range []struct {
+		name string
+		spec tempagg.Spec
+	}{
+		{"agg-tree-sorted", tempagg.Spec{Algorithm: tempagg.AggregationTree}},
+		{"balanced-sorted", tempagg.Spec{Algorithm: tempagg.BalancedTree}},
+		{"ktree-sorted-k1", tempagg.Spec{Algorithm: tempagg.KOrderedTree, K: 1}},
+	} {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/n=%d", s.name, n), func(b *testing.B) {
+				rel := generate(b, n, 0, tempagg.WorkloadConfig{Order: tempagg.WorkloadSorted})
+				benchEvaluate(b, rel, s.spec)
+			})
+		}
+	}
+}
+
+func BenchmarkAblationSpanGrouping(b *testing.B) {
+	rel := generate(b, 1<<13, 0, tempagg.WorkloadConfig{Order: tempagg.WorkloadSorted})
+	window, err := tempagg.NewInterval(0, 999_999)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("span-1000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tempagg.ComputeBySpan(rel, tempagg.Count, 1000, window); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("instant", func(b *testing.B) {
+		benchEvaluate(b, rel, tempagg.Spec{Algorithm: tempagg.KOrderedTree, K: 1})
+	})
+}
+
+// --- Tuma baseline: the cost of the second scan ---
+
+func BenchmarkTumaBaseline(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rel := generate(b, n, 0, tempagg.WorkloadConfig{Order: tempagg.WorkloadRandom})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tempagg.ComputeTuma(tempagg.NewSliceSource(rel.Tuples), tempagg.Count); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation: out-of-core partitioned evaluation (§5.1/§7) ---
+
+func BenchmarkAblationPartitioned(b *testing.B) {
+	window, err := tempagg.NewInterval(0, 999_999)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range benchSizes {
+		rel := generate(b, n, 0, tempagg.WorkloadConfig{Order: tempagg.WorkloadRandom})
+		b.Run(fmt.Sprintf("whole-tree/n=%d", n), func(b *testing.B) {
+			benchEvaluate(b, rel, tempagg.Spec{Algorithm: tempagg.AggregationTree})
+		})
+		b.Run(fmt.Sprintf("partitioned-16/n=%d", n), func(b *testing.B) {
+			opts := tempagg.PartitionOptions{Boundaries: tempagg.UniformBoundaries(window, 16)}
+			b.ResetTimer()
+			var peak int64
+			for i := 0; i < b.N; i++ {
+				_, stats, err := tempagg.ComputePartitioned(rel, tempagg.Count, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak = stats.PeakBytes()
+			}
+			b.ReportMetric(float64(peak), "peakB")
+		})
+	}
+}
+
+// --- Query layer overhead: end-to-end SQL vs direct evaluation ---
+
+func BenchmarkQueryLayer(b *testing.B) {
+	rel := generate(b, 1<<13, 0, tempagg.WorkloadConfig{Order: tempagg.WorkloadSorted})
+	rel.Name = "R"
+	b.Run("sql", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tempagg.Query("SELECT COUNT(Name) FROM R", rel, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := tempagg.ComputeByInstant(rel, tempagg.Count,
+				tempagg.Spec{Algorithm: tempagg.KOrderedTree, K: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,132 @@
+// Command benchharness regenerates every table and figure of the paper's
+// evaluation section (Kline & Snodgrass §6) plus the future-work ablations,
+// printing one aligned table per artifact: rows are the paper's curves,
+// columns the relation sizes.
+//
+// Usage:
+//
+//	benchharness                  # everything, full 1K–64K sweep
+//	benchharness -exp fig7        # one experiment
+//	benchharness -max-size 16384  # cap the sweep (the sorted-input
+//	                              # aggregation tree is O(n²) by design)
+//	benchharness -seeds 5         # more repetitions per point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tempagg/internal/bench"
+	"tempagg/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchharness:", err)
+		os.Exit(1)
+	}
+}
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func(bench.Options) (bench.Figure, error)
+}{
+	{"fig6", "time on unordered relations", bench.Figure6},
+	{"fig7", "time on ordered relations, no long-lived tuples", bench.Figure7},
+	{"fig8", "time on ordered relations, 80% long-lived tuples", bench.Figure8},
+	{"fig9", "memory, no long-lived tuples", bench.Figure9},
+	{"mem-longlived", "memory, 80% long-lived tuples (§6.2 prose)", bench.MemoryLongLived},
+	{"ablation-balanced", "balanced aggregation tree (future work §7)", bench.AblationBalanced},
+	{"ablation-pages", "page-randomized reads of sorted files (future work §7)", bench.AblationPageRandomization},
+	{"ablation-partitioned", "limited-main-memory partitioned evaluation (§5.1/§7)", bench.AblationPartitioned},
+	{"ablation-span", "span grouping vs instant grouping (future work §7)", bench.AblationSpan},
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchharness", flag.ContinueOnError)
+	var names []string
+	for _, e := range experiments {
+		names = append(names, e.name)
+	}
+	var (
+		exp     = fs.String("exp", "all", "experiment: all, table1, table2, "+strings.Join(names, ", "))
+		maxSize = fs.Int("max-size", 1<<16, "largest relation size in the sweep")
+		seeds   = fs.Int("seeds", 3, "random seeds per point (median reported)")
+		format  = fs.String("format", "table", "output format for figures: table or csv")
+		verify  = fs.Bool("verify", false, "re-measure the paper's qualitative claims and print PASS/FAIL verdicts")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := bench.Options{}
+	for _, n := range workload.Table3Sizes() {
+		if n <= *maxSize {
+			opts.Sizes = append(opts.Sizes, n)
+		}
+	}
+	if len(opts.Sizes) == 0 {
+		return fmt.Errorf("-max-size %d admits no Table 3 size (smallest is 1024)", *maxSize)
+	}
+	for i := 0; i < *seeds; i++ {
+		opts.Seeds = append(opts.Seeds, int64(101+i*101))
+	}
+
+	if *verify {
+		claims, err := bench.VerifyClaims(*maxSize, 101)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, bench.FormatClaims(claims))
+		for _, c := range claims {
+			if !c.Passed {
+				return fmt.Errorf("%d claim(s) failed", 1)
+			}
+		}
+		return nil
+	}
+
+	all := *exp == "all"
+	ran := false
+	if all || *exp == "table1" {
+		s, err := bench.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, s)
+		ran = true
+	}
+	if all || *exp == "table2" {
+		s, err := bench.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, s)
+		ran = true
+	}
+	for _, e := range experiments {
+		if !all && *exp != e.name {
+			continue
+		}
+		fig, err := e.run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		switch *format {
+		case "csv":
+			fmt.Fprintln(out, fig.CSV())
+		case "table":
+			fmt.Fprintln(out, fig)
+		default:
+			return fmt.Errorf("unknown -format %q (want table or csv)", *format)
+		}
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHarnessTable1(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "table1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "3 | 18 | 20") {
+		t.Fatalf("table 1 output wrong:\n%s", b.String())
+	}
+}
+
+func TestHarnessTable2(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "table2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "0.0505") {
+		t.Fatalf("table 2 output wrong:\n%s", b.String())
+	}
+}
+
+func TestHarnessFigureCSV(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-exp", "ablation-span", "-max-size", "1024", "-seeds", "1",
+		"-format", "csv"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "figure,series,size,metric,value") {
+		t.Fatalf("csv output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "ablation-span,") {
+		t.Fatalf("csv rows missing:\n%s", out)
+	}
+}
+
+func TestHarnessFigureTable(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-exp", "fig9", "-max-size", "1024", "-seeds", "1"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "== figure-9") {
+		t.Fatalf("figure table missing:\n%s", b.String())
+	}
+}
+
+func TestHarnessErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "bogus"}, &b); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+	if err := run([]string{"-max-size", "10"}, &b); err == nil {
+		t.Error("max-size below the smallest Table 3 size must fail")
+	}
+	if err := run([]string{"-exp", "fig9", "-max-size", "1024", "-seeds", "1",
+		"-format", "bogus"}, &b); err == nil {
+		t.Error("unknown format must fail")
+	}
+}

@@ -1,0 +1,114 @@
+// Command catalogctl manages a catalog directory of relation files and
+// their optimizer declarations (catalog.json).
+//
+// Usage:
+//
+//	catalogctl -db dir list
+//	catalogctl -db dir declare -name Feed -kbound 40 -comment "HR feed"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tempagg/internal/catalog"
+	"tempagg/internal/relation"
+	"tempagg/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "catalogctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("catalogctl", flag.ContinueOnError)
+	db := fs.String("db", "", "catalog directory (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *db == "" {
+		return fmt.Errorf("-db is required")
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing subcommand: list or declare")
+	}
+	cat, err := catalog.Open(*db)
+	if err != nil {
+		return err
+	}
+	switch rest[0] {
+	case "list":
+		return list(cat, out)
+	case "declare":
+		return declare(cat, rest[1:], out)
+	}
+	return fmt.Errorf("unknown subcommand %q (want list or declare)", rest[0])
+}
+
+func list(cat *catalog.Catalog, out io.Writer) error {
+	fmt.Fprintf(out, "%-16s %8s %8s %6s %10s %s\n",
+		"relation", "tuples", "sorted", "kbound", "mem-budget", "comment")
+	for _, name := range cat.Names() {
+		e, err := cat.Entry(name)
+		if err != nil {
+			return err
+		}
+		info, err := cat.Info(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-16s %8d %8t %6d %10d %s\n",
+			name, info.Tuples, info.Sorted, e.KBound, e.MemoryBudget, e.Comment)
+	}
+	return nil
+}
+
+func declare(cat *catalog.Catalog, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("declare", flag.ContinueOnError)
+	var (
+		name      = fs.String("name", "", "relation to declare (required)")
+		kbound    = fs.Int("kbound", -1, "declare the relation k-ordered with this bound (-1: unknown)")
+		memory    = fs.Int64("memory", 0, "memory budget in bytes (0: unlimited)")
+		intervals = fs.Int("intervals", 0, "expected constant intervals (0: unknown)")
+		estimate  = fs.Bool("estimate", false, "estimate expected constant intervals from a sample instead of -intervals")
+		comment   = fs.String("comment", "", "free-form note")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("-name is required")
+	}
+	if *estimate {
+		path, err := cat.Path(*name)
+		if err != nil {
+			return err
+		}
+		rel, err := relation.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		*intervals = stats.EstimateConstantIntervals(rel.Tuples, 256, 1)
+	}
+	err := cat.Declare(*name, catalog.Entry{
+		KBound:                    *kbound,
+		MemoryBudget:              *memory,
+		ExpectedConstantIntervals: *intervals,
+		Comment:                   *comment,
+	})
+	if err != nil {
+		return err
+	}
+	if err := cat.Save(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "declared %s: kbound=%d memory=%d intervals=%d\n",
+		*name, *kbound, *memory, *intervals)
+	return nil
+}

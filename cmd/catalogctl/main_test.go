@@ -1,0 +1,66 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tempagg"
+)
+
+func newDB(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := tempagg.WriteRelation(filepath.Join(dir, "Employed.rel"), tempagg.Employed()); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestList(t *testing.T) {
+	dir := newDB(t)
+	var b strings.Builder
+	if err := run([]string{"-db", dir, "list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Employed") || !strings.Contains(b.String(), "4") {
+		t.Fatalf("list output:\n%s", b.String())
+	}
+}
+
+func TestDeclarePersists(t *testing.T) {
+	dir := newDB(t)
+	var b strings.Builder
+	err := run([]string{"-db", dir, "declare", "-name", "Employed",
+		"-kbound", "4", "-comment", "HR"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := run([]string{"-db", dir, "list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "HR") {
+		t.Fatalf("declaration not persisted:\n%s", b.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err == nil {
+		t.Error("missing -db must fail")
+	}
+	dir := newDB(t)
+	if err := run([]string{"-db", dir}, &b); err == nil {
+		t.Error("missing subcommand must fail")
+	}
+	if err := run([]string{"-db", dir, "bogus"}, &b); err == nil {
+		t.Error("unknown subcommand must fail")
+	}
+	if err := run([]string{"-db", dir, "declare"}, &b); err == nil {
+		t.Error("declare without -name must fail")
+	}
+	if err := run([]string{"-db", dir, "declare", "-name", "Nope"}, &b); err == nil {
+		t.Error("declare unknown relation must fail")
+	}
+}

@@ -1,0 +1,77 @@
+// Command datagen generates synthetic temporal relations per the paper's
+// Table 3 parameters and writes them in the paged binary format.
+//
+// Usage:
+//
+//	datagen -out r.rel -tuples 65536 -long-lived 40 -order kordered -k 40 -kpct 0.08
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tempagg"
+	"tempagg/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	var (
+		out       = fs.String("out", "", "output relation file (required)")
+		tuples    = fs.Int("tuples", 1024, "relation size in tuples")
+		longLived = fs.Int("long-lived", 0, "percentage of long-lived tuples (0-100)")
+		events    = fs.Int("events", 0, "percentage of instantaneous event tuples (0-100)")
+		orderName = fs.String("order", "random", "tuple order: random, sorted, kordered, or retro")
+		k         = fs.Int("k", 0, "k bound for -order kordered")
+		kpct      = fs.Float64("kpct", 0.08, "target k-ordered-percentage for -order kordered")
+		delay     = fs.Int64("delay", 0, "recording delay bound in instants for -order retro")
+		lifespan  = fs.Int64("lifespan", int64(workload.DefaultLifespan), "relation lifespan in instants")
+		seed      = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	cfg := tempagg.WorkloadConfig{
+		Tuples:       *tuples,
+		Lifespan:     tempagg.Time(*lifespan),
+		LongLivedPct: *longLived,
+		EventPct:     *events,
+		K:            *k,
+		KPct:         *kpct,
+		MaxDelay:     tempagg.Time(*delay),
+		Seed:         *seed,
+	}
+	switch *orderName {
+	case "random":
+		cfg.Order = workload.Random
+	case "sorted":
+		cfg.Order = workload.Sorted
+	case "kordered":
+		cfg.Order = workload.KOrdered
+	case "retro":
+		cfg.Order = workload.RetroBounded
+	default:
+		return fmt.Errorf("unknown -order %q (want random, sorted, kordered, or retro)", *orderName)
+	}
+	rel, err := tempagg.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if err := tempagg.WriteRelation(*out, rel); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d tuples (%s order, %d%% long-lived) to %s\n",
+		rel.Len(), cfg.Order, *longLived, *out)
+	return nil
+}

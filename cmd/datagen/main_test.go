@@ -1,0 +1,56 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tempagg"
+)
+
+func TestDatagenWritesReadableFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.rel")
+	err := run([]string{"-out", path, "-tuples", "512", "-long-lived", "40",
+		"-order", "sorted", "-seed", "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := tempagg.ReadRelation(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 512 {
+		t.Fatalf("wrote %d tuples, want 512", rel.Len())
+	}
+	if !rel.IsSorted() {
+		t.Fatal("sorted order not applied")
+	}
+}
+
+func TestDatagenKOrdered(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "k.rel")
+	err := run([]string{"-out", path, "-tuples", "2048", "-order", "kordered",
+		"-k", "8", "-kpct", "0.1", "-seed", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := tempagg.ReadRelation(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := tempagg.KOrderedness(rel.Tuples); k == 0 || k > 8 {
+		t.Fatalf("relation is %d-ordered, want in (0, 8]", k)
+	}
+}
+
+func TestDatagenErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -out must fail")
+	}
+	path := filepath.Join(t.TempDir(), "x.rel")
+	if err := run([]string{"-out", path, "-order", "bogus"}); err == nil {
+		t.Error("unknown order must fail")
+	}
+	if err := run([]string{"-out", path, "-order", "kordered"}); err == nil {
+		t.Error("kordered without -k must fail")
+	}
+}

@@ -1,0 +1,103 @@
+// Command relconv converts relations between the paged binary format
+// (.rel) and CSV (.csv), inferring formats from file extensions.
+//
+// Usage:
+//
+//	relconv -in data.csv -out data.rel
+//	relconv -in data.rel -out data.csv
+//	relconv -in data.rel -out sorted.rel -sort -dedup
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tempagg/internal/relation"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "relconv:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("relconv", flag.ContinueOnError)
+	var (
+		in       = fs.String("in", "", "input file, .rel or .csv (required)")
+		out      = fs.String("out", "", "output file, .rel or .csv (required)")
+		doSort   = fs.Bool("sort", false, "sort the relation by time before writing")
+		dedup    = fs.Bool("dedup", false, "remove exact duplicate tuples before writing (§7)")
+		coalesce = fs.Bool("coalesce", false, "merge value-equivalent adjacent/overlapping tuples before writing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("-in and -out are required")
+	}
+
+	rel, err := load(*in)
+	if err != nil {
+		return err
+	}
+	if *dedup {
+		removed := rel.DeduplicateInPlace()
+		fmt.Printf("removed %d duplicate tuples\n", removed)
+	}
+	if *coalesce {
+		merged := rel.CoalesceInPlace()
+		fmt.Printf("coalesced away %d tuples\n", merged)
+	}
+	if *doSort {
+		rel.SortByTime()
+	}
+	if err := store(*out, rel); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d tuples to %s\n", rel.Len(), *out)
+	return nil
+}
+
+func load(path string) (*relation.Relation, error) {
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".rel":
+		rel, err := relation.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		rel.Name = name
+		return rel, nil
+	case ".csv":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return relation.ReadCSV(f, name)
+	}
+	return nil, fmt.Errorf("unknown input format %q (want .rel or .csv)", filepath.Ext(path))
+}
+
+func store(path string, rel *relation.Relation) error {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".rel":
+		return relation.WriteFile(path, rel)
+	case ".csv":
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := relation.WriteCSV(f, rel); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	return fmt.Errorf("unknown output format %q (want .rel or .csv)", filepath.Ext(path))
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tempagg"
+	"tempagg/internal/relation"
+)
+
+func TestConvertCSVToBinaryAndBack(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "emp.csv")
+	relPath := filepath.Join(dir, "emp.rel")
+	backPath := filepath.Join(dir, "back.csv")
+
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := relation.WriteCSV(f, tempagg.Employed()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := run([]string{"-in", csvPath, "-out", relPath}); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := tempagg.ReadRelation(relPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 4 {
+		t.Fatalf("%d tuples after conversion", rel.Len())
+	}
+
+	if err := run([]string{"-in", relPath, "-out", backPath}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := os.Open(backPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	back, err := relation.ReadCSV(g, "back")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tu := range tempagg.Employed().Tuples {
+		if back.Tuples[i] != tu {
+			t.Fatalf("tuple %d changed: %v != %v", i, back.Tuples[i], tu)
+		}
+	}
+}
+
+func TestConvertSortAndDedup(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.rel")
+	out := filepath.Join(dir, "out.rel")
+	rel := tempagg.Employed()
+	rel.Append(rel.Tuples[0]) // duplicate
+	if err := tempagg.WriteRelation(in, rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", in, "-out", out, "-sort", "-dedup"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tempagg.ReadRelation(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 4 {
+		t.Fatalf("%d tuples, want 4 after dedup", got.Len())
+	}
+	if !got.IsSorted() {
+		t.Fatal("output not sorted")
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing flags must fail")
+	}
+	if err := run([]string{"-in", "x.foo", "-out", "y.rel"}); err == nil {
+		t.Error("unknown input format must fail")
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.rel")
+	if err := tempagg.WriteRelation(in, tempagg.Employed()); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", in, "-out", filepath.Join(dir, "x.foo")}); err == nil {
+		t.Error("unknown output format must fail")
+	}
+	if err := run([]string{"-in", filepath.Join(dir, "missing.rel"), "-out", filepath.Join(dir, "o.rel")}); err == nil {
+		t.Error("missing input must fail")
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tempagg"
+)
+
+func TestRelsort(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.rel")
+	out := filepath.Join(dir, "out.rel")
+	rel, err := tempagg.Generate(tempagg.WorkloadConfig{Tuples: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tempagg.WriteRelation(in, rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", in, "-out", out, "-memory", "100"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tempagg.ReadRelation(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsSorted() || got.Len() != 2000 {
+		t.Fatalf("sorted=%t len=%d", got.IsSorted(), got.Len())
+	}
+}
+
+func TestRelsortErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing flags must fail")
+	}
+	if err := run([]string{"-in", "/missing.rel", "-out", "/tmp/x.rel"}); err == nil {
+		t.Error("missing input must fail")
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tempagg"
+)
+
+func TestRelstat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "emp.rel")
+	rel := tempagg.Employed()
+	if err := tempagg.WriteRelation(path, rel); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-relation", path, "-k", "4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"tuples:             4",
+		"sorted:             false",
+		"constant intervals: 7",
+		"exact duplicates:   0",
+		"k-ordered-pct(k=4)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRelstatSorted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sorted.rel")
+	rel := tempagg.Employed()
+	rel.SortByTime()
+	if err := tempagg.WriteRelation(path, rel); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-relation", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "k-orderedness:      0") {
+		t.Fatalf("sorted relation not reported 0-ordered:\n%s", b.String())
+	}
+}
+
+func TestRelstatErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err == nil {
+		t.Error("missing -relation must fail")
+	}
+	if err := run([]string{"-relation", "/nonexistent.rel"}, &b); err == nil {
+		t.Error("missing file must fail")
+	}
+}

@@ -1,0 +1,207 @@
+// Command tempagg executes TSQL2-flavoured temporal aggregate queries over
+// relation files.
+//
+// Usage:
+//
+//	tempagg -relation employed.rel -query "SELECT COUNT(Name) FROM Employed"
+//	tempagg -relation employed.rel -i      # interactive: one query per line
+//
+// Queries stream off the paged scanner (the paper's single segmented scan)
+// whenever the plan allows; Tuma's baseline performs two real scans. The
+// relation name in the FROM clause must match -name (default: the file name
+// without extension). The optimizer consults the file's sorted flag; a
+// -kbound declaration marks the relation retroactively bounded (§6.3), and
+// -memory bounds evaluation-structure memory in bytes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tempagg"
+	"tempagg/internal/catalog"
+	"tempagg/internal/query"
+	"tempagg/internal/relation"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tempagg:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	relPath   string
+	dbDir     string
+	name      string
+	kbound    int
+	memory    int64
+	coalesce  bool
+	explain   bool
+	jsonOut   bool
+	chart     bool
+	randomize bool
+	seed      int64
+	costMem   float64
+	costIO    float64
+	costCPU   float64
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tempagg", flag.ContinueOnError)
+	var (
+		cfg         config
+		sql         = fs.String("query", "", "query text (or use -i / -f)")
+		script      = fs.String("f", "", "file of queries, one per line; # starts a comment")
+		interactive = fs.Bool("i", false, "read one query per line from stdin")
+	)
+	fs.StringVar(&cfg.relPath, "relation", "", "relation file to query (this or -db is required)")
+	fs.StringVar(&cfg.dbDir, "db", "", "catalog directory of .rel files; FROM resolves against it")
+	fs.StringVar(&cfg.name, "name", "", "relation name for the FROM clause (default: file base name)")
+	fs.IntVar(&cfg.kbound, "kbound", -1, "declare the relation k-ordered with this bound (-1: unknown)")
+	fs.Int64Var(&cfg.memory, "memory", 0, "memory budget in bytes for evaluation structures (0: unlimited)")
+	fs.BoolVar(&cfg.coalesce, "coalesce", false, "coalesce adjacent equal-valued constant intervals")
+	fs.BoolVar(&cfg.explain, "explain", false, "print only the chosen plan")
+	fs.BoolVar(&cfg.jsonOut, "json", false, "emit results as JSON instead of tables")
+	fs.Float64Var(&cfg.costMem, "cost-memory", 0, "cost-based planning: price per resident byte")
+	fs.Float64Var(&cfg.costIO, "cost-io", 0, "cost-based planning: price per page I/O")
+	fs.Float64Var(&cfg.costCPU, "cost-cpu", 0, "cost-based planning: price per tuple of CPU")
+	fs.BoolVar(&cfg.chart, "chart", false, "render results as ASCII bar charts")
+	fs.BoolVar(&cfg.randomize, "randomize-pages", false, "scan pages in random order (avoids linearizing the tree on sorted files, §7)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "seed for -randomize-pages")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cfg.relPath == "" && cfg.dbDir == "" {
+		return fmt.Errorf("-relation or -db is required")
+	}
+	if *sql == "" && !*interactive && *script == "" {
+		return fmt.Errorf("-query, -f, or -i is required")
+	}
+	if cfg.name == "" && cfg.relPath != "" {
+		base := filepath.Base(cfg.relPath)
+		cfg.name = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+
+	if *sql != "" {
+		if err := oneQuery(cfg, *sql, out); err != nil {
+			return err
+		}
+	}
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if err := oneQuery(cfg, line, out); err != nil {
+				return fmt.Errorf("%s: %w", line, err)
+			}
+		}
+	}
+	if *interactive {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			if strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
+				break
+			}
+			if err := oneQuery(cfg, line, out); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+			}
+		}
+		return sc.Err()
+	}
+	return nil
+}
+
+func oneQuery(cfg config, sql string, out io.Writer) error {
+	sopts := relation.ScanOptions{RandomizePages: cfg.randomize, Seed: cfg.seed}
+	if cfg.dbDir != "" {
+		cat, err := catalog.Open(cfg.dbDir)
+		if err != nil {
+			return err
+		}
+		qr, err := cat.Query(sql, sopts)
+		if err != nil {
+			return err
+		}
+		return render(cfg, qr, out)
+	}
+
+	q, err := query.Parse(sql)
+	if err != nil {
+		return err
+	}
+	if q.Relation != cfg.name {
+		return fmt.Errorf("relation %q not found (file provides %q)", q.Relation, cfg.name)
+	}
+
+	costs := query.CostModel{MemoryByte: cfg.costMem, PageIO: cfg.costIO, CPUTuple: cfg.costCPU}
+	var info *tempagg.RelationInfo
+	if cfg.kbound >= 0 || cfg.memory > 0 || costs.Enabled() {
+		sc, err := relation.Open(cfg.relPath, relation.ScanOptions{})
+		if err != nil {
+			return err
+		}
+		info = &tempagg.RelationInfo{
+			Tuples:       sc.Count(),
+			Sorted:       sc.Sorted() && !cfg.randomize,
+			KBound:       cfg.kbound,
+			MemoryBudget: cfg.memory,
+			Cost:         costs,
+		}
+		sc.Close()
+	}
+	qr, err := query.ExecuteFile(q, cfg.relPath, info, sopts)
+	if err != nil {
+		return err
+	}
+	return render(cfg, qr, out)
+}
+
+func render(cfg config, qr *query.QueryResult, out io.Writer) error {
+	if cfg.explain {
+		fmt.Fprintf(out, "plan: %s\n", qr.Plan)
+		return nil
+	}
+	if cfg.coalesce {
+		for _, g := range qr.Groups {
+			for _, res := range g.Results {
+				res.Coalesce()
+			}
+		}
+	}
+	if cfg.jsonOut {
+		enc := json.NewEncoder(out)
+		return enc.Encode(qr)
+	}
+	if cfg.chart {
+		fmt.Fprintf(out, "-- plan: %s\n", qr.Plan)
+		for _, g := range qr.Groups {
+			if g.Key != "" {
+				fmt.Fprintf(out, "-- group %s\n", g.Key)
+			}
+			for _, res := range g.Results {
+				fmt.Fprint(out, res.Chart(48))
+			}
+		}
+		return nil
+	}
+	fmt.Fprint(out, qr)
+	return nil
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tempagg"
+)
+
+func writeEmployed(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "Employed.rel")
+	if err := tempagg.WriteRelation(path, tempagg.Employed()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTable1(t *testing.T) {
+	path := writeEmployed(t)
+	var b strings.Builder
+	err := run([]string{"-relation", path, "-query", "SELECT COUNT(Name) FROM Employed"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"3 | 18 | 20", "1 | 22 | ∞", "plan:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	path := writeEmployed(t)
+	var b strings.Builder
+	err := run([]string{"-relation", path, "-query",
+		"SELECT COUNT(Name) FROM Employed", "-explain"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "plan:") {
+		t.Fatalf("explain output = %q", b.String())
+	}
+}
+
+func TestRunCoalesceAndName(t *testing.T) {
+	path := writeEmployed(t)
+	var b strings.Builder
+	err := run([]string{"-relation", path, "-name", "Emp", "-query",
+		"SELECT MIN(Salary) FROM Emp", "-coalesce"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "MIN") {
+		t.Fatalf("output = %q", b.String())
+	}
+}
+
+func TestRunKboundAndMemoryFlags(t *testing.T) {
+	path := writeEmployed(t)
+	var b strings.Builder
+	err := run([]string{"-relation", path, "-kbound", "4", "-memory", "1024",
+		"-query", "SELECT COUNT(Name) FROM Employed", "-explain"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "k=4") {
+		t.Fatalf("kbound not honoured: %q", b.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err == nil {
+		t.Error("missing flags must fail")
+	}
+	if err := run([]string{"-relation", "/nope.rel", "-query", "SELECT COUNT(Name) FROM x"}, &b); err == nil {
+		t.Error("missing file must fail")
+	}
+	path := writeEmployed(t)
+	if err := run([]string{"-relation", path, "-query", "SELEC"}, &b); err == nil {
+		t.Error("bad query must fail")
+	}
+}
+
+func TestRunCatalogMode(t *testing.T) {
+	dir := t.TempDir()
+	if err := tempagg.WriteRelation(filepath.Join(dir, "Employed.rel"), tempagg.Employed()); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	err := run([]string{"-db", dir, "-query", "SELECT COUNT(Name) FROM Employed"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "3 | 18 | 20") {
+		t.Fatalf("catalog-mode output:\n%s", b.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeEmployed(t)
+	var b strings.Builder
+	err := run([]string{"-relation", path, "-json", "-query",
+		"SELECT COUNT(Name) FROM Employed"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"aggregate":"COUNT"`) {
+		t.Fatalf("json output:\n%s", b.String())
+	}
+}
+
+func TestRunCostBasedPlanning(t *testing.T) {
+	path := writeEmployed(t)
+	var b strings.Builder
+	err := run([]string{"-relation", path, "-cost-memory", "1", "-cost-io", "0.001",
+		"-cost-cpu", "0.000001", "-explain",
+		"-query", "SELECT COUNT(Name) FROM Employed"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "estimated cost") {
+		t.Fatalf("cost-based plan missing estimate: %q", b.String())
+	}
+}
+
+func TestRunChartOutput(t *testing.T) {
+	path := writeEmployed(t)
+	var b strings.Builder
+	err := run([]string{"-relation", path, "-chart",
+		"-query", "SELECT COUNT(Name) FROM Employed"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "█") {
+		t.Fatalf("chart output has no bars:\n%s", b.String())
+	}
+}
+
+func TestRunScriptFile(t *testing.T) {
+	path := writeEmployed(t)
+	script := filepath.Join(t.TempDir(), "queries.sql")
+	content := "# Table 1 and friends\nSELECT COUNT(Name) FROM Employed\n\nSELECT MAX(Salary) FROM Employed AT 19\n"
+	if err := os.WriteFile(script, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-relation", path, "-f", script}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "3 | 18 | 20") || !strings.Contains(out, "45 | 19 | 19") {
+		t.Fatalf("script output:\n%s", out)
+	}
+}
+
+func TestRunScriptFileErrors(t *testing.T) {
+	path := writeEmployed(t)
+	var b strings.Builder
+	if err := run([]string{"-relation", path, "-f", "/nonexistent.sql"}, &b); err == nil {
+		t.Error("missing script must fail")
+	}
+	script := filepath.Join(t.TempDir(), "bad.sql")
+	if err := os.WriteFile(script, []byte("SELEC\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-relation", path, "-f", script}, &b); err == nil {
+		t.Error("bad query in script must fail")
+	}
+}

@@ -1,0 +1,75 @@
+// Command tempaggd serves a catalog of temporal relations over TCP with a
+// line protocol (one query in, one JSON reply out), and doubles as a client.
+//
+// Usage:
+//
+//	tempaggd -db ./relations -listen 127.0.0.1:7411       # server
+//	tempaggd -connect 127.0.0.1:7411 -query "SELECT ..."  # one-shot client
+//
+// See internal/server for the protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+
+	"tempagg/internal/catalog"
+	"tempagg/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tempaggd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tempaggd", flag.ContinueOnError)
+	var (
+		db      = fs.String("db", "", "catalog directory to serve")
+		listen  = fs.String("listen", "", "address to listen on, e.g. 127.0.0.1:7411")
+		connect = fs.String("connect", "", "server address to query as a client")
+		sql     = fs.String("query", "", "query to send in client mode")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *listen != "" && *connect != "":
+		return fmt.Errorf("-listen and -connect are mutually exclusive")
+	case *listen != "":
+		if *db == "" {
+			return fmt.Errorf("-db is required with -listen")
+		}
+		cat, err := catalog.Open(*db)
+		if err != nil {
+			return err
+		}
+		lis, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "serving %d relations on %s\n", len(cat.Names()), lis.Addr())
+		return server.New(cat).Serve(lis)
+	case *connect != "":
+		if *sql == "" {
+			return fmt.Errorf("-query is required with -connect")
+		}
+		c, err := server.Dial(*connect)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		raw, err := c.QueryRaw(*sql)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", raw)
+		return nil
+	}
+	return fmt.Errorf("one of -listen or -connect is required")
+}

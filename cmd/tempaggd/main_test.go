@@ -1,0 +1,65 @@
+package main
+
+import (
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tempagg"
+	"tempagg/internal/catalog"
+	"tempagg/internal/server"
+)
+
+func TestClientModeAgainstServer(t *testing.T) {
+	dir := t.TempDir()
+	if err := tempagg.WriteRelation(filepath.Join(dir, "Employed.rel"), tempagg.Employed()); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := catalog.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(cat)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	defer srv.Close()
+	// Let the accept loop spin up.
+	time.Sleep(10 * time.Millisecond)
+
+	var b strings.Builder
+	err = run([]string{"-connect", lis.Addr().String(),
+		"-query", "SELECT COUNT(Name) FROM Employed"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"ok":true`) {
+		t.Fatalf("client output:\n%s", b.String())
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err == nil {
+		t.Error("no mode must fail")
+	}
+	if err := run([]string{"-listen", ":0", "-connect", "x"}, &b); err == nil {
+		t.Error("both modes must fail")
+	}
+	if err := run([]string{"-listen", ":0"}, &b); err == nil {
+		t.Error("listen without -db must fail")
+	}
+	if err := run([]string{"-connect", "127.0.0.1:1"}, &b); err == nil {
+		t.Error("connect without -query must fail")
+	}
+	if err := run([]string{"-connect", "127.0.0.1:1", "-query", "x"}, &b); err == nil {
+		t.Error("unreachable server must fail")
+	}
+	if err := run([]string{"-listen", ":0", "-db", "/nonexistent"}, &b); err == nil {
+		t.Error("missing catalog must fail")
+	}
+}

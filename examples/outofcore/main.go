@@ -1,0 +1,76 @@
+// Outofcore demonstrates the limited-main-memory evaluation of §5.1/§7:
+// "it is simple to mark a parent as pointing to a subtree not currently in
+// memory. Simply accumulate the tuples which would overlap this region of
+// the tree and process them later." The time-line is cut into partitions;
+// each partition's tuples are spilled to disk relation files and evaluated
+// by an independent aggregation tree, so the largest resident tree — not
+// the whole relation's — bounds memory. A parallel variant evaluates
+// several partitions concurrently.
+//
+// Run with:
+//
+//	go run ./examples/outofcore
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tempagg"
+)
+
+func main() {
+	const n = 200_000
+	rel, err := tempagg.Generate(tempagg.WorkloadConfig{Tuples: n, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lifespan, _ := tempagg.NewInterval(0, 999_999)
+
+	// Baseline: the whole aggregation tree in memory.
+	start := time.Now()
+	whole, wholeStats, err := tempagg.ComputeByInstant(rel, tempagg.Count,
+		tempagg.Spec{Algorithm: tempagg.AggregationTree})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("whole tree:            %8v  peak %8d bytes  (%d rows)\n",
+		time.Since(start).Round(time.Millisecond), wholeStats.PeakBytes(), len(whole.Rows))
+
+	spillDir, err := os.MkdirTemp("", "tempagg-outofcore")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(spillDir)
+
+	for _, variant := range []struct {
+		label    string
+		parallel int
+		spill    string
+	}{
+		{"partitioned (memory)", 1, ""},
+		{"partitioned (spill)", 1, spillDir},
+		{"partitioned (spill,4x)", 4, spillDir},
+	} {
+		start = time.Now()
+		res, stats, err := tempagg.ComputePartitioned(rel, tempagg.Count,
+			tempagg.PartitionOptions{
+				Boundaries: tempagg.UniformBoundaries(lifespan, 32),
+				SpillDir:   variant.spill,
+				Parallel:   variant.parallel,
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Equal(whole) {
+			log.Fatal("partitioned result differs from the whole tree")
+		}
+		fmt.Printf("%-22s %8v  peak %8d bytes  (identical result)\n",
+			variant.label, time.Since(start).Round(time.Millisecond), stats.PeakBytes())
+	}
+
+	fmt.Printf("\nmemory bound: the largest single-partition tree is ~1/32 of the whole tree,\n")
+	fmt.Printf("so a fixed budget admits relations ~32x larger — the §7 idea, realized.\n")
+}

@@ -1,0 +1,64 @@
+// Quickstart: compute a temporal aggregate over a small relation and print
+// its constant intervals.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tempagg"
+)
+
+func main() {
+	// A tiny project-staffing relation: who was assigned when, and at what
+	// daily rate. Intervals are closed; time is in days since the epoch.
+	tuples := []tempagg.Tuple{
+		mustTuple("ada", 800, 0, 89),
+		mustTuple("bob", 650, 30, 119),
+		mustTuple("cho", 700, 60, 149),
+		mustTuple("ada", 850, 120, 199), // Ada returns at a higher rate
+	}
+	rel := tempagg.RelationFromTuples("Staffing", tuples)
+
+	// "How many people were on the project at each point in time?"
+	headcount, _, err := tempagg.ComputeByInstant(rel, tempagg.Count,
+		tempagg.Spec{Algorithm: tempagg.AggregationTree})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Headcount over time:")
+	printResult(headcount)
+
+	// "What was the total daily burn rate?" — same constant intervals,
+	// different aggregate.
+	burn, _, err := tempagg.ComputeByInstant(rel, tempagg.Sum,
+		tempagg.Spec{Algorithm: tempagg.AggregationTree})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDaily burn rate over time:")
+	printResult(burn.Coalesce())
+
+	// Point lookups against the time-varying result.
+	if v, ok := burn.At(75); ok {
+		fmt.Printf("\nBurn rate on day 75: %s\n", v)
+	}
+}
+
+func mustTuple(name string, rate int64, start, end tempagg.Time) tempagg.Tuple {
+	t, err := tempagg.NewTuple(name, rate, start, end)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return t
+}
+
+func printResult(res *tempagg.Result) {
+	for i, row := range res.Rows {
+		fmt.Printf("  %-12s %s\n", row.Interval, res.Value(i))
+	}
+}

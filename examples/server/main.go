@@ -1,0 +1,79 @@
+// Server demonstrates the network layer: build a catalog of relation
+// files, serve it over TCP, and query it with the line-protocol client —
+// all in one process.
+//
+// Run with:
+//
+//	go run ./examples/server
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+
+	"tempagg"
+)
+
+func main() {
+	// A catalog directory with the Employed relation and a synthetic feed.
+	dir, err := os.MkdirTemp("", "tempagg-server")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := tempagg.WriteRelation(filepath.Join(dir, "Employed.rel"), tempagg.Employed()); err != nil {
+		log.Fatal(err)
+	}
+	feed, err := tempagg.Generate(tempagg.WorkloadConfig{
+		Tuples: 5000, Order: tempagg.WorkloadSorted, Seed: 13,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tempagg.WriteRelation(filepath.Join(dir, "Feed.rel"), feed); err != nil {
+		log.Fatal(err)
+	}
+
+	cat, err := tempagg.OpenCatalog(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := tempagg.NewServer(cat)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := srv.Serve(lis); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	defer srv.Close()
+	fmt.Printf("serving %v on %s\n\n", cat.Names(), lis.Addr())
+
+	client, err := tempagg.DialServer(lis.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	for _, sql := range []string{
+		"SELECT COUNT(Name) FROM Employed",
+		"SELECT AVG(Salary) FROM Feed AT 500000",
+		"SELECT MAX(Salary) FROM Feed VALID OVERLAPS 0 100000",
+		"SELECT COUNT(Name) FROM Nowhere", // server-side error, connection survives
+	} {
+		raw, err := client.QueryRaw(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		display := string(raw)
+		if len(display) > 120 {
+			display = display[:120] + "…"
+		}
+		fmt.Printf("> %s\n%s\n\n", sql, display)
+	}
+}

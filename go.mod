@@ -1,0 +1,3 @@
+module tempagg
+
+go 1.22

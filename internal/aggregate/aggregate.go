@@ -1,0 +1,216 @@
+// Package aggregate implements the aggregate state machines used by the
+// temporal-aggregation algorithms: COUNT, SUM, AVG, MIN, and MAX.
+//
+// Each aggregate is modelled as a small value-type State with three
+// operations: Add absorbs one tuple's attribute value, Merge combines two
+// partial states, and Final produces the scalar result. Merge is commutative
+// and associative with Zero as identity, which is exactly the property the
+// aggregation tree exploits: every tuple covering a leaf's constant interval
+// contributes at precisely one node on the leaf's root path, so merging the
+// states down that path yields the leaf's aggregate (Kline & Snodgrass §5.1).
+//
+// Space use mirrors the paper's accounting (§6): COUNT needs one word; SUM,
+// MIN and MAX need a word plus an empty-marker bit; AVG needs a sum and a
+// count.
+package aggregate
+
+import "fmt"
+
+// Kind selects an aggregate function.
+type Kind int
+
+const (
+	// Count counts qualifying tuples. The count of an empty group is 0, not
+	// null.
+	Count Kind = iota
+	// Sum adds attribute values; null over an empty group.
+	Sum
+	// Avg is the mean attribute value; null over an empty group.
+	Avg
+	// Min selects the least attribute value; null over an empty group.
+	Min
+	// Max selects the greatest attribute value; null over an empty group.
+	Max
+)
+
+// Kinds lists every supported aggregate, in declaration order.
+func Kinds() []Kind {
+	return []Kind{Count, Sum, Avg, Min, Max}
+}
+
+// ParseKind maps a (case-sensitive, upper-case) SQL aggregate name to a Kind.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "COUNT":
+		return Count, nil
+	case "SUM":
+		return Sum, nil
+	case "AVG":
+		return Avg, nil
+	case "MIN":
+		return Min, nil
+	case "MAX":
+		return Max, nil
+	}
+	return 0, fmt.Errorf("aggregate: unknown function %q", name)
+}
+
+// String returns the SQL name of the aggregate.
+func (k Kind) String() string {
+	switch k {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// State is a partial aggregate. The zero State is the identity for every
+// kind (no tuples absorbed). States are plain values: copy freely.
+type State struct {
+	count int64
+	sum   int64
+	ext   int64 // running min or max; meaningful only when count > 0
+}
+
+// Empty reports whether no tuple has been absorbed into the state.
+func (s State) Empty() bool { return s.count == 0 }
+
+// Count returns the number of tuples absorbed.
+func (s State) Count() int64 { return s.count }
+
+// Func evaluates one aggregate kind over States.
+type Func struct {
+	kind Kind
+}
+
+// For returns the evaluator for kind.
+func For(kind Kind) Func { return Func{kind: kind} }
+
+// Kind reports which aggregate this Func evaluates.
+func (f Func) Kind() Kind { return f.kind }
+
+// Zero is the identity state: Merge(Zero, s) == s for all s.
+func (f Func) Zero() State { return State{} }
+
+// Add absorbs one attribute value into the state.
+func (f Func) Add(s State, v int64) State {
+	if s.count == 0 {
+		return State{count: 1, sum: v, ext: v}
+	}
+	s.count++
+	s.sum += v
+	switch f.kind {
+	case Min:
+		if v < s.ext {
+			s.ext = v
+		}
+	case Max:
+		if v > s.ext {
+			s.ext = v
+		}
+	}
+	return s
+}
+
+// Merge combines two partial states. It is commutative and associative, with
+// Zero as identity.
+func (f Func) Merge(a, b State) State {
+	if a.count == 0 {
+		return b
+	}
+	if b.count == 0 {
+		return a
+	}
+	out := State{count: a.count + b.count, sum: a.sum + b.sum, ext: a.ext}
+	switch f.kind {
+	case Min:
+		if b.ext < out.ext {
+			out.ext = b.ext
+		}
+	case Max:
+		if b.ext > out.ext {
+			out.ext = b.ext
+		}
+	}
+	return out
+}
+
+// StateEqual reports whether two states produce the same final value for
+// this aggregate. It is exact (AVG compares cross-multiplied rationals, not
+// floats) and is the equality used when coalescing adjacent constant
+// intervals.
+func (f Func) StateEqual(a, b State) bool {
+	switch f.kind {
+	case Count:
+		return a.count == b.count
+	case Sum:
+		if a.count == 0 || b.count == 0 {
+			return a.count == 0 && b.count == 0
+		}
+		return a.sum == b.sum
+	case Min, Max:
+		if a.count == 0 || b.count == 0 {
+			return a.count == 0 && b.count == 0
+		}
+		return a.ext == b.ext
+	case Avg:
+		if a.count == 0 || b.count == 0 {
+			return a.count == 0 && b.count == 0
+		}
+		return a.sum*b.count == b.sum*a.count
+	}
+	return false
+}
+
+// Value is a finalized aggregate result.
+type Value struct {
+	// Null is true when the aggregate is undefined over an empty group
+	// (every kind except COUNT).
+	Null bool
+	// Int holds the exact result for COUNT, SUM, MIN, and MAX. For AVG it is
+	// the truncated integer quotient.
+	Int int64
+	// Float holds the result as a float64; for AVG this is the exact mean.
+	Float float64
+}
+
+// Final produces the scalar result of the aggregate from a state.
+func (f Func) Final(s State) Value {
+	if s.count == 0 {
+		if f.kind == Count {
+			return Value{Int: 0, Float: 0}
+		}
+		return Value{Null: true}
+	}
+	switch f.kind {
+	case Count:
+		return Value{Int: s.count, Float: float64(s.count)}
+	case Sum:
+		return Value{Int: s.sum, Float: float64(s.sum)}
+	case Avg:
+		return Value{Int: s.sum / s.count, Float: float64(s.sum) / float64(s.count)}
+	case Min, Max:
+		return Value{Int: s.ext, Float: float64(s.ext)}
+	}
+	return Value{Null: true}
+}
+
+// String renders the value; null prints as "-" following the paper's result
+// tables.
+func (v Value) String() string {
+	if v.Null {
+		return "-"
+	}
+	if v.Float == float64(v.Int) {
+		return fmt.Sprintf("%d", v.Int)
+	}
+	return fmt.Sprintf("%.4g", v.Float)
+}

@@ -1,0 +1,195 @@
+package aggregate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseKind(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%s): %v", k, err)
+		}
+		if got != k {
+			t.Fatalf("ParseKind(%s) = %v", k, got)
+		}
+	}
+	if _, err := ParseKind("MEDIAN"); err == nil {
+		t.Fatal("ParseKind(MEDIAN): expected error")
+	}
+	if _, err := ParseKind("count"); err == nil {
+		t.Fatal("ParseKind is case-sensitive; lower case should fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if s := Kind(99).String(); s != "Kind(99)" {
+		t.Fatalf("unknown kind string = %q", s)
+	}
+}
+
+func addAll(f Func, vs []int64) State {
+	s := f.Zero()
+	for _, v := range vs {
+		s = f.Add(s, v)
+	}
+	return s
+}
+
+func TestFinalOnKnownInputs(t *testing.T) {
+	vs := []int64{40, 45, 35, 37}
+	cases := []struct {
+		kind      Kind
+		wantInt   int64
+		wantFloat float64
+	}{
+		{Count, 4, 4},
+		{Sum, 157, 157},
+		{Avg, 39, 39.25},
+		{Min, 35, 35},
+		{Max, 45, 45},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			f := For(tc.kind)
+			v := f.Final(addAll(f, vs))
+			if v.Null {
+				t.Fatal("unexpected null")
+			}
+			if v.Int != tc.wantInt || v.Float != tc.wantFloat {
+				t.Fatalf("%s = {Int:%d Float:%v}, want {Int:%d Float:%v}",
+					tc.kind, v.Int, v.Float, tc.wantInt, tc.wantFloat)
+			}
+		})
+	}
+}
+
+func TestEmptyGroupSemantics(t *testing.T) {
+	// §3: the count field recognizes empty groups. COUNT of an empty group
+	// is 0; the other aggregates are null.
+	for _, k := range Kinds() {
+		f := For(k)
+		v := f.Final(f.Zero())
+		if k == Count {
+			if v.Null || v.Int != 0 {
+				t.Errorf("COUNT(∅) = %+v, want 0", v)
+			}
+		} else if !v.Null {
+			t.Errorf("%s(∅) = %+v, want null", k, v)
+		}
+	}
+}
+
+func TestNegativeValues(t *testing.T) {
+	f := For(Min)
+	s := addAll(f, []int64{3, -7, 0, -2})
+	if got := f.Final(s).Int; got != -7 {
+		t.Fatalf("MIN = %d, want -7", got)
+	}
+	f = For(Max)
+	s = addAll(f, []int64{-3, -7, -1, -2})
+	if got := f.Final(s).Int; got != -1 {
+		t.Fatalf("MAX = %d, want -1", got)
+	}
+	f = For(Avg)
+	s = addAll(f, []int64{-3, 3})
+	if v := f.Final(s); v.Float != 0 || v.Int != 0 {
+		t.Fatalf("AVG(-3,3) = %+v, want 0", v)
+	}
+}
+
+func TestMergeIdentity(t *testing.T) {
+	for _, k := range Kinds() {
+		f := For(k)
+		s := addAll(f, []int64{5, 9})
+		if f.Merge(f.Zero(), s) != s || f.Merge(s, f.Zero()) != s {
+			t.Errorf("%s: Zero is not a Merge identity", k)
+		}
+	}
+}
+
+// randomValues draws a short random value slice.
+func randomValues(r *rand.Rand) []int64 {
+	n := r.Intn(8)
+	vs := make([]int64, n)
+	for i := range vs {
+		vs[i] = r.Int63n(201) - 100
+	}
+	return vs
+}
+
+func TestMergeEquivalentToSequentialAdd(t *testing.T) {
+	// Property: splitting a value sequence arbitrarily and merging the
+	// partial states equals absorbing the whole sequence — the
+	// decomposability the tree algorithms rely on.
+	r := rand.New(rand.NewSource(7))
+	for _, k := range Kinds() {
+		f := For(k)
+		prop := func() bool {
+			a, b := randomValues(r), randomValues(r)
+			merged := f.Merge(addAll(f, a), addAll(f, b))
+			whole := addAll(f, append(append([]int64{}, a...), b...))
+			return f.StateEqual(merged, whole) && merged.Count() == whole.Count()
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", k, err)
+		}
+	}
+}
+
+func TestMergeCommutativeAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for _, k := range Kinds() {
+		f := For(k)
+		prop := func() bool {
+			a := addAll(f, randomValues(r))
+			b := addAll(f, randomValues(r))
+			c := addAll(f, randomValues(r))
+			if !f.StateEqual(f.Merge(a, b), f.Merge(b, a)) {
+				return false
+			}
+			return f.StateEqual(f.Merge(f.Merge(a, b), c), f.Merge(a, f.Merge(b, c)))
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", k, err)
+		}
+	}
+}
+
+func TestStateEqualAvgIsExact(t *testing.T) {
+	f := For(Avg)
+	a := addAll(f, []int64{1, 2}) // mean 1.5
+	b := addAll(f, []int64{1, 1, 2, 2})
+	if !f.StateEqual(a, b) {
+		t.Fatal("AVG states with equal means must compare equal")
+	}
+	c := addAll(f, []int64{1, 2, 2})
+	if f.StateEqual(a, c) {
+		t.Fatal("AVG states with different means must not compare equal")
+	}
+}
+
+func TestStateEqualEmptyVsZeroSum(t *testing.T) {
+	// SUM over {0} is 0, not null: it must differ from the empty state.
+	f := For(Sum)
+	zero := f.Add(f.Zero(), 0)
+	if f.StateEqual(zero, f.Zero()) {
+		t.Fatal("SUM({0}) must not equal SUM(∅)")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	f := For(Avg)
+	if s := f.Final(f.Zero()).String(); s != "-" {
+		t.Fatalf("null renders as %q, want -", s)
+	}
+	if s := f.Final(addAll(f, []int64{1, 2})).String(); s != "1.5" {
+		t.Fatalf("AVG(1,2) renders as %q, want 1.5", s)
+	}
+	c := For(Count)
+	if s := c.Final(addAll(c, []int64{9, 9})).String(); s != "2" {
+		t.Fatalf("COUNT renders as %q, want 2", s)
+	}
+}

@@ -1,0 +1,31 @@
+package aggregate_test
+
+import (
+	"fmt"
+
+	"tempagg/internal/aggregate"
+)
+
+// Example shows the Add/Merge/Final state machine the tree algorithms rely
+// on: merging partial states equals absorbing the whole input.
+func Example() {
+	f := aggregate.For(aggregate.Avg)
+	a := f.Add(f.Add(f.Zero(), 40), 45) // {40, 45}
+	b := f.Add(f.Zero(), 35)            // {35}
+	fmt.Println(f.Final(f.Merge(a, b)))
+
+	whole := f.Zero()
+	for _, v := range []int64{40, 45, 35} {
+		whole = f.Add(whole, v)
+	}
+	fmt.Println(f.StateEqual(f.Merge(a, b), whole))
+
+	// Empty groups: COUNT is 0, everything else is null.
+	fmt.Println(aggregate.For(aggregate.Count).Final(f.Zero()))
+	fmt.Println(aggregate.For(aggregate.Min).Final(f.Zero()))
+	// Output:
+	// 40
+	// true
+	// 0
+	// -
+}

@@ -1,0 +1,411 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/core"
+	"tempagg/internal/interval"
+	"tempagg/internal/order"
+	"tempagg/internal/relation"
+	"tempagg/internal/workload"
+)
+
+// KPct is the k-ordered-percentage used for the k-ordered series of
+// Figures 7–9. The paper found its effect "outweighed greatly by the effect
+// of the k value" (§6.1) and shows a single graph per k; we use the middle
+// tested value.
+const KPct = 0.08
+
+func genRandom(longPct int) func(int, int64) (*relation.Relation, error) {
+	return func(size int, seed int64) (*relation.Relation, error) {
+		return workload.Generate(workload.Config{
+			Tuples: size, LongLivedPct: longPct, Order: workload.Random, Seed: seed,
+		})
+	}
+}
+
+func genSorted(longPct int) func(int, int64) (*relation.Relation, error) {
+	return func(size int, seed int64) (*relation.Relation, error) {
+		return workload.Generate(workload.Config{
+			Tuples: size, LongLivedPct: longPct, Order: workload.Sorted, Seed: seed,
+		})
+	}
+}
+
+func genKOrdered(longPct, k int) func(int, int64) (*relation.Relation, error) {
+	return func(size int, seed int64) (*relation.Relation, error) {
+		return workload.Generate(workload.Config{
+			Tuples: size, LongLivedPct: longPct, Order: workload.KOrdered,
+			K: k, KPct: KPct, Seed: seed,
+		})
+	}
+}
+
+type seriesSpec struct {
+	name string
+	spec core.Spec
+	gen  func(int, int64) (*relation.Relation, error)
+}
+
+func buildFigure(id, title, metricName string, opts Options,
+	metric func(measurement) float64, specs []seriesSpec) (Figure, error) {
+	opts = opts.withDefaults()
+	fig := Figure{ID: id, Title: title, Metric: metricName}
+	for _, ss := range specs {
+		s, err := sweep(opts, ss.spec, ss.gen, metric)
+		if err != nil {
+			return Figure{}, fmt.Errorf("bench: %s/%s: %w", id, ss.name, err)
+		}
+		s.Name = ss.name
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure6 reproduces the time comparison on unordered relations: the linked
+// list versus the aggregation tree across sizes, with and without long-lived
+// tuples. Expected shape: the tree wins by a growing factor (the paper
+// reports ~300× at 64K), and neither algorithm is materially affected by the
+// long-lived percentage.
+func Figure6(opts Options) (Figure, error) {
+	return buildFigure("figure-6", "Time Comparison on Unordered Relations",
+		"seconds", opts, timeMetric, []seriesSpec{
+			{"linked-list ll=0%", core.Spec{Algorithm: core.LinkedList}, genRandom(0)},
+			{"linked-list ll=80%", core.Spec{Algorithm: core.LinkedList}, genRandom(80)},
+			{"aggregation-tree ll=0%", core.Spec{Algorithm: core.AggregationTree}, genRandom(0)},
+			{"aggregation-tree ll=40%", core.Spec{Algorithm: core.AggregationTree}, genRandom(40)},
+			{"aggregation-tree ll=80%", core.Spec{Algorithm: core.AggregationTree}, genRandom(80)},
+		})
+}
+
+// figure78 builds the ordered-relation time comparison at a given long-lived
+// percentage (Figure 7 at 0%, Figure 8 at 80%).
+func figure78(id, title string, longPct int, opts Options) (Figure, error) {
+	return buildFigure(id, title, "seconds", opts, timeMetric, []seriesSpec{
+		{"linked-list", core.Spec{Algorithm: core.LinkedList}, genSorted(longPct)},
+		{"aggregation-tree (sorted)", core.Spec{Algorithm: core.AggregationTree}, genSorted(longPct)},
+		{"ktree k=400", core.Spec{Algorithm: core.KOrderedTree, K: 400}, genKOrdered(longPct, 400)},
+		{"ktree k=40", core.Spec{Algorithm: core.KOrderedTree, K: 40}, genKOrdered(longPct, 40)},
+		{"ktree k=4", core.Spec{Algorithm: core.KOrderedTree, K: 4}, genKOrdered(longPct, 4)},
+		{"ktree sorted k=1", core.Spec{Algorithm: core.KOrderedTree, K: 1}, genSorted(longPct)},
+	})
+}
+
+// Figure7 reproduces the time comparison on ordered relations without
+// long-lived tuples. Expected shape: smaller k is faster; the aggregation
+// tree degenerates toward O(n²) on sorted input; the linked list is flat but
+// slow; ktree k=1 over the sorted relation is best.
+func Figure7(opts Options) (Figure, error) {
+	return figure78("figure-7",
+		"Time Comparison on Ordered Relations without Long-lived Tuples", 0, opts)
+}
+
+// Figure8 reproduces the same comparison with 80% long-lived tuples.
+// Expected shape: the k-ordered trees slow down (larger resident state); the
+// aggregation tree paradoxically improves (end-time insertions bush out its
+// right flank); the linked list is unaffected.
+func Figure8(opts Options) (Figure, error) {
+	return figure78("figure-8",
+		"Time Comparison on Ordered Relations with 80% Long-lived Tuples", 80, opts)
+}
+
+// Figure9 reproduces the main-memory comparison with no long-lived tuples,
+// in bytes at 16 bytes per node (§6.2). Expected shape: the aggregation tree
+// needs the most memory; the linked list about half (one node per unique
+// timestamp versus two); the k-ordered trees collapse to small footprints,
+// decreasing with k.
+func Figure9(opts Options) (Figure, error) {
+	return buildFigure("figure-9", "Memory Comparison with No Long-lived Tuples",
+		"bytes", opts, spaceMetric, []seriesSpec{
+			{"aggregation-tree", core.Spec{Algorithm: core.AggregationTree}, genRandom(0)},
+			{"linked-list", core.Spec{Algorithm: core.LinkedList}, genRandom(0)},
+			{"ktree k=400", core.Spec{Algorithm: core.KOrderedTree, K: 400}, genKOrdered(0, 400)},
+			{"ktree k=40", core.Spec{Algorithm: core.KOrderedTree, K: 40}, genKOrdered(0, 40)},
+			{"ktree k=4", core.Spec{Algorithm: core.KOrderedTree, K: 4}, genKOrdered(0, 4)},
+			{"ktree sorted k=1", core.Spec{Algorithm: core.KOrderedTree, K: 1}, genSorted(0)},
+		})
+}
+
+// MemoryLongLived reproduces the §6.2 finding reported in prose: with many
+// long-lived tuples the k-ordered tree's memory is "much worse", while the
+// linked list and aggregation tree are "totally unaffected".
+func MemoryLongLived(opts Options) (Figure, error) {
+	return buildFigure("memory-long-lived", "Memory Comparison with 80% Long-lived Tuples",
+		"bytes", opts, spaceMetric, []seriesSpec{
+			{"aggregation-tree", core.Spec{Algorithm: core.AggregationTree}, genRandom(80)},
+			{"linked-list", core.Spec{Algorithm: core.LinkedList}, genRandom(80)},
+			{"ktree k=4", core.Spec{Algorithm: core.KOrderedTree, K: 4}, genKOrdered(80, 4)},
+			{"ktree sorted k=1", core.Spec{Algorithm: core.KOrderedTree, K: 1}, genSorted(80)},
+		})
+}
+
+// AblationBalanced compares the paper's unbalanced aggregation tree, the
+// future-work balanced variant (§7), and ktree k=1 on sorted input — the
+// aggregation tree's worst case, which balancing repairs.
+func AblationBalanced(opts Options) (Figure, error) {
+	return buildFigure("ablation-balanced", "Balanced Aggregation Tree on Sorted Relations",
+		"seconds", opts, timeMetric, []seriesSpec{
+			{"aggregation-tree (sorted)", core.Spec{Algorithm: core.AggregationTree}, genSorted(0)},
+			{"balanced-tree (sorted)", core.Spec{Algorithm: core.BalancedTree}, genSorted(0)},
+			{"ktree sorted k=1", core.Spec{Algorithm: core.KOrderedTree, K: 1}, genSorted(0)},
+			{"balanced-tree (random)", core.Spec{Algorithm: core.BalancedTree}, genRandom(0)},
+			{"aggregation-tree (random)", core.Spec{Algorithm: core.AggregationTree}, genRandom(0)},
+		})
+}
+
+// AblationPageRandomization evaluates the other future-work idea of §7:
+// reading a *sorted* relation's pages in randomized order so the aggregation
+// tree does not linearize. It measures scan+evaluate time over an on-disk
+// relation, sequential versus page-randomized.
+func AblationPageRandomization(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	dir, err := os.MkdirTemp("", "tempagg-bench")
+	if err != nil {
+		return Figure{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	fig := Figure{
+		ID:     "ablation-page-randomization",
+		Title:  "Aggregation Tree over Sorted Files: Sequential vs Randomized Page Order",
+		Metric: "seconds",
+	}
+	f := aggregate.For(opts.Agg)
+	variants := []struct {
+		name string
+		opts relation.ScanOptions
+	}{
+		{"sequential scan", relation.ScanOptions{}},
+		{"randomized pages", relation.ScanOptions{RandomizePages: true, Seed: 99}},
+	}
+	for _, v := range variants {
+		s := Series{Name: v.name}
+		for _, size := range opts.Sizes {
+			var ms []measurement
+			for _, seed := range opts.Seeds {
+				rel, err := genSorted(0)(size, seed)
+				if err != nil {
+					return Figure{}, err
+				}
+				path := filepath.Join(dir, fmt.Sprintf("r-%d-%d.rel", size, seed))
+				if err := relation.WriteFile(path, rel); err != nil {
+					return Figure{}, err
+				}
+				m, err := timeScanEvaluate(path, v.opts, f)
+				if err != nil {
+					return Figure{}, err
+				}
+				ms = append(ms, m)
+			}
+			s.Points = append(s.Points, Point{Size: size, Value: timeMetric(median(ms))})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+func timeScanEvaluate(path string, sopts relation.ScanOptions, f aggregate.Func) (measurement, error) {
+	start := time.Now()
+	sc, err := relation.Open(path, sopts)
+	if err != nil {
+		return measurement{}, err
+	}
+	defer sc.Close()
+	ev := core.NewAggregationTree(f)
+	for {
+		t, ok, err := sc.Next()
+		if err != nil {
+			return measurement{}, err
+		}
+		if !ok {
+			break
+		}
+		if err := ev.Add(t); err != nil {
+			return measurement{}, err
+		}
+	}
+	res, err := ev.Finish()
+	if err != nil {
+		return measurement{}, err
+	}
+	if len(res.Rows) == 0 {
+		return measurement{}, fmt.Errorf("bench: empty result")
+	}
+	return measurement{seconds: time.Since(start).Seconds(), peakBytes: ev.Stats().PeakBytes()}, nil
+}
+
+// AblationPartitioned evaluates the limited-main-memory strategy of §5.1/§7
+// ("accumulate the tuples which would overlap this region of the tree and
+// process them later"): the whole-relation aggregation tree versus the
+// partitioned evaluation (16 time partitions), serial and parallel, over
+// random input. Time in seconds; the peak-memory reduction is asserted in
+// the core tests.
+func AblationPartitioned(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	fig := Figure{
+		ID:     "ablation-partitioned",
+		Title:  "Whole Tree vs Partitioned Evaluation (16 partitions, random input)",
+		Metric: "seconds",
+	}
+	f := aggregate.For(opts.Agg)
+	variants := []struct {
+		name     string
+		parallel int
+	}{
+		{"whole tree", -1},
+		{"partitioned serial", 1},
+		{"partitioned parallel=4", 4},
+	}
+	boundaries := core.UniformBoundaries(
+		interval.Interval{Start: 0, End: workload.DefaultLifespan - 1}, 16)
+	for _, v := range variants {
+		s := Series{Name: v.name}
+		for _, size := range opts.Sizes {
+			var ms []measurement
+			for _, seed := range opts.Seeds {
+				rel, err := genRandom(0)(size, seed)
+				if err != nil {
+					return Figure{}, err
+				}
+				start := time.Now()
+				var peak int64
+				if v.parallel < 0 {
+					_, stats, err := core.Run(core.Spec{Algorithm: core.AggregationTree}, f, rel.Tuples)
+					if err != nil {
+						return Figure{}, err
+					}
+					peak = stats.PeakBytes()
+				} else {
+					_, stats, err := core.EvaluatePartitionedTuples(f, rel.Tuples,
+						core.PartitionOptions{Boundaries: boundaries, Parallel: v.parallel})
+					if err != nil {
+						return Figure{}, err
+					}
+					peak = stats.PeakBytes()
+				}
+				ms = append(ms, measurement{seconds: time.Since(start).Seconds(), peakBytes: peak})
+			}
+			s.Points = append(s.Points, Point{Size: size, Value: timeMetric(median(ms))})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// AblationSpan compares instant grouping against coarse span grouping
+// (§7: with far fewer buckets, even simple strategies are fast).
+func AblationSpan(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	fig := Figure{
+		ID:     "ablation-span",
+		Title:  "Instant Grouping vs Span Grouping (1000 spans)",
+		Metric: "seconds",
+	}
+	f := aggregate.For(opts.Agg)
+
+	instant := Series{Name: "instant (ktree sorted k=1)"}
+	span := Series{Name: "span grouping"}
+	window := interval.Interval{Start: 0, End: workload.DefaultLifespan - 1}
+	spanLen := workload.DefaultLifespan / 1000
+	for _, size := range opts.Sizes {
+		var mi, msp []measurement
+		for _, seed := range opts.Seeds {
+			rel, err := genSorted(0)(size, seed)
+			if err != nil {
+				return Figure{}, err
+			}
+			m, err := runOnce(core.Spec{Algorithm: core.KOrderedTree, K: 1}, f, rel)
+			if err != nil {
+				return Figure{}, err
+			}
+			mi = append(mi, m)
+
+			start := time.Now()
+			if _, err := core.GroupBySpan(f, rel.Tuples, spanLen, window); err != nil {
+				return Figure{}, err
+			}
+			msp = append(msp, measurement{seconds: time.Since(start).Seconds()})
+		}
+		instant.Points = append(instant.Points, Point{Size: size, Value: timeMetric(median(mi))})
+		span.Points = append(span.Points, Point{Size: size, Value: timeMetric(median(msp))})
+	}
+	fig.Series = []Series{instant, span}
+	return fig, nil
+}
+
+// Table1 renders the paper's Table 1: COUNT over the Employed relation.
+func Table1() (string, error) {
+	f := aggregate.For(aggregate.Count)
+	res, _, err := core.Run(core.Spec{Algorithm: core.AggregationTree}, f,
+		relation.Employed().Tuples)
+	if err != nil {
+		return "", err
+	}
+	return "== table-1: COUNT(Name) over Employed, grouped by instant\n" + res.String(), nil
+}
+
+// Table2 renders the paper's Table 2: k-ordered-percentage examples with
+// n=10000 and k=100, rebuilt from the definitional constructions.
+func Table2() (string, error) {
+	const n, k = 10000, 100
+	sorted, err := workload.Generate(workload.Config{
+		Tuples: n, Order: workload.Sorted, Seed: 1,
+	})
+	if err != nil {
+		return "", err
+	}
+	rows := []struct {
+		desc  string
+		build func() ([]float64, error)
+	}{
+		{"the tuples are sorted", func() ([]float64, error) {
+			p, err := order.KOrderedPercentage(sorted.Tuples, k)
+			return []float64{p}, err
+		}},
+		{"2 tuples 100 places apart are swapped", func() ([]float64, error) {
+			ts, err := order.SwapPairs(sorted.Tuples, 1, 100)
+			if err != nil {
+				return nil, err
+			}
+			p, err := order.KOrderedPercentage(ts, k)
+			return []float64{p}, err
+		}},
+		{"20 tuples are 100 places from being sorted", func() ([]float64, error) {
+			ts, err := order.SwapPairs(sorted.Tuples, 10, 100)
+			if err != nil {
+				return nil, err
+			}
+			p, err := order.KOrderedPercentage(ts, k)
+			return []float64{p}, err
+		}},
+		{"1000 tuples are 50 places out of order", func() ([]float64, error) {
+			ts, err := order.SwapPairs(sorted.Tuples, 500, 50)
+			if err != nil {
+				return nil, err
+			}
+			p, err := order.KOrderedPercentage(ts, k)
+			return []float64{p}, err
+		}},
+		{"10 tuples 1 place out of order, 10 are 2, ..., 10 are 100", func() ([]float64, error) {
+			ts, err := order.Staircase(sorted.Tuples, 10, 100)
+			if err != nil {
+				return nil, err
+			}
+			p, err := order.KOrderedPercentage(ts, k)
+			return []float64{p}, err
+		}},
+	}
+	out := "== table-2: k-ordered-percentages (n=10000, k=100)\n"
+	for _, r := range rows {
+		ps, err := r.build()
+		if err != nil {
+			return "", fmt.Errorf("bench: table 2 (%s): %w", r.desc, err)
+		}
+		out += fmt.Sprintf("%-8.4g %s\n", ps[0], r.desc)
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+// Package catalog manages a directory of relation files as a small
+// temporal database: every *.rel file is a relation, and catalog.json
+// persists the per-relation declarations the query optimizer consumes —
+// most importantly the administrator's "retroactively bounded" declaration
+// of §6.3 ("If the relation is declared by the data base administrator to
+// be retroactively bounded, then the k-ordered aggregation tree would be
+// the algorithm of choice").
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tempagg/internal/query"
+	"tempagg/internal/relation"
+)
+
+// MetadataFile is the name of the persisted declaration file inside a
+// catalog directory.
+const MetadataFile = "catalog.json"
+
+// Entry is the persisted metadata for one relation.
+type Entry struct {
+	// File is the relation file name, relative to the catalog directory.
+	File string `json:"file"`
+	// KBound declares the relation k-ordered (retroactively bounded) with
+	// this bound; -1 means unknown.
+	KBound int `json:"kbound"`
+	// MemoryBudget bounds evaluation-structure memory in bytes; 0 means
+	// unlimited.
+	MemoryBudget int64 `json:"memory_budget,omitempty"`
+	// ExpectedConstantIntervals hints the result size for the optimizer;
+	// 0 means unknown.
+	ExpectedConstantIntervals int `json:"expected_constant_intervals,omitempty"`
+	// Comment is free-form documentation.
+	Comment string `json:"comment,omitempty"`
+}
+
+// Catalog is an open catalog directory.
+type Catalog struct {
+	dir     string
+	entries map[string]Entry
+}
+
+// Open loads the catalog at dir: every *.rel file becomes a relation named
+// by its base name, overlaid with any declarations from catalog.json.
+func Open(dir string) (*Catalog, error) {
+	fis, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	c := &Catalog{dir: dir, entries: map[string]Entry{}}
+	for _, fi := range fis {
+		if fi.IsDir() || !strings.HasSuffix(fi.Name(), ".rel") {
+			continue
+		}
+		name := strings.TrimSuffix(fi.Name(), ".rel")
+		c.entries[name] = Entry{File: fi.Name(), KBound: -1}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, MetadataFile))
+	switch {
+	case os.IsNotExist(err):
+		return c, nil
+	case err != nil:
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	var persisted map[string]Entry
+	if err := json.Unmarshal(data, &persisted); err != nil {
+		return nil, fmt.Errorf("catalog: parse %s: %w", MetadataFile, err)
+	}
+	for name, e := range persisted {
+		if _, ok := c.entries[name]; !ok {
+			// A declaration for a missing file is an error the operator
+			// should see, not a silent skip.
+			return nil, fmt.Errorf("catalog: %s declares %q but %s is missing",
+				MetadataFile, name, e.File)
+		}
+		c.entries[name] = e
+	}
+	return c, nil
+}
+
+// Save persists the declarations to catalog.json.
+func (c *Catalog) Save() error {
+	data, err := json.MarshalIndent(c.entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	path := filepath.Join(c.dir, MetadataFile)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	return nil
+}
+
+// Names lists the catalog's relations, sorted.
+func (c *Catalog) Names() []string {
+	names := make([]string, 0, len(c.entries))
+	for n := range c.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Entry returns the declarations for a relation.
+func (c *Catalog) Entry(name string) (Entry, error) {
+	e, ok := c.entries[name]
+	if !ok {
+		return Entry{}, fmt.Errorf("catalog: relation %q not found (have: %s)",
+			name, strings.Join(c.Names(), ", "))
+	}
+	return e, nil
+}
+
+// Declare updates a relation's declarations (KBound, MemoryBudget,
+// ExpectedConstantIntervals, Comment) in memory; call Save to persist.
+func (c *Catalog) Declare(name string, e Entry) error {
+	old, err := c.Entry(name)
+	if err != nil {
+		return err
+	}
+	e.File = old.File
+	c.entries[name] = e
+	return nil
+}
+
+// Path returns the relation's file path.
+func (c *Catalog) Path(name string) (string, error) {
+	e, err := c.Entry(name)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(c.dir, e.File), nil
+}
+
+// Info assembles the optimizer metadata for a relation: cardinality and
+// sorted flag from the file header, declarations from the catalog.
+func (c *Catalog) Info(name string) (query.RelationInfo, error) {
+	e, err := c.Entry(name)
+	if err != nil {
+		return query.RelationInfo{}, err
+	}
+	path := filepath.Join(c.dir, e.File)
+	sc, err := relation.Open(path, relation.ScanOptions{})
+	if err != nil {
+		return query.RelationInfo{}, err
+	}
+	defer sc.Close()
+	return query.RelationInfo{
+		Tuples:                    sc.Count(),
+		Sorted:                    sc.Sorted(),
+		KBound:                    e.KBound,
+		MemoryBudget:              e.MemoryBudget,
+		ExpectedConstantIntervals: e.ExpectedConstantIntervals,
+	}, nil
+}
+
+// Query parses and executes a query, resolving the FROM clause against the
+// catalog and streaming from the relation file where the plan allows.
+func (c *Catalog) Query(sql string, sopts relation.ScanOptions) (*query.QueryResult, error) {
+	q, err := query.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	info, err := c.Info(q.Relation)
+	if err != nil {
+		return nil, err
+	}
+	path, err := c.Path(q.Relation)
+	if err != nil {
+		return nil, err
+	}
+	return query.ExecuteFile(q, path, &info, sopts)
+}

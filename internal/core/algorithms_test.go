@@ -1,0 +1,344 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+func mustTuple(t *testing.T, name string, v int64, s, e interval.Time) tuple.Tuple {
+	t.Helper()
+	tu, err := tuple.New(name, v, s, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tu
+}
+
+// randomTuples draws n tuples with start times in [0, horizon) and varied
+// lengths, including occasional ∞-ended ones.
+func randomTuples(r *rand.Rand, n int, horizon int64) []tuple.Tuple {
+	ts := make([]tuple.Tuple, n)
+	for i := range ts {
+		s := r.Int63n(horizon)
+		var e int64
+		switch r.Intn(8) {
+		case 0:
+			e = interval.Forever
+		case 1:
+			e = s // single instant
+		default:
+			e = s + r.Int63n(horizon/2+1)
+		}
+		ts[i] = tuple.Tuple{
+			Name:  "t",
+			Value: r.Int63n(200) - 100,
+			Valid: interval.Interval{Start: s, End: e},
+		}
+	}
+	return ts
+}
+
+// sortTuples returns a time-ordered copy.
+func sortTuples(ts []tuple.Tuple) []tuple.Tuple {
+	out := append([]tuple.Tuple(nil), ts...)
+	for i := 1; i < len(out); i++ { // insertion sort keeps the helper dependency-free
+		for j := i; j > 0 && out[j].Less(out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// perturb displaces sorted tuples by at most k positions via random adjacent
+// swaps bounded by k, yielding a k-ordered relation.
+func perturb(r *rand.Rand, ts []tuple.Tuple, k int) []tuple.Tuple {
+	out := append([]tuple.Tuple(nil), ts...)
+	if k == 0 || len(out) < 2 {
+		return out
+	}
+	// Swap disjoint pairs at distance <= k: positions i and i+d move exactly
+	// d <= k places, so the result is k-ordered by construction.
+	for i := 0; i < len(out)-1; {
+		d := 1 + r.Intn(k)
+		if i+d >= len(out) || r.Intn(2) == 0 {
+			i++
+			continue
+		}
+		out[i], out[i+d] = out[i+d], out[i]
+		i += d + 1
+	}
+	return out
+}
+
+// resultsIdentical asserts the two results have identical constant-interval
+// boundaries and equal values row by row. All algorithms induce boundaries
+// at exactly the tuples' start and end+1 timestamps, so results must match
+// even before coalescing.
+func resultsIdentical(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows, want %d\ngot:\n%swant:\n%s",
+			label, len(got.Rows), len(want.Rows), got, want)
+	}
+	for i := range want.Rows {
+		if got.Rows[i].Interval != want.Rows[i].Interval {
+			t.Fatalf("%s: row %d interval %v, want %v",
+				label, i, got.Rows[i].Interval, want.Rows[i].Interval)
+		}
+		if !want.Func.StateEqual(got.Rows[i].State, want.Rows[i].State) {
+			t.Fatalf("%s: row %d %v: value %s, want %s",
+				label, i, got.Rows[i].Interval, got.Value(i), want.Value(i))
+		}
+	}
+}
+
+// TestAllAlgorithmsMatchOracle is the central correctness property: for
+// random relations and every aggregate kind, the linked list, aggregation
+// tree, balanced tree, Tuma baseline, and (on k-ordered input) the k-ordered
+// tree all produce exactly the oracle's constant intervals and values.
+func TestAllAlgorithmsMatchOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, kind := range aggregate.Kinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			f := aggregate.For(kind)
+			prop := func() bool {
+				ts := randomTuples(r, r.Intn(60), 200)
+				want := Reference(f, ts)
+				if err := want.Validate(); err != nil {
+					t.Fatalf("oracle broken: %v", err)
+				}
+				for _, spec := range []Spec{
+					{Algorithm: LinkedList},
+					{Algorithm: AggregationTree},
+					{Algorithm: BalancedTree},
+				} {
+					got, _, err := Run(spec, f, ts)
+					if err != nil {
+						t.Fatalf("%v: %v", spec.Algorithm, err)
+					}
+					resultsIdentical(t, spec.Algorithm.String(), got, want)
+				}
+				tumaRes, err := Tuma(NewSliceSource(ts), f)
+				if err != nil {
+					t.Fatalf("tuma: %v", err)
+				}
+				resultsIdentical(t, "tuma", tumaRes, want)
+
+				// k-ordered tree over a k-perturbed sorted copy.
+				k := r.Intn(5)
+				kts := perturb(r, sortTuples(ts), k)
+				got, _, err := Run(Spec{Algorithm: KOrderedTree, K: k}, f, kts)
+				if err != nil {
+					t.Fatalf("ktree k=%d: %v", k, err)
+				}
+				resultsIdentical(t, "ktree", got, want)
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestResultsArePartitions checks the structural invariant on every
+// algorithm: rows are an ordered, contiguous, exact cover of [0, ∞].
+func TestResultsArePartitions(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	f := aggregate.For(aggregate.Sum)
+	prop := func() bool {
+		ts := randomTuples(r, r.Intn(80), 500)
+		for _, spec := range []Spec{
+			{Algorithm: LinkedList},
+			{Algorithm: AggregationTree},
+			{Algorithm: BalancedTree},
+			{Algorithm: KOrderedTree, K: len(ts)}, // k >= n never garbage collects wrongly
+		} {
+			input := ts
+			res, _, err := Run(spec, f, input)
+			if err != nil {
+				t.Fatalf("%v: %v", spec.Algorithm, err)
+			}
+			if err := res.Validate(); err != nil {
+				t.Fatalf("%v: %v", spec.Algorithm, err)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmptyRelation: every algorithm must return the single constant
+// interval [0, ∞] with the empty aggregate (Figure 2.a).
+func TestEmptyRelation(t *testing.T) {
+	for _, kind := range aggregate.Kinds() {
+		f := aggregate.For(kind)
+		for _, spec := range []Spec{
+			{Algorithm: LinkedList},
+			{Algorithm: AggregationTree},
+			{Algorithm: BalancedTree},
+			{Algorithm: KOrderedTree, K: 3},
+		} {
+			res, _, err := Run(spec, f, nil)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", spec.Algorithm, kind, err)
+			}
+			if len(res.Rows) != 1 || res.Rows[0].Interval != interval.Universe() {
+				t.Fatalf("%v/%v: rows = %v", spec.Algorithm, kind, res.Rows)
+			}
+			v := res.Value(0)
+			if kind == aggregate.Count {
+				if v.Int != 0 || v.Null {
+					t.Fatalf("COUNT over empty relation = %v", v)
+				}
+			} else if !v.Null {
+				t.Fatalf("%v over empty relation = %v, want null", kind, v)
+			}
+		}
+	}
+}
+
+// TestSingleTupleCoveringUniverse exercises the degenerate case where no
+// split is ever needed.
+func TestSingleTupleCoveringUniverse(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	tu := mustTuple(t, "t", 1, 0, interval.Forever)
+	for _, spec := range []Spec{
+		{Algorithm: LinkedList},
+		{Algorithm: AggregationTree},
+		{Algorithm: BalancedTree},
+		{Algorithm: KOrderedTree, K: 0},
+	} {
+		res, stats, err := Run(spec, f, []tuple.Tuple{tu})
+		if err != nil {
+			t.Fatalf("%v: %v", spec.Algorithm, err)
+		}
+		if len(res.Rows) != 1 || res.Value(0).Int != 1 {
+			t.Fatalf("%v: %v", spec.Algorithm, res.Rows)
+		}
+		if stats.PeakNodes != 1 {
+			t.Errorf("%v: peak nodes %d, want 1", spec.Algorithm, stats.PeakNodes)
+		}
+	}
+}
+
+// TestDuplicateTimestamps: many tuples sharing boundaries must not create
+// duplicate constant intervals.
+func TestDuplicateTimestamps(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	ts := []tuple.Tuple{
+		mustTuple(t, "a", 1, 10, 20),
+		mustTuple(t, "b", 1, 10, 20),
+		mustTuple(t, "c", 1, 10, 20),
+	}
+	for _, spec := range []Spec{
+		{Algorithm: LinkedList},
+		{Algorithm: AggregationTree},
+		{Algorithm: BalancedTree},
+		{Algorithm: KOrderedTree, K: 0},
+	} {
+		res, _, err := Run(spec, f, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 3 {
+			t.Fatalf("%v: %d rows, want 3 ([0,9],[10,20],[21,∞])", spec.Algorithm, len(res.Rows))
+		}
+		if got := res.Value(1).Int; got != 3 {
+			t.Fatalf("%v: count over [10,20] = %d, want 3", spec.Algorithm, got)
+		}
+	}
+}
+
+// TestAdjacentTuplesMeetButDoNotOverlap: [0,9] and [10,19] never both cover
+// an instant.
+func TestAdjacentTuplesMeetButDoNotOverlap(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	ts := []tuple.Tuple{
+		mustTuple(t, "a", 1, 0, 9),
+		mustTuple(t, "b", 1, 10, 19),
+	}
+	res, _, err := Run(Spec{Algorithm: AggregationTree}, f, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []struct {
+		at   interval.Time
+		want int64
+	}{{0, 1}, {9, 1}, {10, 1}, {19, 1}, {20, 0}} {
+		v, ok := res.At(probe.at)
+		if !ok || v.Int != probe.want {
+			t.Errorf("count at %d = %v, want %d", probe.at, v, probe.want)
+		}
+	}
+}
+
+// TestAddRejectsInvalidInterval exercises input validation on every
+// evaluator.
+func TestAddRejectsInvalidInterval(t *testing.T) {
+	bad := tuple.Tuple{Name: "x", Valid: interval.Interval{Start: 9, End: 2}}
+	f := aggregate.For(aggregate.Count)
+	for _, spec := range []Spec{
+		{Algorithm: LinkedList},
+		{Algorithm: AggregationTree},
+		{Algorithm: BalancedTree},
+		{Algorithm: KOrderedTree, K: 1},
+	} {
+		ev, err := New(spec, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.Add(bad); err == nil {
+			t.Errorf("%v: Add accepted an invalid interval", spec.Algorithm)
+		}
+	}
+}
+
+func TestNewRejectsUnknownAlgorithm(t *testing.T) {
+	if _, err := New(Spec{Algorithm: Algorithm(42)}, aggregate.For(aggregate.Count)); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	names := map[Algorithm]string{
+		LinkedList:      "linked-list",
+		AggregationTree: "aggregation-tree",
+		KOrderedTree:    "k-ordered-tree",
+		BalancedTree:    "balanced-tree",
+		Algorithm(9):    "Algorithm(9)",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), want)
+		}
+	}
+}
+
+// TestValuesOutsideLifespanAreEmpty: instants before the first tuple and
+// after the last end (when finite) carry the empty aggregate.
+func TestValuesOutsideLifespanAreEmpty(t *testing.T) {
+	f := aggregate.For(aggregate.Min)
+	ts := []tuple.Tuple{mustTuple(t, "a", 5, 100, 200)}
+	res, _, err := Run(Spec{Algorithm: LinkedList}, f, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []interval.Time{0, 99, 201, interval.Forever} {
+		v, ok := res.At(at)
+		if !ok || !v.Null {
+			t.Errorf("MIN at %d = %v, want null", at, v)
+		}
+	}
+	if v, _ := res.At(150); v.Null || v.Int != 5 {
+		t.Errorf("MIN at 150 = %v, want 5", v)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"tempagg/internal/interval"
+)
+
+// Chart renders the time-varying aggregate as an ASCII bar chart, one line
+// per constant interval, bar length proportional to |value| scaled to
+// width. Null values draw no bar. Intended for terminal inspection of
+// query results (`tempagg -chart`).
+func (r *Result) Chart(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	maxAbs := 0.0
+	labelW := 0
+	valueW := 0
+	for i, row := range r.Rows {
+		v := r.Value(i)
+		if !v.Null {
+			if a := math.Abs(v.Float); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if l := len(row.Interval.String()); l > labelW {
+			labelW = l
+		}
+		if l := len(v.String()); l > valueW {
+			valueW = l
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s by instant\n", r.Func.Kind())
+	for i, row := range r.Rows {
+		v := r.Value(i)
+		bar := ""
+		if !v.Null && maxAbs > 0 {
+			n := int(math.Round(math.Abs(v.Float) / maxAbs * float64(width)))
+			bar = strings.Repeat("█", n)
+		}
+		fmt.Fprintf(&b, "%-*s %*s |%s\n", labelW, row.Interval, valueW, v, bar)
+	}
+	return b.String()
+}
+
+// Sparkline renders the value over a finite window as a single line of
+// block characters, one per sampled instant column. Null samples render as
+// spaces. Useful as a compact inline summary.
+func (r *Result) Sparkline(window interval.Interval, columns int) (string, error) {
+	if err := window.Validate(); err != nil {
+		return "", err
+	}
+	if window.End == interval.Forever {
+		return "", fmt.Errorf("core: sparkline requires a finite window")
+	}
+	if columns < 1 {
+		columns = 60
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	samples := make([]float64, 0, columns)
+	nulls := make([]bool, 0, columns)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for c := 0; c < columns; c++ {
+		at := window.Start + (window.Duration()-1)*interval.Time(c)/interval.Time(max(columns-1, 1))
+		v, ok := r.At(at)
+		if !ok || v.Null {
+			samples = append(samples, 0)
+			nulls = append(nulls, true)
+			continue
+		}
+		samples = append(samples, v.Float)
+		nulls = append(nulls, false)
+		lo = math.Min(lo, v.Float)
+		hi = math.Max(hi, v.Float)
+	}
+	var b strings.Builder
+	for i, s := range samples {
+		if nulls[i] {
+			b.WriteByte(' ')
+			continue
+		}
+		level := 0
+		if hi > lo {
+			level = int((s - lo) / (hi - lo) * float64(len(levels)-1))
+		}
+		b.WriteRune(levels[level])
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+	"tempagg/internal/relation"
+)
+
+func TestChartEmployed(t *testing.T) {
+	res := employedCount(t)
+	chart := res.Chart(10)
+	lines := strings.Split(strings.TrimRight(chart, "\n"), "\n")
+	if len(lines) != 8 { // header + 7 rows
+		t.Fatalf("%d lines:\n%s", len(lines), chart)
+	}
+	if !strings.HasPrefix(lines[0], "COUNT") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// The maximum (count 3 over [18,20]) gets the full-width bar.
+	var maxLine, zeroLine string
+	for _, l := range lines[1:] {
+		if strings.Contains(l, "[18,20]") {
+			maxLine = l
+		}
+		if strings.Contains(l, "[0,6]") {
+			zeroLine = l
+		}
+	}
+	if got := strings.Count(maxLine, "█"); got != 10 {
+		t.Fatalf("max bar %d blocks, want 10: %q", got, maxLine)
+	}
+	if strings.Contains(zeroLine, "█") {
+		t.Fatalf("zero row has a bar: %q", zeroLine)
+	}
+}
+
+func TestChartNullRows(t *testing.T) {
+	f := aggregate.For(aggregate.Min)
+	res, _, err := Run(Spec{Algorithm: LinkedList}, f, relation.Employed().Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := res.Chart(0) // default width
+	if !strings.Contains(chart, "- |") && !strings.Contains(chart, "- |") {
+		t.Fatalf("null rows should render '-' with no bar:\n%s", chart)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	res := employedCount(t)
+	line, err := res.Sparkline(interval.MustNew(0, 24), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runes := []rune(line)
+	if len(runes) != 25 {
+		t.Fatalf("sparkline has %d columns, want 25: %q", len(runes), line)
+	}
+	if runes[0] != '▁' {
+		t.Fatalf("column 0 (count 0) = %q, want ▁", string(runes[0]))
+	}
+	if runes[19] != '█' {
+		t.Fatalf("column 19 (count 3) = %q, want █", string(runes[19]))
+	}
+}
+
+func TestSparklineErrors(t *testing.T) {
+	res := employedCount(t)
+	if _, err := res.Sparkline(interval.Universe(), 10); err == nil {
+		t.Error("infinite window must fail")
+	}
+	if _, err := res.Sparkline(interval.Interval{Start: 5, End: 1}, 10); err == nil {
+		t.Error("invalid window must fail")
+	}
+	if line, err := res.Sparkline(interval.At(19), 0); err != nil || len(line) == 0 {
+		t.Errorf("degenerate window: %q, %v", line, err)
+	}
+}

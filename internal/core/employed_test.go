@@ -1,0 +1,189 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+	"tempagg/internal/relation"
+)
+
+// employedWant is Table 1 of the paper: COUNT(Name) over the Employed
+// relation, grouped by instant.
+var employedWant = []struct {
+	count int64
+	iv    interval.Interval
+}{
+	{0, interval.MustNew(0, 6)},
+	{1, interval.MustNew(7, 7)},
+	{2, interval.MustNew(8, 12)},
+	{1, interval.MustNew(13, 17)},
+	{3, interval.MustNew(18, 20)},
+	{2, interval.MustNew(21, 21)},
+	{1, interval.MustNew(22, interval.Forever)},
+}
+
+func checkEmployedCount(t *testing.T, res *Result) {
+	t.Helper()
+	if err := res.Validate(); err != nil {
+		t.Fatalf("result is not a partition of [0,∞]: %v", err)
+	}
+	if len(res.Rows) != len(employedWant) {
+		t.Fatalf("got %d constant intervals, want %d:\n%s",
+			len(res.Rows), len(employedWant), res)
+	}
+	for i, want := range employedWant {
+		row := res.Rows[i]
+		if row.Interval != want.iv {
+			t.Errorf("row %d: interval %v, want %v", i, row.Interval, want.iv)
+		}
+		if got := res.Value(i).Int; got != want.count {
+			t.Errorf("row %d %v: count %d, want %d", i, row.Interval, got, want.count)
+		}
+	}
+}
+
+// TestEmployedTable1 reproduces Table 1 with every algorithm: the paper's
+// example query SELECT COUNT(Name) FROM Employed, grouped by instant.
+func TestEmployedTable1(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	rel := relation.Employed()
+
+	specs := map[string]Spec{
+		"linked-list":      {Algorithm: LinkedList},
+		"aggregation-tree": {Algorithm: AggregationTree},
+		"ktree-k4":         {Algorithm: KOrderedTree, K: 4},
+		"balanced-tree":    {Algorithm: BalancedTree},
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			res, _, err := Run(spec, f, rel.Tuples)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			checkEmployedCount(t, res)
+		})
+	}
+	t.Run("ktree-k1-sorted", func(t *testing.T) {
+		sorted := rel.Clone()
+		sorted.SortByTime()
+		res, _, err := Run(Spec{Algorithm: KOrderedTree, K: 1}, f, sorted.Tuples)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		checkEmployedCount(t, res)
+	})
+	t.Run("tuma", func(t *testing.T) {
+		res, err := Tuma(NewSliceSource(rel.Tuples), f)
+		if err != nil {
+			t.Fatalf("Tuma: %v", err)
+		}
+		checkEmployedCount(t, res)
+	})
+	t.Run("reference", func(t *testing.T) {
+		checkEmployedCount(t, Reference(f, rel.Tuples))
+	})
+}
+
+// TestFigure2ConstantIntervals checks the constant-interval induction of
+// Figure 2: 6 unique timestamps plus the initial interval give 7 constant
+// intervals, and each prefix of the construction has the right count.
+func TestFigure2ConstantIntervals(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	rel := relation.Employed()
+	// After 0 tuples: 1 interval; after [18,∞]: 2; after [8,20]: 4; then 6; 7.
+	wantCounts := []int{1, 2, 4, 6, 7}
+	for n := 0; n <= rel.Len(); n++ {
+		res, _, err := Run(Spec{Algorithm: AggregationTree}, f, rel.Tuples[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(res.Rows); got != wantCounts[n] {
+			t.Errorf("after %d tuples: %d constant intervals, want %d", n, got, wantCounts[n])
+		}
+	}
+}
+
+// TestFigure3TreeShape follows the worked construction of Figure 3: adding
+// [18,∞] splits the initial node once; adding [8,20] splits twice more; the
+// final tree has 13 nodes (1 + 2 per unique timestamp) and the linked list
+// 7 (1 per unique timestamp plus the initial interval), matching §7's space
+// comparison.
+func TestFigure3TreeShape(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	rel := relation.Employed()
+
+	tree := NewAggregationTree(f)
+	wantNodes := []int{3, 7, 11, 13} // after each of the 4 tuples
+	for i, tu := range rel.Tuples {
+		if err := tree.Add(tu); err != nil {
+			t.Fatal(err)
+		}
+		if got := tree.Stats().LiveNodes; got != wantNodes[i] {
+			t.Errorf("after tuple %d (%v): %d tree nodes, want %d", i, tu, got, wantNodes[i])
+		}
+	}
+
+	list := NewLinkedList(f)
+	for _, tu := range rel.Tuples {
+		if err := list.Add(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := list.Stats().LiveNodes; got != 7 {
+		t.Errorf("linked list has %d nodes, want 7 (one per unique timestamp plus one)", got)
+	}
+}
+
+// TestFigure3InternalShortcut reproduces the paper's worked example of the
+// internal-node update: adding [5,50] to the final Employed tree updates the
+// fully covered node [8,17] without descending to its leaves, and the counts
+// at every instant rise by exactly one inside [5,50].
+func TestFigure3InternalShortcut(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	rel := relation.Employed()
+
+	base, _, err := Run(Spec{Algorithm: AggregationTree}, f, rel.Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extended := relation.Employed()
+	extended.Append(mustTuple(t, "extra", 1, 5, 50))
+	got, _, err := Run(Spec{Algorithm: AggregationTree}, f, extended.Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []interval.Time{0, 4, 5, 7, 10, 17, 20, 50, 51, interval.Forever} {
+		before, ok1 := base.At(probe)
+		after, ok2 := got.At(probe)
+		if !ok1 || !ok2 {
+			t.Fatalf("At(%d) missing", probe)
+		}
+		delta := after.Int - before.Int
+		want := int64(0)
+		if probe >= 5 && probe <= 50 {
+			want = 1
+		}
+		if delta != want {
+			t.Errorf("instant %d: count rose by %d, want %d", probe, delta, want)
+		}
+	}
+}
+
+func TestEmployedResultString(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	res, _, err := Run(Spec{Algorithm: AggregationTree}, f, relation.Employed().Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	for _, want := range []string{"COUNT", "3 | 18 | 20", "1 | 22 | ∞"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("result table missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"encoding/json"
+
+	"tempagg/internal/interval"
+)
+
+// jsonRow is the wire form of one constant interval. End is a string so ∞
+// can be represented; Value is null for empty non-COUNT groups.
+type jsonRow struct {
+	Start int64    `json:"start"`
+	End   string   `json:"end"`
+	Value *float64 `json:"value"`
+	Count int64    `json:"tuples"`
+}
+
+type jsonResult struct {
+	Aggregate string    `json:"aggregate"`
+	Rows      []jsonRow `json:"rows"`
+}
+
+// MarshalJSON encodes the result as
+//
+//	{"aggregate":"COUNT","rows":[{"start":0,"end":"6","value":0,"tuples":0},...]}
+//
+// with "forever" as the end of an open-ended row and a null value for empty
+// groups under non-COUNT aggregates.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	out := jsonResult{
+		Aggregate: r.Func.Kind().String(),
+		Rows:      make([]jsonRow, 0, len(r.Rows)),
+	}
+	for i, row := range r.Rows {
+		jr := jsonRow{Start: row.Interval.Start, Count: row.State.Count()}
+		if row.Interval.End == interval.Forever {
+			jr.End = "forever"
+		} else {
+			jr.End = interval.FormatTime(row.Interval.End)
+		}
+		if v := r.Value(i); !v.Null {
+			f := v.Float
+			jr.Value = &f
+		}
+		out.Rows = append(out.Rows, jr)
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/relation"
+)
+
+func TestResultMarshalJSON(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	res, _, err := Run(Spec{Algorithm: AggregationTree}, f, relation.Employed().Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		`"aggregate":"COUNT"`,
+		`{"start":0,"end":"6","value":0,"tuples":0}`,
+		`{"start":22,"end":"forever","value":1,"tuples":1}`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s:\n%s", want, s)
+		}
+	}
+	// It must round-trip as generic JSON.
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := decoded["rows"].([]any)
+	if !ok || len(rows) != 7 {
+		t.Fatalf("decoded rows = %v", decoded["rows"])
+	}
+}
+
+func TestResultMarshalJSONNullValues(t *testing.T) {
+	f := aggregate.For(aggregate.Min)
+	res, _, err := Run(Spec{Algorithm: LinkedList}, f, relation.Employed().Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"value":null`) {
+		t.Fatalf("MIN over the empty prefix should encode null:\n%s", data)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+// KTree implements the k-ordered aggregation tree (§5.3): the aggregation
+// tree plus garbage collection of finished constant intervals, applicable
+// when the relation is k-ordered (every tuple at most k positions from its
+// place in the totally time-ordered relation) — including retroactively
+// bounded relations, which are k-ordered for uniform arrival rates (§6).
+//
+// The evaluator keeps the start times of the last 2k+1 tuples. When tuple i
+// arrives, the start time of tuple i−(2k+1) becomes the gc-threshold: every
+// future tuple must start at or after it, so constant intervals ending
+// before the threshold are finished. They are emitted to the result
+// immediately and their nodes reclaimed — first whole left subtrees at the
+// root (Figure 5.a), then leftmost leaves one at a time (Figure 5.b). GC
+// only ever removes the earliest consecutive part of the tree, so no hole is
+// created in the constant intervals and emission stays in time order.
+type KTree struct {
+	f aggregate.Func
+	k int
+
+	root   *treeNode
+	rootLo interval.Time // earliest instant still represented in the tree
+
+	window []interval.Time // ring of the last 2k+1 tuple start times
+	wpos   int
+
+	emitted []Row
+	stats   Stats
+}
+
+var _ Evaluator = (*KTree)(nil)
+
+// NewKOrderedTree returns a k-ordered aggregation-tree evaluator. k must be
+// non-negative; the paper's headline strategy is sort-then-k=1, and k=0
+// demands a totally ordered input.
+func NewKOrderedTree(f aggregate.Func, k int) (*KTree, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("core: k-ordered tree requires k >= 0, got %d", k)
+	}
+	t := &KTree{
+		f:      f,
+		k:      k,
+		root:   &treeNode{},
+		rootLo: interval.Origin,
+		window: make([]interval.Time, 0, 2*k+1),
+	}
+	t.stats.LiveNodes = 1
+	t.stats.PeakNodes = 1
+	return t, nil
+}
+
+// K reports the orderedness bound the evaluator was built with.
+func (t *KTree) K() int { return t.k }
+
+// Add inserts one tuple and garbage-collects finished constant intervals.
+// It returns an error if the input violates the declared k-orderedness —
+// i.e. the tuple overlaps a constant interval that was already emitted.
+func (t *KTree) Add(tu tuple.Tuple) error {
+	if err := tu.Valid.Validate(); err != nil {
+		return err
+	}
+	s, e := tu.Valid.Start, tu.Valid.End
+	if s < t.rootLo {
+		return fmt.Errorf(
+			"core: relation is not %d-ordered: tuple %v starts before already-emitted instant %s",
+			t.k, tu, interval.FormatTime(t.rootLo))
+	}
+	grown := treeInsert(t.f, t.root, t.rootLo, interval.Forever, s, e, tu.Value)
+	t.stats.LiveNodes += grown
+	if t.stats.LiveNodes > t.stats.PeakNodes {
+		t.stats.PeakNodes = t.stats.LiveNodes
+	}
+	t.stats.Tuples++
+
+	// Slide the 2k+1 window; once it is full, the evicted start time is the
+	// gc-threshold (the start of the tuple 2k+1 positions back).
+	if len(t.window) < cap(t.window) {
+		t.window = append(t.window, s)
+		return nil
+	}
+	threshold := t.window[t.wpos]
+	t.window[t.wpos] = s
+	t.wpos++
+	if t.wpos == len(t.window) {
+		t.wpos = 0
+	}
+	t.collect(threshold)
+	return nil
+}
+
+// collect reclaims every constant interval ending before threshold.
+func (t *KTree) collect(threshold interval.Time) {
+	// Phase 1 (Figure 5.a): while the root's entire left half lies before
+	// the threshold, emit it, fold the root's contribution into the right
+	// child, and promote the right child.
+	for !t.root.isLeaf() && t.root.split < threshold {
+		before := len(t.emitted)
+		sub := Result{Func: t.f}
+		emitSubtree(t.f, t.root.left, t.rootLo, t.root.split, t.root.state, &sub)
+		t.emitted = append(t.emitted, sub.Rows...)
+		leaves := len(t.emitted) - before
+		// A full binary subtree with L leaves has 2L-1 nodes; plus the root.
+		t.reclaim(2*leaves - 1 + 1)
+		t.root.right.state = t.f.Merge(t.root.right.state, t.root.state)
+		t.rootLo = t.root.split + 1
+		t.root = t.root.right
+	}
+	// Phase 2 (Figure 5.b): splice out leftmost leaves one at a time while
+	// they end before the threshold. When only the earlier of a node's two
+	// leaves is collected, the node is removed and replaced by the
+	// remaining child (its contribution folded in).
+	for !t.root.isLeaf() {
+		link := &t.root
+		acc := t.f.Zero()
+		for !(*link).left.isLeaf() {
+			acc = t.f.Merge(acc, (*link).state)
+			link = &(*link).left
+		}
+		parent := *link
+		if parent.split >= threshold {
+			return // the earliest remaining constant interval is unfinished
+		}
+		leafState := t.f.Merge(t.f.Merge(acc, parent.state), parent.left.state)
+		t.emitted = append(t.emitted, Row{
+			Interval: interval.Interval{Start: t.rootLo, End: parent.split},
+			State:    leafState,
+		})
+		parent.right.state = t.f.Merge(parent.right.state, parent.state)
+		*link = parent.right
+		t.rootLo = parent.split + 1
+		t.reclaim(2)
+	}
+}
+
+func (t *KTree) reclaim(n int) {
+	t.stats.LiveNodes -= n
+	t.stats.Collected += n
+}
+
+// Finish emits the remainder of the tree after the already garbage-collected
+// prefix and returns the complete, time-ordered result.
+func (t *KTree) Finish() (*Result, error) {
+	res := &Result{Func: t.f, Rows: t.emitted}
+	emitSubtree(t.f, t.root, t.rootLo, interval.Forever, t.f.Zero(), res)
+	t.root = nil
+	t.emitted = nil
+	return res, nil
+}
+
+// Stats reports the evaluator's counters, including nodes reclaimed by GC.
+func (t *KTree) Stats() Stats { return t.stats }

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+func TestNewKOrderedTreeRejectsNegativeK(t *testing.T) {
+	if _, err := NewKOrderedTree(aggregate.For(aggregate.Count), -1); err == nil {
+		t.Fatal("expected error for k < 0")
+	}
+}
+
+// TestKTreeGarbageCollectsSortedInput: on a sorted stream of short tuples
+// the k=1 tree must stay small — this is the paper's headline memory result
+// (Figure 9: "Ktree, sorted relation, K=1" uses the least memory).
+func TestKTreeGarbageCollectsSortedInput(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	kt, err := NewKOrderedTree(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		s := int64(i * 10)
+		if err := kt.Add(tuple.Tuple{Name: "t", Value: 1,
+			Valid: interval.Interval{Start: s, End: s + 5}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := kt.Stats()
+	if stats.PeakNodes > 64 {
+		t.Fatalf("k=1 tree peaked at %d nodes on sorted short-lived input; want a small constant", stats.PeakNodes)
+	}
+	if stats.Collected == 0 {
+		t.Fatal("no nodes were garbage collected")
+	}
+	res, err := kt.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 2n constant intervals with tuples plus the gaps: every tuple [s,s+5]
+	// separated by a gap [s+6,s+9] yields alternating counts 1 and 0.
+	if len(res.Rows) != 2*n {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), 2*n)
+	}
+}
+
+// TestKTreePeakMemoryGrowsWithK reproduces §6.2's finding that the most
+// important memory factor for the k-ordered tree is the value of k.
+func TestKTreePeakMemoryGrowsWithK(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	r := rand.New(rand.NewSource(5))
+	var ts []tuple.Tuple
+	for i := 0; i < 4000; i++ {
+		s := int64(i*5) + r.Int63n(5)
+		ts = append(ts, tuple.Tuple{Name: "t", Value: 1,
+			Valid: interval.Interval{Start: s, End: s + r.Int63n(50)}})
+	}
+	ts = sortTuples(ts)
+	peak := func(k int) int {
+		_, stats, err := Run(Spec{Algorithm: KOrderedTree, K: k}, f, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.PeakNodes
+	}
+	p1, p40, p400 := peak(1), peak(40), peak(400)
+	if !(p1 < p40 && p40 < p400) {
+		t.Fatalf("peak nodes should grow with k: k=1:%d k=40:%d k=400:%d", p1, p40, p400)
+	}
+}
+
+// TestKTreeLongLivedTuplesInflateMemory reproduces §6.2: long-lived tuples
+// make the k-ordered tree's memory much worse, because the end-time-induced
+// node stays uncollectable until the scan passes the distant end time.
+func TestKTreeLongLivedTuplesInflateMemory(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	short := make([]tuple.Tuple, 0, 2000)
+	long := make([]tuple.Tuple, 0, 2000)
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 2000; i++ {
+		s := int64(i * 10)
+		short = append(short, tuple.Tuple{Name: "t", Value: 1,
+			Valid: interval.Interval{Start: s, End: s + r.Int63n(20)}})
+		long = append(long, tuple.Tuple{Name: "t", Value: 1,
+			Valid: interval.Interval{Start: s, End: s + 10000 + r.Int63n(5000)}})
+	}
+	_, shortStats, err := Run(Spec{Algorithm: KOrderedTree, K: 1}, f, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, longStats, err := Run(Spec{Algorithm: KOrderedTree, K: 1}, f, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if longStats.PeakNodes < 4*shortStats.PeakNodes {
+		t.Fatalf("long-lived tuples should inflate ktree memory: short peak %d, long peak %d",
+			shortStats.PeakNodes, longStats.PeakNodes)
+	}
+}
+
+// TestKTreeDetectsOrderViolation: feeding a stream that is not k-ordered
+// for the declared k must be reported, not silently mis-aggregated.
+func TestKTreeDetectsOrderViolation(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	kt, err := NewKOrderedTree(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With k=0 the window holds one start; strictly increasing starts allow
+	// immediate collection, so jumping far forward then far back must fail.
+	for _, s := range []int64{100, 200, 300, 400} {
+		if err := kt.Add(tuple.Tuple{Name: "t", Value: 1,
+			Valid: interval.Interval{Start: s, End: s + 10}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = kt.Add(tuple.Tuple{Name: "late", Value: 1,
+		Valid: interval.Interval{Start: 0, End: 5}})
+	if err == nil {
+		t.Fatal("expected k-orderedness violation to be detected")
+	}
+}
+
+// TestKTreeWindowTolerance: a relation that is genuinely k-ordered must
+// never trip the violation check, for any k >= its disorder.
+func TestKTreeWindowTolerance(t *testing.T) {
+	f := aggregate.For(aggregate.Sum)
+	r := rand.New(rand.NewSource(7))
+	prop := func() bool {
+		ts := sortTuples(randomTuples(r, 50+r.Intn(50), 300))
+		k := 1 + r.Intn(8)
+		kts := perturb(r, ts, k)
+		for kk := k; kk <= k+3; kk++ {
+			res, _, err := Run(Spec{Algorithm: KOrderedTree, K: kk}, f, kts)
+			if err != nil {
+				t.Fatalf("k=%d over %d-perturbed input: %v", kk, k, err)
+			}
+			if !res.Equal(Reference(f, ts)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKTreeEmittedOrderIsTimeOrder: rows emitted early by GC concatenated
+// with the final flush are strictly ordered and contiguous.
+func TestKTreeEmittedOrderIsTimeOrder(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	r := rand.New(rand.NewSource(8))
+	ts := sortTuples(randomTuples(r, 300, 5000))
+	res, _, err := Run(Spec{Algorithm: KOrderedTree, K: 2}, f, perturb(r, ts, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKTreeCollectsOnlyWhatIsSafe: with k equal to the relation size no
+// garbage collection can free wrong intervals even on reversed input.
+func TestKTreeHugeKHandlesAnyOrder(t *testing.T) {
+	f := aggregate.For(aggregate.Max)
+	r := rand.New(rand.NewSource(9))
+	ts := randomTuples(r, 120, 1000)
+	res, _, err := Run(Spec{Algorithm: KOrderedTree, K: len(ts)}, f, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsIdentical(t, "ktree huge k", res, Reference(f, ts))
+}
+
+// TestKTreeNodeAccounting: live + collected must equal total created.
+func TestKTreeNodeAccounting(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	r := rand.New(rand.NewSource(10))
+	ts := sortTuples(randomTuples(r, 500, 10000))
+	kt, err := NewKOrderedTree(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range ts {
+		if err := kt.Add(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := kt.Stats()
+	if stats.LiveNodes <= 0 {
+		t.Fatalf("LiveNodes = %d, want positive", stats.LiveNodes)
+	}
+	if stats.PeakNodes < stats.LiveNodes {
+		t.Fatalf("PeakNodes %d < LiveNodes %d", stats.PeakNodes, stats.LiveNodes)
+	}
+	res, err := kt.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes in a full binary tree over R leaves: 2R-1. Rows emitted at
+	// Finish = leaves remaining; rows emitted earlier were collected.
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Collected == 0 {
+		t.Fatal("expected garbage collection on sorted input")
+	}
+}
+
+func TestKTreeStatsBytes(t *testing.T) {
+	s := Stats{PeakNodes: 10, LiveNodes: 4}
+	if s.PeakBytes() != 160 || s.LiveBytes() != 64 {
+		t.Fatalf("byte accounting wrong: peak %d live %d", s.PeakBytes(), s.LiveBytes())
+	}
+}

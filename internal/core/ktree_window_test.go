@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+// TestKTreeWindowSemanticsPaperExample reproduces the paper's worked window
+// arithmetic (§5.3, Figure 4): with k=10 the algorithm keeps the last 2k+1
+// = 21 tuple start times; when tuple 23 arrives, the start time of tuple 2
+// (= 23 − 21) becomes the gc-threshold.
+func TestKTreeWindowSemanticsPaperExample(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	kt, err := NewKOrderedTree(f, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tuple i has start 100·i, end 100·i+5: strictly increasing, so the
+	// relation is 0-ordered (and trivially 10-ordered).
+	add := func(i int) {
+		t.Helper()
+		if err := kt.Add(tuple.Tuple{Name: "t", Value: 1, Valid: interval.Interval{
+			Start: int64(i) * 100, End: int64(i)*100 + 5}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tuples 1..22: the window (capacity 21) is not yet slid past tuple 1,
+	// so nothing before tuple 1's start may have been emitted... but also
+	// nothing may be collected before the window fills at tuple 22.
+	for i := 1; i <= 21; i++ {
+		add(i)
+	}
+	if kt.Stats().Collected != 0 {
+		t.Fatalf("collected %d nodes before the 2k+1 window filled", kt.Stats().Collected)
+	}
+	// Tuple 22 evicts tuple 1's start (100): intervals ending before 100
+	// become collectable — that is only the leading gap [0,99].
+	add(22)
+	if kt.rootLo != 100 {
+		t.Fatalf("after tuple 22: earliest remaining instant %d, want 100", kt.rootLo)
+	}
+	// Tuple 23 evicts tuple 2's start (200), exactly the paper's example:
+	// "the algorithm is finished with any constant intervals whose end time
+	// is before the start of tuple number 2."
+	add(23)
+	if kt.rootLo != 200 {
+		t.Fatalf("after tuple 23: earliest remaining instant %d, want 200", kt.rootLo)
+	}
+	res, err := kt.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKTreeFinishAfterNoInput covers Finish on a fresh evaluator.
+func TestKTreeFinishAfterNoInput(t *testing.T) {
+	f := aggregate.For(aggregate.Sum)
+	kt, err := NewKOrderedTree(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := kt.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || !res.Value(0).Null {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+// TestKTreeGCThresholdIsConservative: a tuple whose interval ends exactly
+// at the threshold must NOT be collected (only strictly-before ends are
+// safe, since a future tuple may start exactly at the threshold).
+func TestKTreeGCThresholdBoundary(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	kt, err := NewKOrderedTree(f, 0) // window of 1: threshold = previous start
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(s, e int64) tuple.Tuple {
+		return tuple.Tuple{Name: "t", Value: 1, Valid: interval.Interval{Start: s, End: e}}
+	}
+	if err := kt.Add(mk(10, 20)); err != nil {
+		t.Fatal(err)
+	}
+	// Threshold after this Add is 10 (previous start); the constant
+	// interval [10,20] ends at 20 >= 10 and must survive; [0,9] is gone.
+	if err := kt.Add(mk(10, 15)); err != nil {
+		t.Fatal(err)
+	}
+	if kt.rootLo != 10 {
+		t.Fatalf("earliest remaining instant %d, want 10", kt.rootLo)
+	}
+	// A third tuple starting exactly at the previous start stays legal.
+	if err := kt.Add(mk(10, 12)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := kt.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := res.At(11); !ok || v.Int != 3 {
+		t.Fatalf("count at 11 = %v, want 3", v)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+// listNode is one constant interval in the linked-list algorithm. Unlike the
+// tree nodes, a list node carries the *complete* aggregate state for its
+// interval, not a partial contribution.
+type listNode struct {
+	iv    interval.Interval
+	state aggregate.State
+	next  *listNode
+}
+
+// List implements the paper's naive linked-list algorithm (§4.2): a
+// temporary relation — here an ordered singly linked list — of constant
+// intervals and their aggregate values, incrementally split and updated for
+// each tuple. Every Add walks the list from the head, which is what makes
+// the algorithm simple and slow; the paper measured it ~300× slower than the
+// aggregation tree at 64K tuples, while noting it is adequate when the
+// result has few constant intervals.
+type List struct {
+	f     aggregate.Func
+	head  *listNode
+	stats Stats
+}
+
+var _ Evaluator = (*List)(nil)
+
+// NewLinkedList returns a linked-list evaluator for the aggregate f. The
+// list starts as the single empty constant interval [0, ∞] (Figure 2.a).
+func NewLinkedList(f aggregate.Func) *List {
+	l := &List{f: f, head: &listNode{iv: interval.Universe()}}
+	l.stats.LiveNodes = 1
+	l.stats.PeakNodes = 1
+	return l
+}
+
+// Add absorbs one tuple: the first and last overlapped constant intervals
+// are split at the tuple's start and end timestamps, then the tuple's value
+// is added to every overlapped interval's state.
+func (l *List) Add(t tuple.Tuple) error {
+	if err := t.Valid.Validate(); err != nil {
+		return err
+	}
+	s, e, v := t.Valid.Start, t.Valid.End, t.Value
+
+	// Walk to the first node overlapping the tuple (always from the head —
+	// the naive algorithm keeps no positional state).
+	n := l.head
+	for n.iv.End < s {
+		n = n.next
+	}
+	// Split the first overlapped node if the tuple starts inside it.
+	if n.iv.Start < s {
+		l.split(n, s-1)
+		n = n.next
+	}
+	// Update every fully overlapped node; split the last one if the tuple
+	// ends inside it.
+	for n != nil && n.iv.Start <= e {
+		if n.iv.End > e {
+			l.split(n, e)
+		}
+		n.state = l.f.Add(n.state, v)
+		n = n.next
+	}
+	l.stats.Tuples++
+	return nil
+}
+
+// split divides n into [n.Start, at] and [at+1, n.End]; both halves keep n's
+// state (the tuples counted so far overlapped the whole of n).
+func (l *List) split(n *listNode, at interval.Time) {
+	tail := &listNode{
+		iv:    interval.Interval{Start: at + 1, End: n.iv.End},
+		state: n.state,
+		next:  n.next,
+	}
+	n.iv.End = at
+	n.next = tail
+	l.stats.LiveNodes++
+	if l.stats.LiveNodes > l.stats.PeakNodes {
+		l.stats.PeakNodes = l.stats.LiveNodes
+	}
+}
+
+// Finish emits the constant intervals in time order.
+func (l *List) Finish() (*Result, error) {
+	res := &Result{Func: l.f}
+	for n := l.head; n != nil; n = n.next {
+		res.Rows = append(res.Rows, Row{Interval: n.iv, State: n.state})
+	}
+	l.head = nil
+	return res, nil
+}
+
+// Stats reports the evaluator's counters.
+func (l *List) Stats() Stats { return l.stats }

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+	"tempagg/internal/relation"
+	"tempagg/internal/tuple"
+)
+
+// TupleIterator is a forward-only tuple stream; TupleSource adds rescan.
+type TupleIterator interface {
+	Next() (t tuple.Tuple, ok bool, err error)
+}
+
+// PartitionOptions configures the limited-main-memory evaluation of §5.1/§7:
+// "it is simple to mark a parent as pointing to a subtree not currently in
+// memory. Simply accumulate the tuples which would overlap this region of
+// the tree and process them later." The time-line is cut into regions; each
+// region's tuples are buffered (in memory, or spilled to disk relation
+// files) and evaluated by an independent aggregation tree, so only one
+// region's tree — not the whole relation's — is ever resident.
+type PartitionOptions struct {
+	// Boundaries are ascending cut points: partition i covers
+	// [Boundaries[i-1], Boundaries[i]-1], with implicit 0 before the first
+	// and ∞ after the last. Empty means a single partition (the plain
+	// aggregation tree). See UniformBoundaries.
+	Boundaries []interval.Time
+	// SpillDir, when non-empty, buffers each partition's tuples in a
+	// temporary relation file under this directory instead of in memory —
+	// the out-of-core mode. The directory must exist.
+	SpillDir string
+	// Parallel is the number of partitions evaluated concurrently; values
+	// below 2 mean serial evaluation. Peak memory scales with Parallel.
+	Parallel int
+}
+
+// UniformBoundaries cuts the given finite lifespan into n equal-width
+// partitions and returns the n-1 interior boundaries, for use in
+// PartitionOptions. With n <= 1 or an open-ended lifespan it returns nil
+// (a single partition).
+func UniformBoundaries(lifespan interval.Interval, n int) []interval.Time {
+	if n <= 1 || lifespan.End == interval.Forever {
+		return nil
+	}
+	width := (lifespan.End - lifespan.Start + 1) / interval.Time(n)
+	if width <= 0 {
+		width = 1
+	}
+	var out []interval.Time
+	for i := 1; i < n; i++ {
+		b := lifespan.Start + interval.Time(i)*width
+		if b > lifespan.End {
+			break
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// spans expands boundaries into the covered partition ranges.
+func partitionSpans(boundaries []interval.Time) ([]interval.Interval, error) {
+	prev := interval.Origin
+	var spans []interval.Interval
+	for i, b := range boundaries {
+		if b <= prev {
+			return nil, fmt.Errorf("core: partition boundary %d (%d) must exceed %d",
+				i, b, prev)
+		}
+		spans = append(spans, interval.Interval{Start: prev, End: b - 1})
+		prev = b
+	}
+	spans = append(spans, interval.Interval{Start: prev, End: interval.Forever})
+	return spans, nil
+}
+
+// EvaluatePartitioned computes the instant-grouped temporal aggregate with
+// bounded memory: tuples are routed (clipped) to time partitions in one
+// scan, then each partition is evaluated by its own aggregation tree. The
+// returned Stats report the *largest single-partition* peak, which is the
+// resident-memory bound when Parallel <= 1.
+//
+// Constant intervals may be split at partition boundaries; Coalesce merges
+// them back when values agree. The result still satisfies Validate and is
+// value-equivalent (Equal) to the unpartitioned evaluation.
+func EvaluatePartitioned(f aggregate.Func, it TupleIterator, opts PartitionOptions) (*Result, Stats, error) {
+	spans, err := partitionSpans(opts.Boundaries)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var buckets buckets
+	if opts.SpillDir != "" {
+		buckets, err = newSpillBuckets(opts.SpillDir, len(spans))
+	} else {
+		buckets = newMemoryBuckets(len(spans))
+	}
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer buckets.cleanup()
+
+	// Route pass: each tuple goes to every partition it overlaps. Partition
+	// starts are sorted, so the overlapped range is contiguous.
+	total := 0
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("core: partition routing: %w", err)
+		}
+		if !ok {
+			break
+		}
+		if err := t.Valid.Validate(); err != nil {
+			return nil, Stats{}, err
+		}
+		total++
+		for i := findSpan(spans, t.Valid.Start); i < len(spans) && spans[i].Start <= t.Valid.End; i++ {
+			if err := buckets.add(i, t); err != nil {
+				return nil, Stats{}, err
+			}
+		}
+	}
+	if err := buckets.sealed(); err != nil {
+		return nil, Stats{}, err
+	}
+
+	// Evaluation pass: one tree per partition, optionally in parallel.
+	results := make([]*Result, len(spans))
+	peaks := make([]int, len(spans))
+	workers := opts.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(spans) {
+		workers = len(spans)
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				res, peak, err := evaluateBucket(f, spans[i], buckets, i)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				results[i] = res
+				peaks[i] = peak
+			}
+		}()
+	}
+	for i := range spans {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, Stats{}, firstErr
+	}
+
+	out := &Result{Func: f}
+	stats := Stats{Tuples: total}
+	for i, res := range results {
+		out.Rows = append(out.Rows, res.Rows...)
+		if peaks[i] > stats.PeakNodes {
+			stats.PeakNodes = peaks[i]
+		}
+	}
+	stats.LiveNodes = 0
+	return out, stats, nil
+}
+
+// EvaluatePartitionedTuples is EvaluatePartitioned over an in-memory slice.
+func EvaluatePartitionedTuples(f aggregate.Func, ts []tuple.Tuple, opts PartitionOptions) (*Result, Stats, error) {
+	return EvaluatePartitioned(f, NewSliceSource(ts), opts)
+}
+
+// findSpan returns the index of the partition containing t (binary search).
+func findSpan(spans []interval.Interval, t interval.Time) int {
+	lo, hi := 0, len(spans)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if spans[mid].End < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func evaluateBucket(f aggregate.Func, span interval.Interval, b buckets, i int) (*Result, int, error) {
+	tree := NewAggregationTreeRange(f, span)
+	if err := b.drain(i, func(t tuple.Tuple) error { return tree.Add(t) }); err != nil {
+		return nil, 0, err
+	}
+	res, err := tree.Finish()
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, tree.Stats().PeakNodes, nil
+}
+
+// buckets abstracts the per-partition tuple buffers.
+type buckets interface {
+	add(i int, t tuple.Tuple) error
+	// sealed flips from the routing pass to the evaluation pass.
+	sealed() error
+	// drain replays partition i's tuples; safe to call concurrently for
+	// distinct i.
+	drain(i int, fn func(tuple.Tuple) error) error
+	cleanup()
+}
+
+// memoryBuckets holds partition inputs in memory.
+type memoryBuckets [][]tuple.Tuple
+
+func newMemoryBuckets(n int) *memoryBuckets {
+	b := make(memoryBuckets, n)
+	return &b
+}
+
+func (b *memoryBuckets) add(i int, t tuple.Tuple) error {
+	(*b)[i] = append((*b)[i], t)
+	return nil
+}
+
+func (b *memoryBuckets) sealed() error { return nil }
+
+func (b *memoryBuckets) drain(i int, fn func(tuple.Tuple) error) error {
+	for _, t := range (*b)[i] {
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *memoryBuckets) cleanup() {}
+
+// spillBuckets buffers partition inputs in temporary relation files.
+type spillBuckets struct {
+	dir     string
+	writers []*relation.FileWriter
+	paths   []string
+}
+
+func newSpillBuckets(dir string, n int) (*spillBuckets, error) {
+	tmp, err := os.MkdirTemp(dir, "tempagg-spill-")
+	if err != nil {
+		return nil, fmt.Errorf("core: spill: %w", err)
+	}
+	b := &spillBuckets{dir: tmp, writers: make([]*relation.FileWriter, n), paths: make([]string, n)}
+	for i := range b.writers {
+		b.paths[i] = filepath.Join(tmp, fmt.Sprintf("part-%04d.rel", i))
+		w, err := relation.NewFileWriter(b.paths[i])
+		if err != nil {
+			b.cleanup()
+			return nil, err
+		}
+		b.writers[i] = w
+	}
+	return b, nil
+}
+
+func (b *spillBuckets) add(i int, t tuple.Tuple) error {
+	return b.writers[i].Append(t)
+}
+
+func (b *spillBuckets) sealed() error {
+	for _, w := range b.writers {
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *spillBuckets) drain(i int, fn func(tuple.Tuple) error) error {
+	sc, err := relation.Open(b.paths[i], relation.ScanOptions{})
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	for {
+		t, ok, err := sc.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+}
+
+func (b *spillBuckets) cleanup() {
+	for _, w := range b.writers {
+		if w != nil {
+			w.Close()
+		}
+	}
+	os.RemoveAll(b.dir)
+}

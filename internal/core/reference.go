@@ -1,0 +1,43 @@
+package core
+
+import (
+	"sort"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+// Reference computes the temporal aggregate by definition: it enumerates the
+// constant intervals from the tuples' boundary timestamps and, for each,
+// aggregates over every overlapping tuple. O(n²) time — it exists as the
+// obviously correct oracle the real algorithms are validated against in the
+// test suite, never as an execution strategy.
+func Reference(f aggregate.Func, tuples []tuple.Tuple) *Result {
+	boundaries := []interval.Time{interval.Origin}
+	for _, t := range tuples {
+		boundaries = append(boundaries, t.Valid.Start)
+		if t.Valid.End != interval.Forever {
+			boundaries = append(boundaries, t.Valid.End+1)
+		}
+	}
+	sort.Slice(boundaries, func(i, j int) bool { return boundaries[i] < boundaries[j] })
+	boundaries = dedupTimes(boundaries)
+
+	res := &Result{Func: f, Rows: make([]Row, 0, len(boundaries))}
+	for i, b := range boundaries {
+		end := interval.Forever
+		if i+1 < len(boundaries) {
+			end = boundaries[i+1] - 1
+		}
+		iv := interval.Interval{Start: b, End: end}
+		state := f.Zero()
+		for _, t := range tuples {
+			if t.Valid.Overlaps(iv) {
+				state = f.Add(state, t.Value)
+			}
+		}
+		res.Rows = append(res.Rows, Row{Interval: iv, State: state})
+	}
+	return res
+}

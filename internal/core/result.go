@@ -1,0 +1,171 @@
+// Package core implements the temporal-aggregation algorithms from Kline &
+// Snodgrass, "Computing Temporal Aggregates" (ICDE 1995): the linked-list
+// algorithm (§4.2), the aggregation tree (§5.1), the k-ordered aggregation
+// tree with garbage collection (§5.3), and Tuma's two-pass baseline (§4.1),
+// plus the paper's future-work extensions (balanced aggregation tree and
+// grouping by span, §7).
+//
+// All algorithms compute, for an interval-stamped relation and an aggregate
+// function, the sequence of constant intervals — maximal periods over which
+// the aggregate value does not change — paired with their aggregate values.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+)
+
+// Row is one constant interval and its (partial or final) aggregate state.
+type Row struct {
+	Interval interval.Interval
+	State    aggregate.State
+}
+
+// Result is the outcome of a temporal aggregate grouped by instant: an
+// ordered, gap-free sequence of constant intervals covering [0, ∞], each
+// with the aggregate state over the tuples that overlap it.
+type Result struct {
+	// Func identifies the aggregate the rows were computed under.
+	Func aggregate.Func
+	// Rows are the constant intervals in time order.
+	Rows []Row
+}
+
+// Value finalizes row i's aggregate state.
+func (r *Result) Value(i int) aggregate.Value {
+	return r.Func.Final(r.Rows[i].State)
+}
+
+// At returns the aggregate value at instant t using binary search.
+func (r *Result) At(t interval.Time) (aggregate.Value, bool) {
+	lo, hi := 0, len(r.Rows)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		iv := r.Rows[mid].Interval
+		switch {
+		case iv.Contains(t):
+			return r.Value(mid), true
+		case t < iv.Start:
+			hi = mid - 1
+		default:
+			lo = mid + 1
+		}
+	}
+	return aggregate.Value{}, false
+}
+
+// Coalesce merges adjacent rows whose aggregate values are equal, in place,
+// and returns r. This is TSQL2 result coalescing: "the result is coalesced by
+// valid-time such that each interval in the result is a constant interval"
+// (§5.1). Equality is the aggregate's exact value equality, so intervals
+// induced by distinct tuple sets with identical values merge.
+func (r *Result) Coalesce() *Result {
+	if len(r.Rows) == 0 {
+		return r
+	}
+	out := r.Rows[:1]
+	for _, row := range r.Rows[1:] {
+		last := &out[len(out)-1]
+		if last.Interval.Meets(row.Interval) && r.Func.StateEqual(last.State, row.State) {
+			last.Interval.End = row.Interval.End
+			// Keep the state with the larger tuple count so Count() remains
+			// an upper bound; the final value is identical by StateEqual.
+			if row.State.Count() > last.State.Count() {
+				last.State = row.State
+			}
+			continue
+		}
+		out = append(out, row)
+	}
+	r.Rows = out
+	return r
+}
+
+// Clip restricts the result to the given window in place and returns r:
+// rows outside the window are dropped and boundary rows are trimmed. The
+// clipped result partitions the window (TSQL2's valid clause).
+func (r *Result) Clip(window interval.Interval) *Result {
+	out := r.Rows[:0]
+	for _, row := range r.Rows {
+		iv, ok := row.Interval.Intersect(window)
+		if !ok {
+			continue
+		}
+		row.Interval = iv
+		out = append(out, row)
+	}
+	r.Rows = out
+	return r
+}
+
+// ValidatePartition checks that the rows are a partition of [lo, hi]:
+// ordered, contiguous, and exactly covering the range.
+func (r *Result) ValidatePartition(lo, hi interval.Time) error {
+	if len(r.Rows) == 0 {
+		return fmt.Errorf("core: empty result cannot cover %s",
+			interval.Interval{Start: lo, End: hi})
+	}
+	if first := r.Rows[0].Interval.Start; first != lo {
+		return fmt.Errorf("core: result starts at %s, want %s",
+			interval.FormatTime(first), interval.FormatTime(lo))
+	}
+	for i, row := range r.Rows {
+		if err := row.Interval.Validate(); err != nil {
+			return fmt.Errorf("core: row %d: %w", i, err)
+		}
+		if i > 0 && !r.Rows[i-1].Interval.Meets(row.Interval) {
+			return fmt.Errorf("core: rows %d and %d are not contiguous: %s then %s",
+				i-1, i, r.Rows[i-1].Interval, row.Interval)
+		}
+	}
+	if last := r.Rows[len(r.Rows)-1].Interval.End; last != hi {
+		return fmt.Errorf("core: result ends at %s, want %s",
+			interval.FormatTime(last), interval.FormatTime(hi))
+	}
+	return nil
+}
+
+// Validate checks that the rows partition the whole time-line [0, ∞] — the
+// invariant every instant-grouped algorithm must establish.
+func (r *Result) Validate() error {
+	return r.ValidatePartition(interval.Origin, interval.Forever)
+}
+
+// Equal reports whether two results denote the same time-varying aggregate:
+// identical values at every instant. Both are compared in coalesced form, so
+// differing (but value-equivalent) constant-interval boundaries still
+// compare equal.
+func (r *Result) Equal(other *Result) bool {
+	if r.Func.Kind() != other.Func.Kind() {
+		return false
+	}
+	a := (&Result{Func: r.Func, Rows: append([]Row(nil), r.Rows...)}).Coalesce()
+	b := (&Result{Func: other.Func, Rows: append([]Row(nil), other.Rows...)}).Coalesce()
+	if len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Rows {
+		if a.Rows[i].Interval != b.Rows[i].Interval {
+			return false
+		}
+		if !r.Func.StateEqual(a.Rows[i].State, b.Rows[i].State) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the result as a table in the style of the paper's Table 1.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s | start | end\n", r.Func.Kind())
+	for i, row := range r.Rows {
+		fmt.Fprintf(&b, "%s | %s | %s\n",
+			r.Value(i), interval.FormatTime(row.Interval.Start),
+			interval.FormatTime(row.Interval.End))
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+)
+
+func row(f aggregate.Func, s, e interval.Time, vals ...int64) Row {
+	st := f.Zero()
+	for _, v := range vals {
+		st = f.Add(st, v)
+	}
+	return Row{Interval: interval.Interval{Start: s, End: e}, State: st}
+}
+
+func TestCoalesceMergesEqualAdjacent(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	res := &Result{Func: f, Rows: []Row{
+		row(f, 0, 4, 7),
+		row(f, 5, 9, 8),      // same count (1) as previous: merge
+		row(f, 10, 19, 1, 2), // count 2: new row
+		row(f, 20, interval.Forever),
+	}}
+	res.Coalesce()
+	if len(res.Rows) != 3 {
+		t.Fatalf("coalesced to %d rows, want 3: %v", len(res.Rows), res.Rows)
+	}
+	if res.Rows[0].Interval != interval.MustNew(0, 9) {
+		t.Fatalf("first coalesced interval = %v", res.Rows[0].Interval)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalesceKeepsUnequalRows(t *testing.T) {
+	f := aggregate.For(aggregate.Sum)
+	res := &Result{Func: f, Rows: []Row{
+		row(f, 0, 4, 10),
+		row(f, 5, 9, 20),
+		row(f, 10, interval.Forever),
+	}}
+	res.Coalesce()
+	if len(res.Rows) != 3 {
+		t.Fatalf("coalesce merged unequal rows: %v", res.Rows)
+	}
+}
+
+func TestCoalesceEmpty(t *testing.T) {
+	res := &Result{Func: aggregate.For(aggregate.Count)}
+	if got := res.Coalesce(); len(got.Rows) != 0 {
+		t.Fatal("coalescing an empty result must stay empty")
+	}
+}
+
+func TestCoalesceIsIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	f := aggregate.For(aggregate.Count)
+	prop := func() bool {
+		ts := randomTuples(r, r.Intn(40), 100)
+		res := Reference(f, ts)
+		res.Coalesce()
+		n := len(res.Rows)
+		res.Coalesce()
+		return len(res.Rows) == n && res.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalescePreservesValues(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, kind := range aggregate.Kinds() {
+		f := aggregate.For(kind)
+		prop := func() bool {
+			ts := randomTuples(r, r.Intn(40), 100)
+			full := Reference(f, ts)
+			coal := Reference(f, ts).Coalesce()
+			for _, probe := range []interval.Time{0, 1, 50, 99, 100, 150, interval.Forever} {
+				a, ok1 := full.At(probe)
+				b, ok2 := coal.At(probe)
+				if !ok1 || !ok2 || a != b {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+}
+
+func TestAtOutsideRows(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	res := &Result{Func: f, Rows: []Row{row(f, 10, 20, 1)}}
+	if _, ok := res.At(5); ok {
+		t.Fatal("At before the first row must report not found")
+	}
+	if _, ok := res.At(21); ok {
+		t.Fatal("At after the last row must report not found")
+	}
+}
+
+func TestValidatePartitionFailures(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	cases := map[string]*Result{
+		"empty": {Func: f},
+		"gap": {Func: f, Rows: []Row{
+			row(f, 0, 4), row(f, 6, interval.Forever),
+		}},
+		"overlap": {Func: f, Rows: []Row{
+			row(f, 0, 5), row(f, 5, interval.Forever),
+		}},
+		"late start": {Func: f, Rows: []Row{
+			row(f, 1, interval.Forever),
+		}},
+		"early end": {Func: f, Rows: []Row{
+			row(f, 0, 10),
+		}},
+	}
+	for name, res := range cases {
+		if err := res.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a non-partition", name)
+		}
+	}
+}
+
+func TestEqualIgnoresBoundaryDifferences(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	a := &Result{Func: f, Rows: []Row{
+		row(f, 0, 4, 1), row(f, 5, 9, 2), row(f, 10, interval.Forever),
+	}}
+	b := &Result{Func: f, Rows: []Row{
+		row(f, 0, 2, 1), row(f, 3, 4, 7), // same value, split differently
+		row(f, 5, 9, 2), row(f, 10, interval.Forever),
+	}}
+	if !a.Equal(b) {
+		t.Fatal("value-equivalent results must compare equal")
+	}
+	c := &Result{Func: f, Rows: []Row{
+		row(f, 0, 9, 1, 1), row(f, 10, interval.Forever), // count 2 ≠ counts in a
+	}}
+	if a.Equal(c) {
+		t.Fatal("results with different values must not compare equal")
+	}
+	d := &Result{Func: aggregate.For(aggregate.Sum), Rows: a.Rows}
+	if a.Equal(d) {
+		t.Fatal("results under different aggregates must not compare equal")
+	}
+}
+
+func TestEqualDoesNotMutate(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	a := &Result{Func: f, Rows: []Row{
+		row(f, 0, 4, 1), row(f, 5, 9, 3), row(f, 10, interval.Forever),
+	}}
+	n := len(a.Rows)
+	a.Equal(a)
+	if len(a.Rows) != n {
+		t.Fatal("Equal must not coalesce its receivers in place")
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+// GroupBySpan computes the temporal aggregate grouped by fixed-length spans
+// rather than by instant — the paper's second form of temporal grouping
+// (§2: "by a span, a calendar-defined length of time, such as a year") and
+// one of its future-work directions (§7): when the number of spans is much
+// smaller than the number of constant intervals, far fewer buckets need to
+// be maintained.
+//
+// The window is partitioned into consecutive spans of `span` chronons
+// starting at window.Start (the final span is clipped to window.End). A
+// tuple belongs to every span its interval overlaps; the aggregate is
+// evaluated over each span's group. The window must be finite.
+func GroupBySpan(f aggregate.Func, tuples []tuple.Tuple, span interval.Time, window interval.Interval) (*Result, error) {
+	if span <= 0 {
+		return nil, fmt.Errorf("core: span must be positive, got %d", span)
+	}
+	if err := window.Validate(); err != nil {
+		return nil, fmt.Errorf("core: span window: %w", err)
+	}
+	if window.End == interval.Forever {
+		return nil, fmt.Errorf("core: span grouping requires a finite window")
+	}
+	nspans := int((window.Duration() + span - 1) / span)
+	states := make([]aggregate.State, nspans)
+	for _, t := range tuples {
+		iv, ok := t.Valid.Intersect(window)
+		if !ok {
+			continue
+		}
+		first := int((iv.Start - window.Start) / span)
+		last := int((iv.End - window.Start) / span)
+		for b := first; b <= last; b++ {
+			states[b] = f.Add(states[b], t.Value)
+		}
+	}
+	res := &Result{Func: f, Rows: make([]Row, 0, nspans)}
+	for b := 0; b < nspans; b++ {
+		start := window.Start + interval.Time(b)*span
+		end := start + span - 1
+		if end > window.End {
+			end = window.End
+		}
+		res.Rows = append(res.Rows, Row{
+			Interval: interval.Interval{Start: start, End: end},
+			State:    states[b],
+		})
+	}
+	return res, nil
+}

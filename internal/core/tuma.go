@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+// TupleSource is a rescannable stream of tuples. relation.Scanner satisfies
+// it for on-disk relations; SliceSource adapts in-memory slices.
+type TupleSource interface {
+	// Next returns the next tuple; ok is false at end of stream.
+	Next() (t tuple.Tuple, ok bool, err error)
+	// Reset rewinds to the first tuple, starting another pass.
+	Reset() error
+}
+
+// SliceSource adapts an in-memory tuple slice to TupleSource.
+type SliceSource struct {
+	Tuples []tuple.Tuple
+	pos    int
+	passes int
+}
+
+// NewSliceSource returns a source over ts (not copied).
+func NewSliceSource(ts []tuple.Tuple) *SliceSource {
+	return &SliceSource{Tuples: ts, passes: 1}
+}
+
+// Next returns the next tuple in the slice.
+func (s *SliceSource) Next() (tuple.Tuple, bool, error) {
+	if s.pos >= len(s.Tuples) {
+		return tuple.Tuple{}, false, nil
+	}
+	t := s.Tuples[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// Reset rewinds to the first tuple.
+func (s *SliceSource) Reset() error {
+	s.pos = 0
+	s.passes++
+	return nil
+}
+
+// Passes reports how many passes have been started.
+func (s *SliceSource) Passes() int { return s.passes }
+
+// Tuma evaluates the temporal aggregate with the pre-existing two-pass
+// strategy the paper uses as its baseline (§4.1, after Tuma 1992): the first
+// scan determines the constant intervals — the periods during which no tuple
+// entered or exited the relation — and the second scan computes the
+// aggregate value over each of them. Reading the relation twice is exactly
+// the cost the paper's single-scan algorithms eliminate.
+func Tuma(src TupleSource, f aggregate.Func) (*Result, error) {
+	// Pass 1: collect the boundary timestamps each tuple induces. A tuple
+	// [s, e] starts a new constant interval at s and at e+1.
+	boundaries := []interval.Time{interval.Origin}
+	n := 0
+	for {
+		t, ok, err := src.Next()
+		if err != nil {
+			return nil, fmt.Errorf("core: tuma pass 1: %w", err)
+		}
+		if !ok {
+			break
+		}
+		if err := t.Valid.Validate(); err != nil {
+			return nil, fmt.Errorf("core: tuma pass 1: %w", err)
+		}
+		boundaries = append(boundaries, t.Valid.Start)
+		if t.Valid.End != interval.Forever {
+			boundaries = append(boundaries, t.Valid.End+1)
+		}
+		n++
+	}
+	sort.Slice(boundaries, func(i, j int) bool { return boundaries[i] < boundaries[j] })
+	boundaries = dedupTimes(boundaries)
+
+	res := &Result{Func: f, Rows: make([]Row, 0, len(boundaries))}
+	for i, b := range boundaries {
+		end := interval.Forever
+		if i+1 < len(boundaries) {
+			end = boundaries[i+1] - 1
+		}
+		res.Rows = append(res.Rows, Row{Interval: interval.Interval{Start: b, End: end}})
+	}
+
+	// Pass 2: re-scan the relation and fold each tuple into every constant
+	// interval it overlaps, locating the first by binary search.
+	if err := src.Reset(); err != nil {
+		return nil, fmt.Errorf("core: tuma reset: %w", err)
+	}
+	seen := 0
+	for {
+		t, ok, err := src.Next()
+		if err != nil {
+			return nil, fmt.Errorf("core: tuma pass 2: %w", err)
+		}
+		if !ok {
+			break
+		}
+		seen++
+		i := sort.Search(len(res.Rows), func(i int) bool {
+			return res.Rows[i].Interval.End >= t.Valid.Start
+		})
+		for ; i < len(res.Rows) && res.Rows[i].Interval.Start <= t.Valid.End; i++ {
+			res.Rows[i].State = f.Add(res.Rows[i].State, t.Value)
+		}
+	}
+	if seen != n {
+		return nil, fmt.Errorf("core: tuma: relation changed between passes: %d then %d tuples", n, seen)
+	}
+	return res, nil
+}
+
+func dedupTimes(ts []interval.Time) []interval.Time {
+	out := ts[:0]
+	for i, t := range ts {
+		if i == 0 || t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

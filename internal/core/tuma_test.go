@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+func TestTumaReadsRelationTwice(t *testing.T) {
+	// The defining property of the baseline (§4.1): the relation is scanned
+	// once for the constant intervals and again for the aggregate values.
+	src := NewSliceSource(relationEmployedTuples(t))
+	if _, err := Tuma(src, aggregate.For(aggregate.Count)); err != nil {
+		t.Fatal(err)
+	}
+	if src.Passes() != 2 {
+		t.Fatalf("Tuma performed %d passes, want 2", src.Passes())
+	}
+}
+
+func relationEmployedTuples(t *testing.T) []tuple.Tuple {
+	t.Helper()
+	return []tuple.Tuple{
+		mustTuple(t, "Rich", 40, 18, interval.Forever),
+		mustTuple(t, "Karen", 45, 8, 20),
+		mustTuple(t, "Nathan", 35, 7, 12),
+		mustTuple(t, "Nathan", 37, 18, 21),
+	}
+}
+
+func TestTumaMatchesOracleAllKinds(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for _, kind := range aggregate.Kinds() {
+		f := aggregate.For(kind)
+		for trial := 0; trial < 25; trial++ {
+			ts := randomTuples(r, r.Intn(70), 400)
+			got, err := Tuma(NewSliceSource(ts), f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsIdentical(t, "tuma/"+kind.String(), got, Reference(f, ts))
+		}
+	}
+}
+
+func TestTumaEmptyRelation(t *testing.T) {
+	res, err := Tuma(NewSliceSource(nil), aggregate.For(aggregate.Count))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Interval != interval.Universe() {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestTumaRejectsInvalidTuple(t *testing.T) {
+	src := NewSliceSource([]tuple.Tuple{{Name: "x", Valid: interval.Interval{Start: 5, End: 1}}})
+	if _, err := Tuma(src, aggregate.For(aggregate.Count)); err == nil {
+		t.Fatal("expected error for invalid tuple")
+	}
+}
+
+// failingSource injects an error mid-stream to exercise error paths.
+type failingSource struct {
+	tuples []tuple.Tuple
+	pos    int
+	failAt int
+	pass   int
+	failOn int // which pass to fail on (1 or 2)
+	resets int
+}
+
+func (s *failingSource) Next() (tuple.Tuple, bool, error) {
+	if s.pass == s.failOn && s.pos == s.failAt {
+		return tuple.Tuple{}, false, errors.New("injected read failure")
+	}
+	if s.pos >= len(s.tuples) {
+		return tuple.Tuple{}, false, nil
+	}
+	t := s.tuples[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+func (s *failingSource) Reset() error {
+	s.pos = 0
+	s.pass++
+	s.resets++
+	return nil
+}
+
+func TestTumaPropagatesReadErrors(t *testing.T) {
+	ts := relationEmployedTuples(t)
+	for _, pass := range []int{1, 2} {
+		src := &failingSource{tuples: ts, failAt: 2, pass: 1, failOn: pass}
+		if _, err := Tuma(src, aggregate.For(aggregate.Sum)); err == nil {
+			t.Errorf("pass %d: expected injected failure to propagate", pass)
+		}
+	}
+}
+
+// mutatingSource yields fewer tuples on the second pass, simulating a
+// relation that changed between scans.
+type mutatingSource struct {
+	tuples []tuple.Tuple
+	pos    int
+	pass   int
+}
+
+func (s *mutatingSource) Next() (tuple.Tuple, bool, error) {
+	limit := len(s.tuples)
+	if s.pass == 2 {
+		limit--
+	}
+	if s.pos >= limit {
+		return tuple.Tuple{}, false, nil
+	}
+	t := s.tuples[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+func (s *mutatingSource) Reset() error {
+	s.pos = 0
+	s.pass = 2
+	return nil
+}
+
+func TestTumaDetectsChangedRelation(t *testing.T) {
+	src := &mutatingSource{tuples: relationEmployedTuples(t), pass: 1}
+	if _, err := Tuma(src, aggregate.For(aggregate.Count)); err == nil {
+		t.Fatal("expected error when the relation changes between passes")
+	}
+}

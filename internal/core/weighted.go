@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"tempagg/internal/interval"
+)
+
+// TimeWeightedMean reduces a time-varying aggregate to a single scalar: the
+// duration-weighted average of the result's value over a finite window,
+// ∫ value(t) dt / |window|. Instants where the aggregate is null (empty
+// group under SUM/MIN/MAX/AVG) are excluded from both the integral and the
+// denominator; ok is false when the aggregate is null over the whole
+// window.
+//
+// This is an extension beyond the ICDE 1995 paper — a common consumer of
+// its constant-interval results (e.g. "average headcount over the year"
+// from a COUNT history), computable exactly because the value is piecewise
+// constant.
+func (r *Result) TimeWeightedMean(window interval.Interval) (mean float64, ok bool, err error) {
+	if err := window.Validate(); err != nil {
+		return 0, false, err
+	}
+	if window.End == interval.Forever {
+		return 0, false, fmt.Errorf("core: time-weighted mean requires a finite window")
+	}
+	var integral float64
+	var covered float64
+	for i, row := range r.Rows {
+		iv, overlap := row.Interval.Intersect(window)
+		if !overlap {
+			continue
+		}
+		v := r.Value(i)
+		if v.Null {
+			continue
+		}
+		d := float64(iv.Duration())
+		integral += v.Float * d
+		covered += d
+	}
+	if covered == 0 {
+		return 0, false, nil
+	}
+	return integral / covered, true, nil
+}
+
+// Integral is the exact area under the result over a finite window,
+// ∫ value(t) dt, with null instants contributing zero.
+func (r *Result) Integral(window interval.Interval) (float64, error) {
+	if err := window.Validate(); err != nil {
+		return 0, err
+	}
+	if window.End == interval.Forever {
+		return 0, fmt.Errorf("core: integral requires a finite window")
+	}
+	var integral float64
+	for i, row := range r.Rows {
+		iv, overlap := row.Interval.Intersect(window)
+		if !overlap {
+			continue
+		}
+		v := r.Value(i)
+		if v.Null {
+			continue
+		}
+		integral += v.Float * float64(iv.Duration())
+	}
+	return integral, nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+	"tempagg/internal/relation"
+)
+
+func employedCount(t *testing.T) *Result {
+	t.Helper()
+	f := aggregate.For(aggregate.Count)
+	res, _, err := Run(Spec{Algorithm: AggregationTree}, f, relation.Employed().Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestIntegralEmployed(t *testing.T) {
+	res := employedCount(t)
+	// Counts over [0,24]: 0×7 + 1×1 + 2×5 + 1×5 + 3×3 + 2×1 + 1×3 = 30.
+	got, err := res.Integral(interval.MustNew(0, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 30 {
+		t.Fatalf("integral = %g, want 30", got)
+	}
+}
+
+func TestTimeWeightedMeanEmployed(t *testing.T) {
+	res := employedCount(t)
+	mean, ok, err := res.TimeWeightedMean(interval.MustNew(0, 24))
+	if err != nil || !ok {
+		t.Fatalf("mean failed: %v, %t", err, ok)
+	}
+	if want := 30.0 / 25.0; math.Abs(mean-want) > 1e-12 {
+		t.Fatalf("mean = %g, want %g", mean, want)
+	}
+}
+
+func TestTimeWeightedMeanExcludesNulls(t *testing.T) {
+	// MIN is null outside [7,21]; over [0,24] the mean must weight only
+	// the defined stretch.
+	f := aggregate.For(aggregate.Min)
+	res, _, err := Run(Spec{Algorithm: LinkedList}, f, relation.Employed().Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, ok, err := res.TimeWeightedMean(interval.MustNew(0, 24))
+	if err != nil || !ok {
+		t.Fatalf("mean failed: %v, %t", err, ok)
+	}
+	// MIN values: [7,7]=35, [8,12]=35, [13,17]=45, [18,20]=37, [21,21]=37,
+	// [22,24]=40 → (35·6 + 45·5 + 37·4 + 40·3)/18.
+	want := (35.0*6 + 45*5 + 37*4 + 40*3) / 18
+	if math.Abs(mean-want) > 1e-9 {
+		t.Fatalf("mean = %g, want %g", mean, want)
+	}
+}
+
+func TestTimeWeightedMeanAllNull(t *testing.T) {
+	f := aggregate.For(aggregate.Sum)
+	res, _, err := Run(Spec{Algorithm: LinkedList}, f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := res.TimeWeightedMean(interval.MustNew(0, 9)); err != nil || ok {
+		t.Fatalf("all-null mean: ok=%t err=%v, want not-ok", ok, err)
+	}
+}
+
+func TestTimeWeightedMeanErrors(t *testing.T) {
+	res := employedCount(t)
+	if _, _, err := res.TimeWeightedMean(interval.Universe()); err == nil {
+		t.Error("infinite window must fail")
+	}
+	if _, _, err := res.TimeWeightedMean(interval.Interval{Start: 9, End: 3}); err == nil {
+		t.Error("invalid window must fail")
+	}
+	if _, err := res.Integral(interval.Universe()); err == nil {
+		t.Error("infinite integral window must fail")
+	}
+	if _, err := res.Integral(interval.Interval{Start: 9, End: 3}); err == nil {
+		t.Error("invalid integral window must fail")
+	}
+}
+
+// TestIntegralAdditiveOverSplits: the integral over [a,c] equals the sum
+// over [a,b] and [b+1,c].
+func TestIntegralAdditiveProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(95))
+	f := aggregate.For(aggregate.Count)
+	for trial := 0; trial < 50; trial++ {
+		ts := randomTuples(r, r.Intn(40), 200)
+		res := Reference(f, ts)
+		a := r.Int63n(100)
+		b := a + r.Int63n(100)
+		c := b + 1 + r.Int63n(100)
+		whole, err := res.Integral(interval.Interval{Start: a, End: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		left, err := res.Integral(interval.Interval{Start: a, End: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		right, err := res.Integral(interval.Interval{Start: b + 1, End: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(whole-(left+right)) > 1e-9 {
+			t.Fatalf("integral not additive: %g != %g + %g", whole, left, right)
+		}
+	}
+}

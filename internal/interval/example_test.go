@@ -1,0 +1,34 @@
+package interval_test
+
+import (
+	"fmt"
+
+	"tempagg/internal/interval"
+)
+
+// Example shows the closed-interval model with the 0 and ∞ sentinels.
+func Example() {
+	iv := interval.MustNew(18, interval.Forever)
+	fmt.Println(iv)
+	fmt.Println(iv.Contains(17), iv.Contains(18), iv.Contains(interval.Forever))
+
+	a, b := interval.MustNew(0, 10), interval.MustNew(10, 20)
+	fmt.Println(a.Overlaps(b)) // closed intervals share instant 10
+	got, _ := a.Intersect(b)
+	fmt.Println(got)
+	// Output:
+	// [18,∞]
+	// false true true
+	// true
+	// [10,10]
+}
+
+// ExampleGranularity converts calendar units to chronons for span grouping.
+func ExampleGranularity() {
+	fmt.Println(interval.Year.Span(2))
+	g, _ := interval.ParseGranularity("weeks")
+	fmt.Println(g)
+	// Output:
+	// 63072000
+	// WEEK
+}

@@ -1,0 +1,72 @@
+package interval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Granularity is a calendar-defined span length in chronons, for temporal
+// grouping by span (Kline & Snodgrass §2: "a calendar defined length of
+// time, such as a year"). The library's convention — documented rather than
+// imposed — is one chronon per second; applications using a different
+// chronon duration should scale spans themselves.
+type Granularity int64
+
+// Calendar granularities, in chronons (seconds). Months and years are fixed
+// 30- and 365-day spans: temporal grouping needs equal-width partitions, so
+// calendar-irregular months are approximated, as TSQL2 calendars permit.
+const (
+	Second Granularity = 1
+	Minute Granularity = 60 * Second
+	Hour   Granularity = 60 * Minute
+	Day    Granularity = 24 * Hour
+	Week   Granularity = 7 * Day
+	Month  Granularity = 30 * Day
+	Year   Granularity = 365 * Day
+)
+
+// ParseGranularity resolves a unit name (singular or plural, any case) to a
+// Granularity.
+func ParseGranularity(name string) (Granularity, error) {
+	switch strings.ToUpper(strings.TrimSuffix(strings.ToUpper(name), "S")) {
+	case "SECOND", "INSTANT", "CHRONON":
+		return Second, nil
+	case "MINUTE":
+		return Minute, nil
+	case "HOUR":
+		return Hour, nil
+	case "DAY":
+		return Day, nil
+	case "WEEK":
+		return Week, nil
+	case "MONTH":
+		return Month, nil
+	case "YEAR":
+		return Year, nil
+	}
+	return 0, fmt.Errorf("interval: unknown granularity %q", name)
+}
+
+// Span returns the length of n units in chronons.
+func (g Granularity) Span(n int64) Time { return Time(g) * n }
+
+// String names the granularity.
+func (g Granularity) String() string {
+	switch g {
+	case Second:
+		return "SECOND"
+	case Minute:
+		return "MINUTE"
+	case Hour:
+		return "HOUR"
+	case Day:
+		return "DAY"
+	case Week:
+		return "WEEK"
+	case Month:
+		return "MONTH"
+	case Year:
+		return "YEAR"
+	}
+	return fmt.Sprintf("Granularity(%d)", int64(g))
+}

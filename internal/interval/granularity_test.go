@@ -1,0 +1,65 @@
+package interval
+
+import "testing"
+
+func TestGranularityValues(t *testing.T) {
+	cases := []struct {
+		g    Granularity
+		want Time
+	}{
+		{Second, 1},
+		{Minute, 60},
+		{Hour, 3600},
+		{Day, 86400},
+		{Week, 604800},
+		{Month, 2592000},
+		{Year, 31536000},
+	}
+	for _, tc := range cases {
+		if Time(tc.g) != tc.want {
+			t.Errorf("%s = %d chronons, want %d", tc.g, int64(tc.g), tc.want)
+		}
+	}
+}
+
+func TestParseGranularity(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Granularity
+	}{
+		{"year", Year}, {"YEARS", Year}, {"Year", Year},
+		{"day", Day}, {"days", Day},
+		{"second", Second}, {"instants", Second}, {"chronon", Second},
+		{"week", Week}, {"month", Month}, {"hour", Hour}, {"minutes", Minute},
+	} {
+		got, err := ParseGranularity(tc.in)
+		if err != nil {
+			t.Errorf("ParseGranularity(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseGranularity(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if _, err := ParseGranularity("fortnight"); err == nil {
+		t.Error("unknown unit must fail")
+	}
+}
+
+func TestGranularitySpan(t *testing.T) {
+	if got := Day.Span(7); got != Time(Week) {
+		t.Fatalf("7 days = %d, want a week", got)
+	}
+	if got := Year.Span(2); got != 2*31536000 {
+		t.Fatalf("2 years = %d", got)
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	if Year.String() != "YEAR" || Second.String() != "SECOND" {
+		t.Fatal("names wrong")
+	}
+	if Granularity(7).String() != "Granularity(7)" {
+		t.Fatal("unknown name wrong")
+	}
+}

@@ -1,0 +1,159 @@
+// Package interval models the discrete time-line used throughout the
+// temporal-aggregation library.
+//
+// Following Kline & Snodgrass (ICDE 1995), time is a sequence of chronons
+// (instants) numbered from 0, the origin, up to Forever, the greatest
+// timestamp (written "∞" in the paper). Tuples are stamped with closed
+// intervals [Start, End]; both endpoints are contained in the interval.
+package interval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a chronon: a single discrete instant on the time-line.
+//
+// The paper uses 4-byte timestamps; we compute with 64 bits and narrow to 32
+// at the storage layer, where the paper's layout is preserved.
+type Time = int64
+
+const (
+	// Origin is the earliest representable instant, written "0" in the paper.
+	Origin Time = 0
+	// Forever is the greatest representable instant, written "∞" in the
+	// paper. An interval ending at Forever is open-ended in practice.
+	Forever Time = math.MaxInt64
+)
+
+// FormatTime renders t, using "∞" for Forever, as in the paper's tables.
+func FormatTime(t Time) string {
+	if t == Forever {
+		return "∞"
+	}
+	return fmt.Sprintf("%d", t)
+}
+
+// Interval is a closed interval [Start, End] of chronons. The zero value is
+// the single-instant interval [0, 0].
+type Interval struct {
+	Start Time
+	End   Time
+}
+
+// Universe is the interval covering the entire time-line, [0, ∞]. It is the
+// single constant interval induced by an empty relation (Figure 2.a).
+func Universe() Interval {
+	return Interval{Start: Origin, End: Forever}
+}
+
+// New returns the closed interval [start, end].
+func New(start, end Time) (Interval, error) {
+	iv := Interval{Start: start, End: end}
+	if err := iv.Validate(); err != nil {
+		return Interval{}, err
+	}
+	return iv, nil
+}
+
+// MustNew is New but panics on invalid input. Intended for tests and
+// literals.
+func MustNew(start, end Time) Interval {
+	iv, err := New(start, end)
+	if err != nil {
+		panic(err)
+	}
+	return iv
+}
+
+// At returns the single-instant interval [t, t].
+func At(t Time) Interval {
+	return Interval{Start: t, End: t}
+}
+
+// Validate reports whether the interval is well formed: Start and End within
+// [Origin, Forever] and Start <= End.
+func (iv Interval) Validate() error {
+	if iv.Start < Origin {
+		return fmt.Errorf("interval: start %d precedes the origin", iv.Start)
+	}
+	if iv.Start > iv.End {
+		return fmt.Errorf("interval: start %s after end %s",
+			FormatTime(iv.Start), FormatTime(iv.End))
+	}
+	return nil
+}
+
+// Duration is the number of chronons contained in the interval. Intervals
+// reaching Forever report Forever (the count would overflow).
+func (iv Interval) Duration() Time {
+	if iv.End == Forever {
+		return Forever
+	}
+	return iv.End - iv.Start + 1
+}
+
+// Contains reports whether instant t lies within the closed interval.
+func (iv Interval) Contains(t Time) bool {
+	return iv.Start <= t && t <= iv.End
+}
+
+// Overlaps reports whether the two closed intervals share at least one
+// instant.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start <= other.End && other.Start <= iv.End
+}
+
+// Covers reports whether iv contains every instant of other.
+func (iv Interval) Covers(other Interval) bool {
+	return iv.Start <= other.Start && other.End <= iv.End
+}
+
+// Intersect returns the instants common to both intervals. ok is false when
+// they are disjoint.
+func (iv Interval) Intersect(other Interval) (Interval, bool) {
+	start := max(iv.Start, other.Start)
+	end := min(iv.End, other.End)
+	if start > end {
+		return Interval{}, false
+	}
+	return Interval{Start: start, End: end}, true
+}
+
+// Meets reports whether iv ends exactly where other begins (Allen's "meets"):
+// iv.End + 1 == other.Start.
+func (iv Interval) Meets(other Interval) bool {
+	return iv.End != Forever && iv.End+1 == other.Start
+}
+
+// Before reports whether iv lies entirely before instant t.
+func (iv Interval) Before(t Time) bool {
+	return iv.End < t
+}
+
+// Equal reports whether the two intervals are identical.
+func (iv Interval) Equal(other Interval) bool {
+	return iv == other
+}
+
+// String renders the interval in the paper's [start, end] notation, with ∞
+// for Forever.
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%s,%s]", FormatTime(iv.Start), FormatTime(iv.End))
+}
+
+// Compare orders intervals by start time, ties broken by end time — the
+// paper's "totally ordered by time" relation (§5.2). It returns -1, 0, or +1.
+func Compare(a, b Interval) int {
+	switch {
+	case a.Start < b.Start:
+		return -1
+	case a.Start > b.Start:
+		return 1
+	case a.End < b.End:
+		return -1
+	case a.End > b.End:
+		return 1
+	}
+	return 0
+}

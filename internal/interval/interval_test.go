@@ -1,0 +1,239 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValid(t *testing.T) {
+	iv, err := New(3, 9)
+	if err != nil {
+		t.Fatalf("New(3,9): %v", err)
+	}
+	if iv.Start != 3 || iv.End != 9 {
+		t.Fatalf("New(3,9) = %v", iv)
+	}
+}
+
+func TestNewInvalid(t *testing.T) {
+	cases := []struct {
+		name       string
+		start, end Time
+	}{
+		{"reversed", 9, 3},
+		{"negative start", -1, 5},
+		{"forever start after end", Forever, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.start, tc.end); err == nil {
+				t.Fatalf("New(%d,%d): expected error", tc.start, tc.end)
+			}
+		})
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(5, 1) did not panic")
+		}
+	}()
+	MustNew(5, 1)
+}
+
+func TestUniverse(t *testing.T) {
+	u := Universe()
+	if u.Start != Origin || u.End != Forever {
+		t.Fatalf("Universe() = %v", u)
+	}
+	if !u.Contains(0) || !u.Contains(Forever) || !u.Contains(123456) {
+		t.Fatal("Universe must contain every instant")
+	}
+}
+
+func TestAt(t *testing.T) {
+	iv := At(7)
+	if iv.Start != 7 || iv.End != 7 {
+		t.Fatalf("At(7) = %v", iv)
+	}
+	if iv.Duration() != 1 {
+		t.Fatalf("At(7).Duration() = %d, want 1", iv.Duration())
+	}
+}
+
+func TestDuration(t *testing.T) {
+	if d := MustNew(5, 9).Duration(); d != 5 {
+		t.Fatalf("[5,9].Duration() = %d, want 5", d)
+	}
+	if d := MustNew(0, Forever).Duration(); d != Forever {
+		t.Fatalf("[0,∞].Duration() = %d, want Forever", d)
+	}
+}
+
+func TestContains(t *testing.T) {
+	iv := MustNew(10, 20)
+	for _, tc := range []struct {
+		t    Time
+		want bool
+	}{
+		{9, false}, {10, true}, {15, true}, {20, true}, {21, false},
+	} {
+		if got := iv.Contains(tc.t); got != tc.want {
+			t.Errorf("[10,20].Contains(%d) = %t, want %t", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestOverlapsClosedSemantics(t *testing.T) {
+	// Closed intervals share an instant when one's end equals the other's
+	// start — the paper's tuples are closed intervals (§5).
+	a := MustNew(0, 10)
+	b := MustNew(10, 20)
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("[0,10] and [10,20] must overlap (closed intervals)")
+	}
+	c := MustNew(11, 20)
+	if a.Overlaps(c) || c.Overlaps(a) {
+		t.Fatal("[0,10] and [11,20] must not overlap")
+	}
+}
+
+func TestCovers(t *testing.T) {
+	outer := MustNew(5, 50)
+	if !outer.Covers(MustNew(5, 50)) {
+		t.Error("interval must cover itself")
+	}
+	if !outer.Covers(MustNew(10, 20)) {
+		t.Error("[5,50] must cover [10,20]")
+	}
+	if outer.Covers(MustNew(4, 20)) || outer.Covers(MustNew(10, 51)) {
+		t.Error("[5,50] must not cover intervals extending past it")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	got, ok := MustNew(0, 17).Intersect(MustNew(8, 20))
+	if !ok || got != MustNew(8, 17) {
+		t.Fatalf("[0,17] ∩ [8,20] = %v, %t; want [8,17], true", got, ok)
+	}
+	if _, ok := MustNew(0, 5).Intersect(MustNew(6, 9)); ok {
+		t.Fatal("[0,5] ∩ [6,9] should be empty")
+	}
+}
+
+func TestMeets(t *testing.T) {
+	if !MustNew(0, 7).Meets(MustNew(8, 12)) {
+		t.Error("[0,7] meets [8,12]")
+	}
+	if MustNew(0, 7).Meets(MustNew(9, 12)) {
+		t.Error("[0,7] does not meet [9,12]")
+	}
+	if MustNew(0, Forever).Meets(MustNew(0, 1)) {
+		t.Error("an interval ending at Forever meets nothing")
+	}
+}
+
+func TestBefore(t *testing.T) {
+	iv := MustNew(3, 9)
+	if !iv.Before(10) {
+		t.Error("[3,9] is before 10")
+	}
+	if iv.Before(9) {
+		t.Error("[3,9] is not before 9 (closed end)")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want int
+	}{
+		{MustNew(1, 5), MustNew(2, 3), -1},
+		{MustNew(2, 3), MustNew(1, 5), 1},
+		{MustNew(1, 3), MustNew(1, 5), -1}, // ties broken by end time
+		{MustNew(1, 5), MustNew(1, 3), 1},
+		{MustNew(4, 4), MustNew(4, 4), 0},
+	}
+	for _, tc := range cases {
+		if got := Compare(tc.a, tc.b); got != tc.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := MustNew(18, Forever).String(); s != "[18,∞]" {
+		t.Fatalf("String() = %q, want [18,∞]", s)
+	}
+	if s := FormatTime(42); s != "42" {
+		t.Fatalf("FormatTime(42) = %q", s)
+	}
+}
+
+// randomInterval draws an interval in [0, limit] for property tests.
+func randomInterval(r *rand.Rand, limit Time) Interval {
+	a := r.Int63n(limit + 1)
+	b := r.Int63n(limit + 1)
+	if a > b {
+		a, b = b, a
+	}
+	return Interval{Start: a, End: b}
+}
+
+func TestOverlapsMatchesPointwise(t *testing.T) {
+	// Property: Overlaps agrees with the instant-by-instant definition over
+	// a small dense domain.
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a := randomInterval(r, 30)
+		b := randomInterval(r, 30)
+		want := false
+		for x := Time(0); x <= 30; x++ {
+			if a.Contains(x) && b.Contains(x) {
+				want = true
+				break
+			}
+		}
+		return a.Overlaps(b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectConsistentWithOverlaps(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		a := randomInterval(r, 1000)
+		b := randomInterval(r, 1000)
+		got, ok := a.Intersect(b)
+		if ok != a.Overlaps(b) {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		return a.Covers(got) && b.Covers(got) && got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		a := randomInterval(r, 100)
+		b := randomInterval(r, 100)
+		// Antisymmetry and reflexivity.
+		if Compare(a, b) != -Compare(b, a) {
+			return false
+		}
+		return Compare(a, a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

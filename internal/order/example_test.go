@@ -1,0 +1,61 @@
+package order_test
+
+import (
+	"fmt"
+
+	"tempagg/internal/order"
+	"tempagg/internal/tuple"
+)
+
+func sorted(n int) []tuple.Tuple {
+	ts := make([]tuple.Tuple, n)
+	for i := range ts {
+		ts[i] = tuple.MustNew("t", int64(i), int64(i*2), int64(i*2+1))
+	}
+	return ts
+}
+
+// ExampleKOrderedness measures how far a relation is from totally ordered.
+func ExampleKOrderedness() {
+	ts := sorted(20)
+	fmt.Println(order.KOrderedness(ts))
+	ts[3], ts[10] = ts[10], ts[3]
+	fmt.Println(order.KOrderedness(ts))
+	// Output:
+	// 0
+	// 7
+}
+
+// ExampleKOrderedPercentage reproduces a Table 2 row: with n=10000 and
+// k=100, swapping one pair of tuples 100 places apart yields 0.0002.
+func ExampleKOrderedPercentage() {
+	ts, err := order.SwapPairs(sorted(10000), 1, 100)
+	if err != nil {
+		panic(err)
+	}
+	pct, err := order.KOrderedPercentage(ts, 100)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(pct)
+	// Output:
+	// 0.0002
+}
+
+// ExamplePerturbToPercentage disorders a sorted relation to a target
+// (k, percentage) pair, as the paper's experiments do (§6).
+func ExamplePerturbToPercentage() {
+	ts, err := order.PerturbToPercentage(sorted(1000), 4, 0.10, 7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("k-ordered for k=4:", order.IsKOrdered(ts, 4))
+	pct, err := order.KOrderedPercentage(ts, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("percentage:", pct)
+	// Output:
+	// k-ordered for k=4: true
+	// percentage: 0.1
+}

@@ -1,0 +1,210 @@
+// Package order quantifies and manipulates the sortedness of a temporal
+// relation, implementing the two metrics of Kline & Snodgrass §5.2:
+//
+//   - k-orderedness: a relation is k-ordered when every tuple is at most k
+//     positions from its position in the totally time-ordered relation
+//     (sorted by start time, ties broken by end time). A totally ordered
+//     relation is 0-ordered.
+//
+//   - k-ordered-percentage: Σᵢ i·nᵢ / (k·n), where nᵢ is the number of
+//     tuples i positions out of order. 0 for a sorted relation; larger means
+//     more disorder, up to 1 for maximal disorder at a given k.
+//
+// It also provides the controlled-disorder constructions used by the
+// paper's experiments: pair swaps at a fixed distance (Table 2 rows 2–3),
+// the staircase of displacements (Table 2 row 5), perturbation of a sorted
+// relation to a target (k, percentage) pair (§6), and full shuffles.
+package order
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tempagg/internal/tuple"
+)
+
+// Displacements returns, for each tuple, how many positions it sits from its
+// place in the totally time-ordered relation. Ties (identical intervals)
+// keep their relative order, which assigns the minimal displacements.
+func Displacements(ts []tuple.Tuple) []int {
+	idx := make([]int, len(ts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return ts[idx[a]].Less(ts[idx[b]])
+	})
+	disp := make([]int, len(ts))
+	for rank, origin := range idx {
+		d := rank - origin
+		if d < 0 {
+			d = -d
+		}
+		disp[origin] = d
+	}
+	return disp
+}
+
+// KOrderedness returns the minimal k for which the relation is k-ordered:
+// the maximum displacement. A sorted (or empty) relation reports 0.
+func KOrderedness(ts []tuple.Tuple) int {
+	k := 0
+	for _, d := range Displacements(ts) {
+		if d > k {
+			k = d
+		}
+	}
+	return k
+}
+
+// IsKOrdered reports whether every tuple is at most k positions out of
+// place.
+func IsKOrdered(ts []tuple.Tuple, k int) bool {
+	return KOrderedness(ts) <= k
+}
+
+// KOrderedPercentage computes the paper's disorder ratio for a given k:
+// Σᵢ i·nᵢ / (k·n). It returns an error if k is not positive or if the
+// relation is not actually k-ordered (some displacement exceeds k). An
+// empty relation reports 0.
+func KOrderedPercentage(ts []tuple.Tuple, k int) (float64, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("order: k must be positive, got %d", k)
+	}
+	if len(ts) == 0 {
+		return 0, nil
+	}
+	sum := 0
+	for i, d := range Displacements(ts) {
+		if d > k {
+			return 0, fmt.Errorf("order: relation is not %d-ordered: tuple %d is %d positions out of order", k, i, d)
+		}
+		sum += d
+	}
+	return float64(sum) / (float64(k) * float64(len(ts))), nil
+}
+
+// Shuffle returns a uniformly random permutation of ts (a copy; ts is not
+// modified).
+func Shuffle(ts []tuple.Tuple, seed int64) []tuple.Tuple {
+	out := append([]tuple.Tuple(nil), ts...)
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// swapBlocks performs `count` disjoint swaps at exactly `distance` apart
+// starting at position pos, in runs of at most `distance` adjacent swaps
+// (a run of m ≤ distance swaps (c+j, c+j+distance) touches disjoint index
+// sets). It returns the next free position.
+func swapBlocks(out []tuple.Tuple, pos, count, distance int) (int, error) {
+	for count > 0 {
+		m := count
+		if m > distance {
+			m = distance
+		}
+		if pos+m+distance > len(out) {
+			return 0, fmt.Errorf("order: ran out of tuples placing %d more swaps at distance %d (position %d of %d)",
+				count, distance, pos, len(out))
+		}
+		for j := 0; j < m; j++ {
+			out[pos+j], out[pos+j+distance] = out[pos+j+distance], out[pos+j]
+		}
+		pos += m + distance
+		count -= m
+	}
+	return pos, nil
+}
+
+// SwapPairs swaps `pairs` disjoint pairs of tuples exactly `distance`
+// positions apart, at deterministic locations, returning a copy. Applied to
+// a sorted relation with unique intervals this displaces exactly 2·pairs
+// tuples by `distance` each — the construction behind Table 2 rows 2–4.
+func SwapPairs(ts []tuple.Tuple, pairs, distance int) ([]tuple.Tuple, error) {
+	if distance <= 0 {
+		return nil, fmt.Errorf("order: swap distance must be positive, got %d", distance)
+	}
+	if pairs < 0 {
+		return nil, fmt.Errorf("order: pair count must be non-negative, got %d", pairs)
+	}
+	out := append([]tuple.Tuple(nil), ts...)
+	if _, err := swapBlocks(out, 0, pairs, distance); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Staircase displaces, for every d in 1..maxDistance, `perDistance` tuples
+// by exactly d positions (perDistance must be even: displacements come from
+// disjoint swaps). This is the construction of Table 2's final row: with
+// perDistance=10 and maxDistance=100 over n=10000, 10 tuples are 1 place
+// out of order, 10 are 2, …, 100 are 100 out of order.
+func Staircase(ts []tuple.Tuple, perDistance, maxDistance int) ([]tuple.Tuple, error) {
+	if perDistance <= 0 || perDistance%2 != 0 {
+		return nil, fmt.Errorf("order: perDistance must be positive and even, got %d", perDistance)
+	}
+	if maxDistance <= 0 {
+		return nil, fmt.Errorf("order: maxDistance must be positive, got %d", maxDistance)
+	}
+	swapsPer := perDistance / 2
+	out := append([]tuple.Tuple(nil), ts...)
+	c := 0
+	for d := 1; d <= maxDistance; d++ {
+		var err error
+		c, err = swapBlocks(out, c, swapsPer, d)
+		if err != nil {
+			return nil, fmt.Errorf("order: staircase: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// PerturbToPercentage disorders a sorted relation to approximately the
+// target k-ordered-percentage using disjoint swaps at distance exactly k,
+// at pseudo-random positions — the paper's relation-generation step for the
+// ordered-relation experiments (§6): "We generated a sorted relation, and
+// then altered it according to various k-ordered and k-ordered-percentages."
+//
+// Each swap displaces two tuples by k, adding 2k to Σ i·nᵢ, so the achieved
+// percentage is 2·swaps/n, quantized accordingly. The input must be sorted.
+func PerturbToPercentage(ts []tuple.Tuple, k int, pct float64, seed int64) ([]tuple.Tuple, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("order: k must be positive, got %d", k)
+	}
+	if pct < 0 || pct > 1 {
+		return nil, fmt.Errorf("order: percentage must be in [0,1], got %g", pct)
+	}
+	if !sort.SliceIsSorted(ts, func(i, j int) bool { return ts[i].Less(ts[j]) }) {
+		return nil, fmt.Errorf("order: PerturbToPercentage requires a sorted relation")
+	}
+	out := append([]tuple.Tuple(nil), ts...)
+	n := len(out)
+	want := int(pct*float64(n)/2 + 0.5)
+	if want == 0 {
+		return out, nil
+	}
+	if k >= n {
+		return nil, fmt.Errorf("order: k=%d is not smaller than the relation size %d", k, n)
+	}
+	r := rand.New(rand.NewSource(seed))
+	used := make([]bool, n)
+	candidates := r.Perm(n - k)
+	done := 0
+	for _, i := range candidates {
+		if done == want {
+			break
+		}
+		if used[i] || used[i+k] {
+			continue
+		}
+		out[i], out[i+k] = out[i+k], out[i]
+		used[i], used[i+k] = true, true
+		done++
+	}
+	if done < want {
+		return nil, fmt.Errorf("order: could only place %d of %d swaps at distance %d over %d tuples",
+			done, want, k, n)
+	}
+	return out, nil
+}

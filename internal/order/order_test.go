@@ -1,0 +1,307 @@
+package order
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tempagg/internal/tuple"
+)
+
+// sortedTuples builds a totally ordered relation with unique start times.
+func sortedTuples(n int) []tuple.Tuple {
+	ts := make([]tuple.Tuple, n)
+	for i := range ts {
+		ts[i] = tuple.MustNew("t", int64(i), int64(i*3), int64(i*3+1))
+	}
+	return ts
+}
+
+func TestDisplacementsSorted(t *testing.T) {
+	for _, d := range Displacements(sortedTuples(50)) {
+		if d != 0 {
+			t.Fatalf("sorted relation has displacement %d", d)
+		}
+	}
+	if KOrderedness(sortedTuples(10)) != 0 {
+		t.Fatal("sorted relation must be 0-ordered")
+	}
+}
+
+func TestDisplacementsSingleSwap(t *testing.T) {
+	ts := sortedTuples(20)
+	ts[3], ts[10] = ts[10], ts[3]
+	disp := Displacements(ts)
+	for i, d := range disp {
+		want := 0
+		if i == 3 || i == 10 {
+			want = 7
+		}
+		if d != want {
+			t.Errorf("tuple %d: displacement %d, want %d", i, d, want)
+		}
+	}
+	if KOrderedness(ts) != 7 {
+		t.Fatalf("KOrderedness = %d, want 7", KOrderedness(ts))
+	}
+	if IsKOrdered(ts, 6) || !IsKOrdered(ts, 7) {
+		t.Fatal("IsKOrdered boundary wrong")
+	}
+}
+
+func TestDisplacementsWithTies(t *testing.T) {
+	// Identical intervals keep relative order: displacement must be 0.
+	ts := []tuple.Tuple{
+		tuple.MustNew("a", 1, 5, 9),
+		tuple.MustNew("b", 2, 5, 9),
+		tuple.MustNew("c", 3, 5, 9),
+	}
+	for i, d := range Displacements(ts) {
+		if d != 0 {
+			t.Fatalf("tied tuple %d displaced by %d", i, d)
+		}
+	}
+}
+
+func TestKOrderedPercentageValidation(t *testing.T) {
+	ts := sortedTuples(10)
+	if _, err := KOrderedPercentage(ts, 0); err == nil {
+		t.Error("k=0 must be rejected")
+	}
+	ts[0], ts[5] = ts[5], ts[0] // displacement 5
+	if _, err := KOrderedPercentage(ts, 3); err == nil {
+		t.Error("percentage for k smaller than actual disorder must fail")
+	}
+	if p, err := KOrderedPercentage(nil, 5); err != nil || p != 0 {
+		t.Errorf("empty relation: %v, %v", p, err)
+	}
+}
+
+// TestTable2 reproduces Table 2 of the paper: k-ordered-percentage examples
+// with n = 10000 and k = 100.
+func TestTable2(t *testing.T) {
+	const n, k = 10000, 100
+	base := sortedTuples(n)
+	pct := func(ts []tuple.Tuple) float64 {
+		p, err := KOrderedPercentage(ts, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Row 1: the tuples are sorted → 0.
+	if got := pct(base); got != 0 {
+		t.Errorf("sorted: %g, want 0", got)
+	}
+
+	// Row 2: 2 tuples 100 places apart are swapped → 0.0002.
+	row2, err := SwapPairs(base, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pct(row2); math.Abs(got-0.0002) > 1e-12 {
+		t.Errorf("one swap at 100: %g, want 0.0002", got)
+	}
+
+	// Row 3: 20 tuples are 100 places from being sorted → 0.002.
+	row3, err := SwapPairs(base, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pct(row3); math.Abs(got-0.002) > 1e-12 {
+		t.Errorf("ten swaps at 100: %g, want 0.002", got)
+	}
+
+	// Row 4: 1000 tuples are 50 places out of order → 0.05.
+	row4, err := SwapPairs(base, 500, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pct(row4); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("500 swaps at 50: %g, want 0.05", got)
+	}
+
+	// Row 5: 10 tuples 1 place out of order, 10 are 2, …, 10 are 100 →
+	// Σ 10·i / (100·10000) = 50500/1000000 = 0.0505.
+	row5, err := Staircase(base, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pct(row5); math.Abs(got-0.0505) > 1e-12 {
+		t.Errorf("staircase: %g, want 0.0505", got)
+	}
+}
+
+func TestTable2MaximalDisorder(t *testing.T) {
+	// §5.2: for 6 tuples with k=3, swapping 1↔4, 2↔5, 3↔6 gives percentage 1.
+	ts := sortedTuples(6)
+	for i := 0; i < 3; i++ {
+		ts[i], ts[i+3] = ts[i+3], ts[i]
+	}
+	p, err := KOrderedPercentage(ts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("maximal disorder percentage = %g, want 1", p)
+	}
+}
+
+func TestSwapPairsErrors(t *testing.T) {
+	base := sortedTuples(10)
+	if _, err := SwapPairs(base, 1, 0); err == nil {
+		t.Error("distance 0 must fail")
+	}
+	if _, err := SwapPairs(base, -1, 2); err == nil {
+		t.Error("negative pairs must fail")
+	}
+	if _, err := SwapPairs(base, 6, 2); err == nil {
+		t.Error("too many swaps must fail")
+	}
+	out, err := SwapPairs(base, 0, 5)
+	if err != nil || KOrderedness(out) != 0 {
+		t.Error("zero swaps must be the identity")
+	}
+}
+
+func TestStaircaseErrors(t *testing.T) {
+	base := sortedTuples(100)
+	if _, err := Staircase(base, 3, 5); err == nil {
+		t.Error("odd perDistance must fail")
+	}
+	if _, err := Staircase(base, 0, 5); err == nil {
+		t.Error("zero perDistance must fail")
+	}
+	if _, err := Staircase(base, 2, 0); err == nil {
+		t.Error("zero maxDistance must fail")
+	}
+	if _, err := Staircase(sortedTuples(5), 10, 100); err == nil {
+		t.Error("insufficient tuples must fail")
+	}
+}
+
+func TestStaircaseDisplacementHistogram(t *testing.T) {
+	ts, err := Staircase(sortedTuples(1000), 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := map[int]int{}
+	for _, d := range Displacements(ts) {
+		if d > 0 {
+			hist[d]++
+		}
+	}
+	for d := 1; d <= 20; d++ {
+		if hist[d] != 4 {
+			t.Errorf("distance %d: %d tuples displaced, want 4", d, hist[d])
+		}
+	}
+}
+
+func TestShuffleIsPermutationAndDoesNotMutate(t *testing.T) {
+	base := sortedTuples(200)
+	out := Shuffle(base, 3)
+	if KOrderedness(base) != 0 {
+		t.Fatal("Shuffle mutated its input")
+	}
+	if KOrderedness(out) == 0 {
+		t.Fatal("shuffle of 200 tuples left them sorted (astronomically unlikely)")
+	}
+	seen := map[int64]bool{}
+	for _, tu := range out {
+		seen[tu.Value] = true
+	}
+	if len(seen) != len(base) {
+		t.Fatal("shuffle is not a permutation")
+	}
+}
+
+func TestShuffleDeterministicPerSeed(t *testing.T) {
+	base := sortedTuples(50)
+	a := Shuffle(base, 9)
+	b := Shuffle(base, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different shuffles")
+		}
+	}
+}
+
+func TestPerturbToPercentageHitsTarget(t *testing.T) {
+	base := sortedTuples(4000)
+	for _, tc := range []struct {
+		k   int
+		pct float64
+	}{
+		{4, 0.02}, {4, 0.14}, {40, 0.08}, {400, 0.14}, {1, 0.5},
+	} {
+		out, err := PerturbToPercentage(base, tc.k, tc.pct, 17)
+		if err != nil {
+			t.Fatalf("k=%d pct=%g: %v", tc.k, tc.pct, err)
+		}
+		if !IsKOrdered(out, tc.k) {
+			t.Fatalf("k=%d pct=%g: result is %d-ordered", tc.k, tc.pct, KOrderedness(out))
+		}
+		got, err := KOrderedPercentage(out, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Quantization: achieved = 2·round(pct·n/2)/n, within 1/n of target.
+		if math.Abs(got-tc.pct) > 1.0/float64(len(base)) {
+			t.Fatalf("k=%d: achieved percentage %g, want %g ± %g",
+				tc.k, got, tc.pct, 1.0/float64(len(base)))
+		}
+	}
+}
+
+func TestPerturbToPercentageErrors(t *testing.T) {
+	base := sortedTuples(100)
+	if _, err := PerturbToPercentage(base, 0, 0.1, 1); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if _, err := PerturbToPercentage(base, 4, -0.1, 1); err == nil {
+		t.Error("negative pct must fail")
+	}
+	if _, err := PerturbToPercentage(base, 4, 1.5, 1); err == nil {
+		t.Error("pct>1 must fail")
+	}
+	if _, err := PerturbToPercentage(base, 200, 0.5, 1); err == nil {
+		t.Error("k >= n must fail")
+	}
+	unsorted := Shuffle(base, 1)
+	if _, err := PerturbToPercentage(unsorted, 4, 0.1, 1); err == nil {
+		t.Error("unsorted input must fail")
+	}
+	out, err := PerturbToPercentage(base, 4, 0, 1)
+	if err != nil || KOrderedness(out) != 0 {
+		t.Error("pct=0 must be the identity")
+	}
+}
+
+// TestPercentageFormulaProperty: for any set of disjoint swaps at distance
+// exactly k, the percentage equals 2·swaps/n.
+func TestPercentageFormulaProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	prop := func() bool {
+		n := 200 + r.Intn(800)
+		k := 1 + r.Intn(20)
+		base := sortedTuples(n)
+		maxPairs := n / (k + 1)
+		pairs := r.Intn(maxPairs)
+		out, err := SwapPairs(base, pairs, k)
+		if err != nil {
+			return false
+		}
+		got, err := KOrderedPercentage(out, k)
+		if err != nil {
+			return false
+		}
+		want := 2 * float64(pairs) / float64(n)
+		return math.Abs(got-want) < 1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package query
+
+import (
+	"fmt"
+
+	"tempagg/internal/core"
+	"tempagg/internal/relation"
+)
+
+// CostModel prices the two resources §6.3 trades off: "depending on the
+// tradeoff between the cost of increased memory requirements and the cost
+// of disk access. If memory is cheaper than disk I/O, then the aggregation
+// tree is the best approach. On the other hand, if ... the disk access time
+// necessary to sort the relation is less costly than the memory the
+// aggregation tree requires, then the k-ordered aggregation tree is the
+// best approach."
+//
+// Costs are unitless; only ratios matter. The zero value disables
+// cost-based choice (the planner then uses the qualitative §6.3 rules).
+type CostModel struct {
+	// MemoryByte is the price of one byte of resident evaluation structure.
+	MemoryByte float64
+	// PageIO is the price of reading or writing one storage page.
+	PageIO float64
+	// CPUTuple is the price of processing one tuple once (scan + insert).
+	CPUTuple float64
+}
+
+// Enabled reports whether the model carries any prices.
+func (m CostModel) Enabled() bool {
+	return m.MemoryByte > 0 || m.PageIO > 0 || m.CPUTuple > 0
+}
+
+// pages is the number of storage pages n tuples occupy.
+func pages(n int) float64 {
+	return float64((n + relation.RecordsPerPage - 1) / relation.RecordsPerPage)
+}
+
+// alternative is one costed execution strategy.
+type alternative struct {
+	plan Plan
+	cost float64
+}
+
+// costAlternatives prices the §6.3 strategies for an instant-grouped query.
+//
+//   - aggregation tree: one scan, whole tree resident (≈4n nodes);
+//   - sort + ktree(1): sorting costs two extra passes over the relation
+//     (read + write, external merge sort at these scales is one extra
+//     round trip), then one scan with a tiny resident tree;
+//   - ktree(k): applicable without sorting only when a k bound is declared;
+//     resident state grows with k;
+//   - linked list: one scan, list resident (≈2n nodes), CPU-bound quadratic
+//     walking — priced with a quadratic CPU term.
+func costAlternatives(info RelationInfo, m CostModel) []alternative {
+	n := info.Tuples
+	scan := m.PageIO * pages(n)
+	cpu := m.CPUTuple * float64(n)
+
+	var alts []alternative
+
+	treeBytes := float64(4*n+1) * core.NodeBytes
+	alts = append(alts, alternative{
+		plan: Plan{Spec: core.Spec{Algorithm: core.AggregationTree},
+			Reason: "cost-based: aggregation tree"},
+		cost: scan + cpu + m.MemoryByte*treeBytes,
+	})
+
+	// Sorting ≈ read + write of every page, then the evaluation scan.
+	sortIO := 2 * scan
+	ktreeBytes := float64(64) * core.NodeBytes // small resident window at k=1
+	sortPlan := Plan{SortFirst: true,
+		Spec:   core.Spec{Algorithm: core.KOrderedTree, K: 1},
+		Reason: "cost-based: sort then k-ordered tree (k=1)"}
+	if info.Sorted {
+		sortIO = 0
+		sortPlan.SortFirst = false
+		sortPlan.Reason = "cost-based: k-ordered tree over sorted relation (k=1)"
+	}
+	alts = append(alts, alternative{
+		plan: sortPlan,
+		cost: sortIO + scan + cpu + m.MemoryByte*ktreeBytes,
+	})
+
+	if info.KBound > 0 && !info.Sorted {
+		// Resident state scales with the declared disorder window.
+		kBytes := float64(8*info.KBound+64) * core.NodeBytes
+		alts = append(alts, alternative{
+			plan: Plan{Spec: core.Spec{Algorithm: core.KOrderedTree, K: info.KBound},
+				Reason: fmt.Sprintf("cost-based: k-ordered tree (declared k=%d), no sort", info.KBound)},
+			cost: scan + cpu + m.MemoryByte*kBytes,
+		})
+	}
+
+	// The linked list walks half the live list per tuple on average; its
+	// list has about 2n elements, so the CPU term is quadratic. With few
+	// expected constant intervals the walk — and the memory — shrink to
+	// that count instead.
+	intervals := 2 * n
+	if info.ExpectedConstantIntervals > 0 && info.ExpectedConstantIntervals < intervals {
+		intervals = info.ExpectedConstantIntervals
+	}
+	listBytes := float64(intervals) * core.NodeBytes
+	listCPU := m.CPUTuple * float64(n) * float64(intervals) / 4
+	alts = append(alts, alternative{
+		plan: Plan{Spec: core.Spec{Algorithm: core.LinkedList},
+			Reason: "cost-based: linked list"},
+		cost: scan + listCPU + m.MemoryByte*listBytes,
+	})
+
+	return alts
+}
+
+// PlanQueryCosted chooses the cheapest strategy under the cost model. With
+// a disabled model it falls back to the qualitative PlanQuery rules. The
+// chosen plan's Reason records the winning estimate.
+func PlanQueryCosted(q *Query, info RelationInfo, m CostModel) (Plan, error) {
+	if q.Using != "" || !m.Enabled() {
+		return PlanQuery(q, info)
+	}
+	alts := costAlternatives(info, m)
+	best := alts[0]
+	for _, a := range alts[1:] {
+		if a.cost < best.cost {
+			best = a
+		}
+	}
+	best.plan.Reason = fmt.Sprintf("%s (estimated cost %.4g)", best.plan.Reason, best.cost)
+	return best.plan, nil
+}

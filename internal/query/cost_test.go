@@ -1,0 +1,103 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"tempagg/internal/core"
+)
+
+func costPlan(t *testing.T, info RelationInfo, m CostModel) Plan {
+	t.Helper()
+	q := mustParse(t, planSQL)
+	p, err := PlanQueryCosted(q, info, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCostModelMemoryVsIO encodes §6.3's tradeoff: cheap memory picks the
+// aggregation tree; dear memory (relative to disk I/O) picks sort+ktree.
+func TestCostModelMemoryVsIO(t *testing.T) {
+	info := RelationInfo{Tuples: 1 << 16, KBound: -1}
+
+	// CPU is always priced: the linked list's quadratic walk must not look
+	// free.
+	cheapMemory := CostModel{MemoryByte: 1e-9, PageIO: 1, CPUTuple: 1e-6}
+	p := costPlan(t, info, cheapMemory)
+	if p.Spec.Algorithm != core.AggregationTree {
+		t.Fatalf("cheap memory: %v", p)
+	}
+
+	dearMemory := CostModel{MemoryByte: 1, PageIO: 1e-9, CPUTuple: 1e-6}
+	p = costPlan(t, info, dearMemory)
+	if !p.SortFirst || p.Spec.Algorithm != core.KOrderedTree || p.Spec.K != 1 {
+		t.Fatalf("dear memory: %v", p)
+	}
+	if !strings.Contains(p.Reason, "estimated cost") {
+		t.Fatalf("reason lacks estimate: %q", p.Reason)
+	}
+}
+
+// TestCostModelSortedSkipsSort: a sorted relation pays no sort I/O, so the
+// ktree wins even when I/O is expensive.
+func TestCostModelSortedSkipsSort(t *testing.T) {
+	info := RelationInfo{Tuples: 1 << 16, Sorted: true, KBound: -1}
+	m := CostModel{MemoryByte: 1, PageIO: 1000, CPUTuple: 0}
+	p := costPlan(t, info, m)
+	if p.SortFirst || p.Spec.Algorithm != core.KOrderedTree {
+		t.Fatalf("sorted: %v", p)
+	}
+}
+
+// TestCostModelDeclaredKAvoidsSort: with a declared bound and expensive
+// I/O, the unsorted ktree beats sort+ktree.
+func TestCostModelDeclaredKAvoidsSort(t *testing.T) {
+	info := RelationInfo{Tuples: 1 << 16, KBound: 16}
+	m := CostModel{MemoryByte: 1e-6, PageIO: 1000, CPUTuple: 0}
+	p := costPlan(t, info, m)
+	if p.SortFirst || p.Spec.Algorithm != core.KOrderedTree || p.Spec.K != 16 {
+		t.Fatalf("declared k: %v", p)
+	}
+}
+
+// TestCostModelFewIntervalsFavoursList: with very few constant intervals
+// the linked list's quadratic term collapses and its tiny memory wins.
+func TestCostModelFewIntervalsFavoursList(t *testing.T) {
+	info := RelationInfo{Tuples: 1 << 16, KBound: -1, ExpectedConstantIntervals: 4}
+	m := CostModel{MemoryByte: 1, PageIO: 0.001, CPUTuple: 1e-7}
+	p := costPlan(t, info, m)
+	if p.Spec.Algorithm != core.LinkedList {
+		t.Fatalf("few intervals: %v", p)
+	}
+}
+
+// TestCostModelQuadraticListPenalty: with many intervals and a real CPU
+// price the list never wins.
+func TestCostModelQuadraticListPenalty(t *testing.T) {
+	info := RelationInfo{Tuples: 1 << 16, KBound: -1}
+	m := CostModel{MemoryByte: 1e-9, PageIO: 1e-9, CPUTuple: 1}
+	p := costPlan(t, info, m)
+	if p.Spec.Algorithm == core.LinkedList {
+		t.Fatalf("quadratic list chosen: %v", p)
+	}
+}
+
+// TestCostModelDisabledFallsBack: the zero model defers to the qualitative
+// rules, and USING still overrides everything.
+func TestCostModelDisabledFallsBack(t *testing.T) {
+	info := RelationInfo{Tuples: 100, Sorted: true, KBound: -1}
+	p := costPlan(t, info, CostModel{})
+	if p.Spec.Algorithm != core.KOrderedTree || p.Spec.K != 1 {
+		t.Fatalf("fallback: %v", p)
+	}
+	q := mustParse(t, planSQL+" USING LIST")
+	p, err := PlanQueryCosted(q, info, CostModel{MemoryByte: 1, PageIO: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Spec.Algorithm != core.LinkedList {
+		t.Fatalf("USING ignored: %v", p)
+	}
+}

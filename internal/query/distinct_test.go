@@ -1,0 +1,145 @@
+package query
+
+import (
+	"testing"
+
+	"tempagg/internal/interval"
+	"tempagg/internal/relation"
+	"tempagg/internal/tuple"
+)
+
+func TestParseDistinct(t *testing.T) {
+	q := mustParse(t, "SELECT COUNT(DISTINCT Name) FROM R")
+	if !q.Aggs[0].Distinct {
+		t.Fatal("DISTINCT not parsed")
+	}
+	q = mustParse(t, "SELECT SUM(distinct Salary) FROM R")
+	if !q.Aggs[0].Distinct {
+		t.Fatal("lower-case DISTINCT not parsed")
+	}
+	q = mustParse(t, "SELECT COUNT(Name) FROM R")
+	if q.Aggs[0].Distinct {
+		t.Fatal("DISTINCT set without keyword")
+	}
+}
+
+func TestParseValidOverlaps(t *testing.T) {
+	q := mustParse(t, "SELECT COUNT(Name) FROM R VALID OVERLAPS 10 99")
+	if q.Window == nil || *q.Window != interval.MustNew(10, 99) {
+		t.Fatalf("window = %v", q.Window)
+	}
+	q = mustParse(t, "SELECT COUNT(Name) FROM R VALID OVERLAPS 5 FOREVER")
+	if q.Window == nil || q.Window.End != interval.Forever {
+		t.Fatalf("window = %v", q.Window)
+	}
+}
+
+func TestParseValidOverlapsErrors(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT COUNT(Name) FROM R VALID 10 99",
+		"SELECT COUNT(Name) FROM R VALID OVERLAPS",
+		"SELECT COUNT(Name) FROM R VALID OVERLAPS 10",
+		"SELECT COUNT(Name) FROM R VALID OVERLAPS 99 10",
+		"SELECT COUNT(Name) FROM R VALID OVERLAPS x y",
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q): expected error", sql)
+		}
+	}
+}
+
+func TestDistinctAndWindowStringRoundTrip(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT COUNT(DISTINCT Name) FROM R",
+		"SELECT SUM(Salary) FROM R VALID OVERLAPS 5 FOREVER",
+		"SELECT AVG(DISTINCT Salary) FROM R VALID OVERLAPS 0 100 WHERE Salary > 3",
+	} {
+		q := mustParse(t, sql)
+		again := mustParse(t, q.String())
+		if q.String() != again.String() {
+			t.Errorf("round trip changed %q -> %q", q.String(), again.String())
+		}
+	}
+}
+
+func TestExecuteDistinctRemovesDuplicates(t *testing.T) {
+	rel := relation.FromTuples("R", []tuple.Tuple{
+		tuple.MustNew("a", 5, 0, 9),
+		tuple.MustNew("a", 5, 0, 9), // exact duplicate
+		tuple.MustNew("b", 5, 0, 9),
+	})
+	plain := execute(t, "SELECT COUNT(Name) FROM R", rel)
+	if v, _ := plain.Groups[0].Result.At(3); v.Int != 3 {
+		t.Fatalf("plain count = %v, want 3", v)
+	}
+	distinct := execute(t, "SELECT COUNT(DISTINCT Name) FROM R", rel)
+	if v, _ := distinct.Groups[0].Result.At(3); v.Int != 2 {
+		t.Fatalf("distinct count = %v, want 2", v)
+	}
+}
+
+func TestExecuteWindowClipsResult(t *testing.T) {
+	rel := relation.Employed()
+	qr := execute(t, "SELECT COUNT(Name) FROM Employed VALID OVERLAPS 10 19", rel)
+	res := qr.Groups[0].Result
+	if err := res.ValidatePartition(10, 19); err != nil {
+		t.Fatalf("clipped result must partition the window: %v", err)
+	}
+	// Counts inside the window are unchanged: the window only restricts the
+	// reported range, not which tuples overlap each instant.
+	if v, ok := res.At(12); !ok || v.Int != 2 {
+		t.Fatalf("count at 12 = %v, want 2", v)
+	}
+	if v, ok := res.At(18); !ok || v.Int != 3 {
+		t.Fatalf("count at 18 = %v, want 3", v)
+	}
+	if _, ok := res.At(9); ok {
+		t.Fatal("instants outside the window must be absent")
+	}
+}
+
+func TestExecuteWindowWithSpan(t *testing.T) {
+	rel := relation.FromTuples("R", []tuple.Tuple{
+		tuple.MustNew("a", 1, 0, 25),
+		tuple.MustNew("b", 1, 40, 90),
+	})
+	qr := execute(t, "SELECT COUNT(Name) FROM R VALID OVERLAPS 0 99 GROUP BY SPAN 50", rel)
+	res := qr.Groups[0].Result
+	if err := res.ValidatePartition(0, 99); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d spans, want 2", len(res.Rows))
+	}
+	if res.Value(0).Int != 2 || res.Value(1).Int != 1 {
+		t.Fatalf("span counts = %d, %d; want 2, 1", res.Value(0).Int, res.Value(1).Int)
+	}
+}
+
+func TestExecuteWindowAllowsOpenEndedSpanError(t *testing.T) {
+	// A window ending at FOREVER does not rescue span grouping.
+	if _, err := Run("SELECT COUNT(Name) FROM Employed VALID OVERLAPS 0 FOREVER GROUP BY SPAN 10",
+		relation.Employed(), nil); err == nil {
+		t.Fatal("open-ended span grouping must still fail")
+	}
+}
+
+func TestDeduplicateHelper(t *testing.T) {
+	ts := []tuple.Tuple{
+		tuple.MustNew("a", 1, 0, 5),
+		tuple.MustNew("b", 1, 0, 5),
+		tuple.MustNew("a", 1, 0, 5),
+		tuple.MustNew("a", 2, 0, 5), // different value: not a duplicate
+	}
+	out := relation.Deduplicate(ts)
+	if len(out) != 3 {
+		t.Fatalf("deduplicated to %d tuples, want 3", len(out))
+	}
+	if out[0].Name != "a" || out[1].Name != "b" || out[2].Value != 2 {
+		t.Fatalf("order not preserved: %v", out)
+	}
+	rel := relation.FromTuples("R", ts)
+	if removed := rel.DeduplicateInPlace(); removed != 1 {
+		t.Fatalf("removed %d, want 1", removed)
+	}
+}

@@ -1,0 +1,75 @@
+package query_test
+
+import (
+	"fmt"
+
+	"tempagg/internal/query"
+	"tempagg/internal/relation"
+)
+
+// ExampleRun executes the paper's example query through the full
+// lexer → parser → planner → executor pipeline.
+func ExampleRun() {
+	qr, err := query.Run("SELECT COUNT(Name) FROM Employed",
+		relation.Employed(), nil)
+	if err != nil {
+		panic(err)
+	}
+	res := qr.Groups[0].Result
+	for i, row := range res.Rows {
+		fmt.Printf("%s %s\n", res.Value(i), row.Interval)
+	}
+	// Output:
+	// 0 [0,6]
+	// 1 [7,7]
+	// 2 [8,12]
+	// 1 [13,17]
+	// 3 [18,20]
+	// 2 [21,21]
+	// 1 [22,∞]
+}
+
+// ExamplePlanQuery shows the §6.3 optimizer choosing strategies from
+// relation metadata.
+func ExamplePlanQuery() {
+	q, err := query.Parse("SELECT COUNT(Name) FROM R")
+	if err != nil {
+		panic(err)
+	}
+	for _, info := range []query.RelationInfo{
+		{Tuples: 100000, Sorted: true, KBound: -1},
+		{Tuples: 100000, KBound: 40},
+		{Tuples: 100000, KBound: -1},
+		{Tuples: 100000, KBound: -1, MemoryBudget: 4096},
+	} {
+		plan, err := query.PlanQuery(q, info)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(plan.Spec.Algorithm, plan.SortFirst)
+	}
+	// Output:
+	// k-ordered-tree false
+	// k-ordered-tree false
+	// aggregation-tree false
+	// k-ordered-tree true
+}
+
+// ExampleRun_groupBy partitions by the Name attribute on top of temporal
+// grouping.
+func ExampleRun_groupBy() {
+	qr, err := query.Run(
+		"SELECT Name, MAX(Salary) FROM Employed GROUP BY Name",
+		relation.Employed(), nil)
+	if err != nil {
+		panic(err)
+	}
+	for _, g := range qr.Groups {
+		v, _ := g.Result.At(20)
+		fmt.Printf("%s: %s\n", g.Key, v)
+	}
+	// Output:
+	// Karen: 45
+	// Nathan: 37
+	// Rich: 40
+}

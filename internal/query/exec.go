@@ -1,0 +1,270 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/core"
+	"tempagg/internal/interval"
+	"tempagg/internal/relation"
+	"tempagg/internal/tuple"
+)
+
+// GroupResult is the time-varying aggregate for one attribute group. Key is
+// empty when the query has no attribute grouping. Queries with several
+// aggregates in the select list (§3) carry one result per aggregate, in
+// select-list order; Result and Stats mirror the first for convenience.
+type GroupResult struct {
+	Key      string
+	Result   *core.Result
+	Stats    core.Stats
+	Results  []*core.Result
+	AllStats []core.Stats
+}
+
+// QueryResult is the full outcome of executing a query.
+type QueryResult struct {
+	Query  *Query
+	Plan   Plan
+	Groups []GroupResult
+}
+
+// String renders the result in the paper's Table 1 style, one block per
+// group and aggregate.
+func (qr *QueryResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s\n-- plan: %s\n", qr.Query, qr.Plan)
+	for _, g := range qr.Groups {
+		if g.Key != "" {
+			fmt.Fprintf(&b, "-- group %s\n", g.Key)
+		}
+		for _, res := range g.Results {
+			b.WriteString(res.String())
+		}
+	}
+	return b.String()
+}
+
+// matches evaluates one WHERE conjunct against a tuple.
+func (c Condition) matches(t tuple.Tuple) bool {
+	if c.IsStr {
+		return cmpOrdered(strings.Compare(t.Name, c.Str), c.Op)
+	}
+	var v int64
+	switch c.Attr {
+	case AttrValue:
+		v = t.Value
+	case AttrStart:
+		v = t.Valid.Start
+	case AttrEnd:
+		v = t.Valid.End
+	default:
+		return false
+	}
+	switch {
+	case v < c.Num:
+		return cmpOrdered(-1, c.Op)
+	case v > c.Num:
+		return cmpOrdered(1, c.Op)
+	}
+	return cmpOrdered(0, c.Op)
+}
+
+func cmpOrdered(sign int, op CompareOp) bool {
+	switch op {
+	case "=":
+		return sign == 0
+	case "<>":
+		return sign != 0
+	case "<":
+		return sign < 0
+	case "<=":
+		return sign <= 0
+	case ">":
+		return sign > 0
+	case ">=":
+		return sign >= 0
+	}
+	return false
+}
+
+// Execute runs a parsed query over an in-memory relation. info supplies the
+// optimizer's metadata; pass nil to derive it from the relation itself
+// (cardinality and an order check).
+func Execute(q *Query, rel *relation.Relation, info *RelationInfo) (*QueryResult, error) {
+	if q.Relation != rel.Name {
+		return nil, fmt.Errorf("query: relation %q not found (have %q)", q.Relation, rel.Name)
+	}
+	meta := RelationInfo{Tuples: rel.Len(), Sorted: rel.IsSorted(), KBound: -1}
+	if info != nil {
+		meta = *info
+	}
+	var plan Plan
+	if q.At != nil {
+		// Snapshot reduction: the value at one instant needs no constant
+		// intervals — a single aggregation pass over the qualifying tuples.
+		plan = Plan{Snapshot: true, Reason: fmt.Sprintf("snapshot at %d: direct aggregation, no constant intervals", *q.At)}
+	} else {
+		var err error
+		plan, err = PlanQuery(q, meta)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// VALID window and WHERE filter.
+	filtered := rel.Tuples
+	if len(q.Where) > 0 || q.Window != nil {
+		filtered = make([]tuple.Tuple, 0, len(rel.Tuples))
+		for _, t := range rel.Tuples {
+			if q.Window != nil && !t.Valid.Overlaps(*q.Window) {
+				continue
+			}
+			keep := true
+			for _, c := range q.Where {
+				if !c.matches(t) {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				filtered = append(filtered, t)
+			}
+		}
+	}
+
+	// Attribute grouping (GROUP BY Name): partition, then aggregate each
+	// group independently — Epstein's temporary-relation strategy with the
+	// interval machinery per group (§3, §4.2).
+	groups := [][]tuple.Tuple{filtered}
+	keys := []string{""}
+	if q.GroupAttr != nil {
+		byKey := make(map[string][]tuple.Tuple)
+		for _, t := range filtered {
+			byKey[t.Name] = append(byKey[t.Name], t)
+		}
+		keys = keys[:0]
+		for k := range byKey {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		groups = groups[:0]
+		for _, k := range keys {
+			groups = append(groups, byKey[k])
+		}
+	}
+
+	qr := &QueryResult{Query: q, Plan: plan}
+	for i, group := range groups {
+		gr := GroupResult{Key: keys[i]}
+		var dedupedGroup []tuple.Tuple
+		for _, a := range q.Aggs {
+			input := group
+			if a.Distinct {
+				// Duplicate elimination before processing (§7), computed
+				// once per group.
+				if dedupedGroup == nil {
+					dedupedGroup = relation.Deduplicate(group)
+				}
+				input = dedupedGroup
+			}
+			f := aggregate.For(a.Kind)
+			var (
+				res   *core.Result
+				stats core.Stats
+				err   error
+			)
+			switch {
+			case q.At != nil:
+				res = snapshotResult(f, input, *q.At)
+				stats = core.Stats{Tuples: len(input)}
+			case q.Temporal == BySpan:
+				res, err = executeSpan(q, f, input)
+			default:
+				res, stats, err = executeInstant(plan, meta, f, input)
+				if err == nil && q.Window != nil {
+					res.Clip(*q.Window)
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+			gr.Results = append(gr.Results, res)
+			gr.AllStats = append(gr.AllStats, stats)
+		}
+		gr.Result = gr.Results[0]
+		gr.Stats = gr.AllStats[0]
+		qr.Groups = append(qr.Groups, gr)
+	}
+	return qr, nil
+}
+
+// snapshotResult folds the tuples valid at the instant into a single-row
+// result covering [at, at].
+func snapshotResult(f aggregate.Func, ts []tuple.Tuple, at interval.Time) *core.Result {
+	state := f.Zero()
+	for _, t := range ts {
+		if t.Valid.Contains(at) {
+			state = f.Add(state, t.Value)
+		}
+	}
+	return &core.Result{Func: f, Rows: []core.Row{{
+		Interval: interval.At(at),
+		State:    state,
+	}}}
+}
+
+func executeInstant(plan Plan, meta RelationInfo, f aggregate.Func, ts []tuple.Tuple) (*core.Result, core.Stats, error) {
+	if plan.Tuma {
+		res, err := core.Tuma(core.NewSliceSource(ts), f)
+		return res, core.Stats{Tuples: 2 * len(ts)}, err
+	}
+	input := ts
+	needSorted := plan.SortFirst ||
+		(plan.Spec.Algorithm == core.KOrderedTree && meta.KBound < 0 && plan.Spec.K <= 1)
+	if needSorted && !sort.SliceIsSorted(ts, func(i, j int) bool { return ts[i].Less(ts[j]) }) {
+		// Sorting is also required when the plan assumes order the filter
+		// may have preserved but grouping cannot guarantee; sorting a copy
+		// keeps the caller's relation untouched.
+		input = append([]tuple.Tuple(nil), ts...)
+		sort.SliceStable(input, func(i, j int) bool { return input[i].Less(input[j]) })
+	}
+	res, stats, err := core.Run(plan.Spec, f, input)
+	return res, stats, err
+}
+
+func executeSpan(q *Query, f aggregate.Func, ts []tuple.Tuple) (*core.Result, error) {
+	// An explicit finite VALID window defines the spans directly.
+	if q.Window != nil && q.Window.End != interval.Forever {
+		return core.GroupBySpan(f, ts, q.Span, *q.Window)
+	}
+	// Otherwise span grouping needs a finite window: the relation's
+	// lifespan, rounded so the window starts at the origin.
+	end := interval.Time(0)
+	for _, t := range ts {
+		if t.Valid.End == interval.Forever {
+			return nil, fmt.Errorf("query: GROUP BY SPAN requires a finite lifespan; tuple %v is open-ended", t)
+		}
+		if t.Valid.End > end {
+			end = t.Valid.End
+		}
+	}
+	// Round the window up to whole spans so the last span is not clipped
+	// by an accident of the data.
+	if rem := (end + 1) % q.Span; rem != 0 {
+		end += q.Span - rem
+	}
+	window := interval.Interval{Start: interval.Origin, End: end}
+	return core.GroupBySpan(f, ts, q.Span, window)
+}
+
+// Run parses and executes a query string over rel in one call.
+func Run(sql string, rel *relation.Relation, info *RelationInfo) (*QueryResult, error) {
+	q, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(q, rel, info)
+}

@@ -1,0 +1,85 @@
+package query
+
+import (
+	"testing"
+
+	"tempagg/internal/interval"
+	"tempagg/internal/relation"
+)
+
+func TestParseSpanWithCalendarUnits(t *testing.T) {
+	q := mustParse(t, "SELECT COUNT(Name) FROM R GROUP BY SPAN 2 YEARS")
+	if q.Span != 2*interval.Time(interval.Year) {
+		t.Fatalf("span = %d", q.Span)
+	}
+	q = mustParse(t, "SELECT COUNT(Name) FROM R GROUP BY SPAN 1 day")
+	if q.Span != interval.Time(interval.Day) {
+		t.Fatalf("span = %d", q.Span)
+	}
+	// A unit-less span followed by USING must not eat the keyword.
+	q = mustParse(t, "SELECT COUNT(Name) FROM R GROUP BY SPAN 10 USING LIST")
+	if q.Span != 10 || q.Using != "LIST" {
+		t.Fatalf("span/using = %d/%q", q.Span, q.Using)
+	}
+}
+
+// FuzzParse checks that the parser never panics and that accepted queries
+// re-parse to the same canonical form.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT COUNT(Name) FROM Employed",
+		"SELECT Name, AVG(Salary) FROM R GROUP BY Name, SPAN 5 USING KTREE 2",
+		"SELECT COUNT(DISTINCT Name), MAX(Salary) FROM R VALID OVERLAPS 0 99 WHERE Salary >= -3 AND Name <> 'x'",
+		"select min(salary) from r group by span 2 years",
+		"SELECT SUM(Salary) FROM R WHERE Start < 100 USING TUMA",
+		"((((", "SELECT", "'", "SELECT COUNT(Name)) FROM R", "\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		canon := q.String()
+		q2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", canon, err)
+		}
+		if q2.String() != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canon, q2.String())
+		}
+	})
+}
+
+// FuzzExecute checks that arbitrary accepted queries execute against the
+// Employed relation without panicking and produce structurally valid
+// results.
+func FuzzExecute(f *testing.F) {
+	f.Add("SELECT COUNT(Name) FROM Employed")
+	f.Add("SELECT Name, MIN(Salary) FROM Employed GROUP BY Name USING LIST")
+	f.Add("SELECT AVG(Salary) FROM Employed VALID OVERLAPS 5 25")
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil || q.Relation != "Employed" {
+			return
+		}
+		qr, err := Execute(q, relation.Employed(), nil)
+		if err != nil {
+			return // semantic rejection (e.g. span over ∞) is fine
+		}
+		for _, g := range qr.Groups {
+			for _, res := range g.Results {
+				if len(res.Rows) == 0 {
+					continue
+				}
+				lo := res.Rows[0].Interval.Start
+				hi := res.Rows[len(res.Rows)-1].Interval.End
+				if err := res.ValidatePartition(lo, hi); err != nil {
+					t.Fatalf("query %q produced invalid result: %v", input, err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,32 @@
+package query
+
+import (
+	"encoding/json"
+
+	"tempagg/internal/core"
+)
+
+// jsonGroup is the wire form of one attribute group.
+type jsonGroup struct {
+	Key     string         `json:"key,omitempty"`
+	Results []*core.Result `json:"results"`
+}
+
+type jsonQueryResult struct {
+	Query  string      `json:"query"`
+	Plan   string      `json:"plan"`
+	Groups []jsonGroup `json:"groups"`
+}
+
+// MarshalJSON encodes the query outcome with the canonical query text, the
+// chosen plan, and one result per group and select-list aggregate.
+func (qr *QueryResult) MarshalJSON() ([]byte, error) {
+	out := jsonQueryResult{
+		Query: qr.Query.String(),
+		Plan:  qr.Plan.String(),
+	}
+	for _, g := range qr.Groups {
+		out.Groups = append(out.Groups, jsonGroup{Key: g.Key, Results: g.Results})
+	}
+	return json.Marshal(out)
+}

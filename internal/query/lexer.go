@@ -1,0 +1,141 @@
+// Package query implements a small TSQL2-flavoured query language for
+// temporal aggregates, covering the constructs the paper discusses (§2):
+// scalar aggregates over an interval-stamped relation, attribute grouping
+// (GROUP BY Dept), and temporal grouping by instant (the TSQL2 default) or
+// by span. A planner implements the query-optimizer strategies of §6.3,
+// choosing between the linked list, the aggregation tree, and the k-ordered
+// aggregation tree from relation metadata; an explicit USING clause
+// overrides it.
+//
+// Grammar:
+//
+//	query  := SELECT [ident ","] agg FROM ident [where] [group] [using]
+//	agg    := ("COUNT"|"SUM"|"AVG"|"MIN"|"MAX") "(" ident ")"
+//	where  := WHERE cond {AND cond}
+//	cond   := ident op literal
+//	op     := "=" | "<>" | "<" | "<=" | ">" | ">="
+//	group  := GROUP BY item {"," item}
+//	item   := ident | INSTANT | SPAN number
+//	using  := USING ident [number]
+//
+// Keywords are case-insensitive; identifiers are case-sensitive.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokOp // = <> < <= > >=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokOp:
+		return "operator"
+	}
+	return "token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset in the input, for error messages
+}
+
+// lex tokenizes the query. It returns a token slice ending with tokEOF.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '<':
+			if i+1 < len(input) && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, token{tokOp, input[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
+		case c == '\'':
+			j := strings.IndexByte(input[i+1:], '\'')
+			if j < 0 {
+				return nil, fmt.Errorf("query: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, input[i+1 : i+1+j], i})
+			i += j + 2
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(input) && input[i+1] >= '0' && input[i+1] <= '9':
+			j := i + 1
+			for j < len(input) && input[j] >= '0' && input[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i + 1
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+// isKeyword reports whether tok is the given keyword, case-insensitively.
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

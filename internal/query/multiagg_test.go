@@ -1,0 +1,131 @@
+package query
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/relation"
+)
+
+func TestParseMultipleAggregates(t *testing.T) {
+	q := mustParse(t, "SELECT COUNT(Name), AVG(Salary), MAX(Salary) FROM Employed")
+	if len(q.Aggs) != 3 {
+		t.Fatalf("%d aggregates, want 3", len(q.Aggs))
+	}
+	want := []aggregate.Kind{aggregate.Count, aggregate.Avg, aggregate.Max}
+	for i, k := range want {
+		if q.Aggs[i].Kind != k {
+			t.Fatalf("agg %d = %v, want %v", i, q.Aggs[i].Kind, k)
+		}
+	}
+}
+
+func TestParseGroupAttrPlusMultipleAggregates(t *testing.T) {
+	q := mustParse(t, "SELECT Name, COUNT(Name), MIN(Salary) FROM Employed GROUP BY Name")
+	if q.GroupAttr == nil || *q.GroupAttr != AttrName {
+		t.Fatal("group attribute lost")
+	}
+	if len(q.Aggs) != 2 {
+		t.Fatalf("%d aggregates, want 2", len(q.Aggs))
+	}
+}
+
+func TestMultiAggStringRoundTrip(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT COUNT(Name), AVG(Salary) FROM R",
+		"SELECT Name, COUNT(DISTINCT Name), SUM(Salary) FROM R GROUP BY Name",
+	} {
+		q := mustParse(t, sql)
+		again := mustParse(t, q.String())
+		if q.String() != again.String() {
+			t.Errorf("round trip changed %q -> %q", q.String(), again.String())
+		}
+	}
+}
+
+func TestExecuteMultipleAggregates(t *testing.T) {
+	rel := relation.Employed()
+	qr := execute(t, "SELECT COUNT(Name), SUM(Salary), MIN(Salary) FROM Employed", rel)
+	g := qr.Groups[0]
+	if len(g.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(g.Results))
+	}
+	if g.Result != g.Results[0] {
+		t.Fatal("Result must alias Results[0]")
+	}
+	// All three share the same constant intervals ([18,20] is the third-
+	// from-last row), with each aggregate's value.
+	count, sum, minimum := g.Results[0], g.Results[1], g.Results[2]
+	if v, _ := count.At(19); v.Int != 3 {
+		t.Errorf("COUNT at 19 = %v, want 3", v)
+	}
+	if v, _ := sum.At(19); v.Int != 40+45+37 {
+		t.Errorf("SUM at 19 = %v, want 122", v)
+	}
+	if v, _ := minimum.At(19); v.Int != 37 {
+		t.Errorf("MIN at 19 = %v, want 37", v)
+	}
+	// Output renders one table per aggregate.
+	out := qr.String()
+	for _, hdr := range []string{"COUNT | start | end", "SUM | start | end", "MIN | start | end"} {
+		if !strings.Contains(out, hdr) {
+			t.Errorf("output missing %q", hdr)
+		}
+	}
+}
+
+func TestExecuteMultiAggMixedDistinct(t *testing.T) {
+	rel := relation.FromTuples("R", append(relation.Employed().Tuples,
+		relation.Employed().Tuples[0])) // duplicate Rich
+	qr := execute(t, "SELECT COUNT(Name), COUNT(DISTINCT Name) FROM R", rel)
+	g := qr.Groups[0]
+	plain, distinct := g.Results[0], g.Results[1]
+	if v, _ := plain.At(19); v.Int != 4 {
+		t.Errorf("COUNT at 19 = %v, want 4 (duplicate Rich counted)", v)
+	}
+	if v, _ := distinct.At(19); v.Int != 3 {
+		t.Errorf("COUNT(DISTINCT) at 19 = %v, want 3", v)
+	}
+}
+
+func TestExecuteFileMultipleAggregatesStream(t *testing.T) {
+	rel := relation.Employed()
+	path := writeRelation(t, rel)
+	qr := runFile(t, "SELECT COUNT(Name), MAX(Salary) FROM Employed", path)
+	g := qr.Groups[0]
+	if len(g.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(g.Results))
+	}
+	if v, _ := g.Results[1].At(19); v.Int != 45 {
+		t.Errorf("streamed MAX at 19 = %v, want 45", v)
+	}
+}
+
+func TestExecuteMultiAggSpan(t *testing.T) {
+	rel := relation.FromTuples("R", relation.Employed().Tuples[1:3])
+	qr := execute(t, "SELECT COUNT(Name), SUM(Salary) FROM R GROUP BY SPAN 10", rel)
+	g := qr.Groups[0]
+	if len(g.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(g.Results))
+	}
+	if g.Results[0].Value(0).Int != 2 || g.Results[1].Value(0).Int != 80 {
+		t.Fatalf("span values = %v, %v", g.Results[0].Value(0), g.Results[1].Value(0))
+	}
+}
+
+func TestQueryResultMarshalJSON(t *testing.T) {
+	qr := execute(t, "SELECT Name, COUNT(Name) FROM Employed GROUP BY Name",
+		relation.Employed())
+	data, err := json.Marshal(qr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"query":`, `"plan":`, `"key":"Karen"`, `"aggregate":"COUNT"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+)
+
+// Parse parses a TSQL2-flavoured temporal aggregate query.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if !p.peek().isKeyword("") && p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected %q after end of query", p.peek().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("query: at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.peek().isKeyword(kw) {
+		return p.errf("expected %s, found %q", kw, p.peek().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.peek().kind != kind {
+		return token{}, p.errf("expected %s, found %q", kind, p.peek().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) query() (*Query, error) {
+	q := &Query{}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+
+	// Select list: optional grouping attribute, then one or more
+	// aggregates. A bare identifier followed by a comma is the grouping
+	// attribute; aggregate names are always followed by '('.
+	first, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokComma && p.toks[p.pos+1].kind == tokIdent &&
+		!isAggName(first.text) {
+		p.next()
+		attr, err := parseAttr(first.text)
+		if err != nil {
+			return nil, err
+		}
+		q.GroupAttr = &attr
+		first, err = p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for {
+		spec, err := p.aggSpec(first)
+		if err != nil {
+			return nil, err
+		}
+		q.Aggs = append(q.Aggs, spec)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+		first, err = p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	relTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	q.Relation = relTok.text
+
+	if p.peek().isKeyword("VALID") {
+		p.next()
+		if err := p.expectKeyword("OVERLAPS"); err != nil {
+			return nil, err
+		}
+		startTok, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		start, err := strconv.ParseInt(startTok.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad window start: %v", err)
+		}
+		var end interval.Time
+		switch {
+		case p.peek().isKeyword("FOREVER"):
+			p.next()
+			end = interval.Forever
+		case p.peek().kind == tokNumber:
+			end, err = strconv.ParseInt(p.next().text, 10, 64)
+			if err != nil {
+				return nil, p.errf("bad window end: %v", err)
+			}
+		default:
+			return nil, p.errf("expected window end (number or FOREVER), found %q", p.peek().text)
+		}
+		w, err := interval.New(start, end)
+		if err != nil {
+			return nil, fmt.Errorf("query: VALID OVERLAPS: %w", err)
+		}
+		q.Window = &w
+	}
+
+	if p.peek().isKeyword("AT") {
+		p.next()
+		numTok, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		at, err := strconv.ParseInt(numTok.text, 10, 64)
+		if err != nil || at < 0 {
+			return nil, p.errf("snapshot instant must be a non-negative number, got %q", numTok.text)
+		}
+		q.At = &at
+	}
+
+	if p.peek().isKeyword("WHERE") {
+		p.next()
+		for {
+			cond, err := p.condition()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, cond)
+			if !p.peek().isKeyword("AND") {
+				break
+			}
+			p.next()
+		}
+	}
+
+	if p.peek().isKeyword("GROUP") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		if err := p.groupItems(q); err != nil {
+			return nil, err
+		}
+	}
+
+	if p.peek().isKeyword("USING") {
+		p.next()
+		algTok, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		q.Using = strings.ToUpper(algTok.text)
+		if p.peek().kind == tokNumber {
+			n, err := strconv.Atoi(p.next().text)
+			if err != nil {
+				return nil, p.errf("bad K argument: %v", err)
+			}
+			q.UsingK = n
+			q.HasUsingK = true
+		}
+	}
+
+	if err := q.check(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// isAggName reports whether the identifier names an aggregate function.
+func isAggName(name string) bool {
+	_, err := aggregate.ParseKind(strings.ToUpper(name))
+	return err == nil
+}
+
+// aggSpec parses one aggregate item given its already-consumed name token:
+// KIND '(' [DISTINCT] attr ')'.
+func (p *parser) aggSpec(nameTok token) (AggSpec, error) {
+	kind, err := aggregate.ParseKind(strings.ToUpper(nameTok.text))
+	if err != nil {
+		return AggSpec{}, fmt.Errorf("query: %q is not an aggregate function", nameTok.text)
+	}
+	spec := AggSpec{Kind: kind}
+	if _, err := p.expect(tokLParen); err != nil {
+		return AggSpec{}, err
+	}
+	if p.peek().isKeyword("DISTINCT") {
+		p.next()
+		spec.Distinct = true
+	}
+	attrTok, err := p.expect(tokIdent)
+	if err != nil {
+		return AggSpec{}, err
+	}
+	spec.Attr, err = parseAttr(attrTok.text)
+	if err != nil {
+		return AggSpec{}, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return AggSpec{}, err
+	}
+	return spec, nil
+}
+
+func (p *parser) condition() (Condition, error) {
+	attrTok, err := p.expect(tokIdent)
+	if err != nil {
+		return Condition{}, err
+	}
+	attr, err := parseAttr(attrTok.text)
+	if err != nil {
+		return Condition{}, err
+	}
+	opTok, err := p.expect(tokOp)
+	if err != nil {
+		return Condition{}, err
+	}
+	cond := Condition{Attr: attr, Op: CompareOp(opTok.text)}
+	switch p.peek().kind {
+	case tokString:
+		cond.Str = p.next().text
+		cond.IsStr = true
+	case tokNumber:
+		n, err := strconv.ParseInt(p.next().text, 10, 64)
+		if err != nil {
+			return Condition{}, p.errf("bad number: %v", err)
+		}
+		cond.Num = n
+	default:
+		return Condition{}, p.errf("expected literal, found %q", p.peek().text)
+	}
+	return cond, nil
+}
+
+func (p *parser) groupItems(q *Query) error {
+	sawTemporal := false
+	for {
+		t := p.peek()
+		switch {
+		case t.isKeyword("INSTANT"):
+			p.next()
+			q.Temporal = ByInstant
+			sawTemporal = true
+		case t.isKeyword("SPAN"):
+			p.next()
+			numTok, err := p.expect(tokNumber)
+			if err != nil {
+				return err
+			}
+			n, err := strconv.ParseInt(numTok.text, 10, 64)
+			if err != nil || n <= 0 {
+				return p.errf("span length must be a positive number, got %q", numTok.text)
+			}
+			q.Temporal = BySpan
+			q.Span = interval.Time(n)
+			// An optional calendar unit scales the span: SPAN 2 YEARS (§2).
+			if p.peek().kind == tokIdent {
+				if g, err := interval.ParseGranularity(p.peek().text); err == nil {
+					p.next()
+					q.Span = g.Span(n)
+				}
+			}
+			sawTemporal = true
+		case t.kind == tokIdent:
+			attr, err := parseAttr(t.text)
+			if err != nil {
+				return err
+			}
+			p.next()
+			if q.GroupAttr != nil && *q.GroupAttr != attr {
+				return p.errf("grouping attribute %s conflicts with select list attribute %s",
+					attr, *q.GroupAttr)
+			}
+			q.GroupAttr = &attr
+		default:
+			return p.errf("expected grouping item, found %q", t.text)
+		}
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	_ = sawTemporal // temporal grouping defaults to ByInstant (TSQL2 §5.1)
+	return nil
+}
+
+// check performs the semantic validation that does not need relation
+// metadata.
+func (q *Query) check() error {
+	if len(q.Aggs) == 0 {
+		return fmt.Errorf("query: select list has no aggregate")
+	}
+	for _, a := range q.Aggs {
+		switch a.Attr {
+		case AttrName:
+			if a.Kind != aggregate.Count {
+				return fmt.Errorf("query: %s: only COUNT may aggregate the Name attribute", a)
+			}
+		case AttrStart, AttrEnd:
+			return fmt.Errorf("query: aggregating timestamp attribute %s is not supported", a.Attr)
+		}
+	}
+	if q.GroupAttr != nil && *q.GroupAttr != AttrName {
+		return fmt.Errorf("query: GROUP BY %s: only the Name attribute can group", *q.GroupAttr)
+	}
+	for _, c := range q.Where {
+		if c.IsStr && c.Attr != AttrName {
+			return fmt.Errorf("query: attribute %s cannot compare to a string", c.Attr)
+		}
+		if !c.IsStr && c.Attr == AttrName {
+			return fmt.Errorf("query: attribute Name cannot compare to a number")
+		}
+		switch c.Op {
+		case "=", "<>", "<", "<=", ">", ">=":
+		default:
+			return fmt.Errorf("query: unknown operator %q", c.Op)
+		}
+	}
+	if q.At != nil {
+		if q.Window != nil {
+			return fmt.Errorf("query: AT and VALID OVERLAPS are mutually exclusive")
+		}
+		if q.Temporal == BySpan {
+			return fmt.Errorf("query: AT cannot combine with span grouping")
+		}
+	}
+	if q.Using != "" {
+		if _, _, err := resolveUsing(q); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"tempagg/internal/aggregate"
+)
+
+func mustParse(t *testing.T, sql string) *Query {
+	t.Helper()
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return q
+}
+
+func TestParsePaperQuery(t *testing.T) {
+	// The paper's example (§5.1): SELECT COUNT(Name) FROM Employed — the
+	// default grouping is by instant.
+	q := mustParse(t, "SELECT COUNT(Name) FROM Employed")
+	if q.Aggs[0].Kind != aggregate.Count || q.Aggs[0].Attr != AttrName {
+		t.Fatalf("parsed %v", q.Aggs[0])
+	}
+	if q.Relation != "Employed" {
+		t.Fatalf("relation = %q", q.Relation)
+	}
+	if q.Temporal != ByInstant {
+		t.Fatal("default temporal grouping must be by instant")
+	}
+	if q.GroupAttr != nil {
+		t.Fatal("no attribute grouping expected")
+	}
+}
+
+func TestParseGroupByAttribute(t *testing.T) {
+	// The paper's intro query: average salary grouped by department — here
+	// the Name attribute plays the role of the partitioning attribute.
+	q := mustParse(t, "SELECT Name, AVG(Salary) FROM Employed GROUP BY Name")
+	if q.Aggs[0].Kind != aggregate.Avg || q.Aggs[0].Attr != AttrValue {
+		t.Fatalf("parsed %v", q.Aggs[0])
+	}
+	if q.GroupAttr == nil || *q.GroupAttr != AttrName {
+		t.Fatal("GROUP BY Name not parsed")
+	}
+}
+
+func TestParseGroupBySpan(t *testing.T) {
+	q := mustParse(t, "SELECT SUM(Salary) FROM Employed GROUP BY SPAN 100")
+	if q.Temporal != BySpan || q.Span != 100 {
+		t.Fatalf("span grouping = %v/%d", q.Temporal, q.Span)
+	}
+	q = mustParse(t, "SELECT SUM(Salary) FROM Employed GROUP BY Name, SPAN 50")
+	if q.GroupAttr == nil || q.Temporal != BySpan || q.Span != 50 {
+		t.Fatal("combined attribute and span grouping not parsed")
+	}
+	q = mustParse(t, "SELECT SUM(Salary) FROM Employed GROUP BY INSTANT")
+	if q.Temporal != ByInstant {
+		t.Fatal("GROUP BY INSTANT not parsed")
+	}
+}
+
+func TestParseWhere(t *testing.T) {
+	q := mustParse(t,
+		"SELECT MIN(Salary) FROM Employed WHERE Salary >= 36 AND Name <> 'Karen' AND Start < 100")
+	if len(q.Where) != 3 {
+		t.Fatalf("parsed %d conditions", len(q.Where))
+	}
+	if q.Where[0].Attr != AttrValue || q.Where[0].Op != ">=" || q.Where[0].Num != 36 {
+		t.Fatalf("cond 0 = %+v", q.Where[0])
+	}
+	if q.Where[1].Attr != AttrName || !q.Where[1].IsStr || q.Where[1].Str != "Karen" {
+		t.Fatalf("cond 1 = %+v", q.Where[1])
+	}
+	if q.Where[2].Attr != AttrStart || q.Where[2].Num != 100 {
+		t.Fatalf("cond 2 = %+v", q.Where[2])
+	}
+}
+
+func TestParseUsing(t *testing.T) {
+	q := mustParse(t, "SELECT COUNT(Name) FROM Employed USING KTREE 4")
+	if q.Using != "KTREE" || !q.HasUsingK || q.UsingK != 4 {
+		t.Fatalf("USING = %q K=%d", q.Using, q.UsingK)
+	}
+	q = mustParse(t, "select count(name) from Employed using tuma")
+	if q.Using != "TUMA" {
+		t.Fatalf("USING = %q", q.Using)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q := mustParse(t, "select count(Name) from Employed group by name")
+	if q.Aggs[0].Kind != aggregate.Count || q.GroupAttr == nil {
+		t.Fatal("lower-case keywords must parse")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT COUNT Name FROM Employed",
+		"SELECT COUNT(Name FROM Employed",
+		"SELECT MEDIAN(Salary) FROM Employed",
+		"SELECT COUNT(Name)",
+		"SELECT COUNT(Name) FROM",
+		"SELECT COUNT(Name) FROM Employed WHERE",
+		"SELECT COUNT(Name) FROM Employed WHERE Salary",
+		"SELECT COUNT(Name) FROM Employed WHERE Salary = ",
+		"SELECT COUNT(Name) FROM Employed WHERE Salary ~ 5",
+		"SELECT COUNT(Name) FROM Employed GROUP BY",
+		"SELECT COUNT(Name) FROM Employed GROUP BY SPAN",
+		"SELECT COUNT(Name) FROM Employed GROUP BY SPAN 0",
+		"SELECT COUNT(Name) FROM Employed GROUP BY SPAN -5",
+		"SELECT COUNT(Name) FROM Employed GROUP BY Bogus",
+		"SELECT COUNT(Name) FROM Employed USING WISHFUL",
+		"SELECT COUNT(Name) FROM Employed trailing garbage",
+		"SELECT SUM(Name) FROM Employed",           // only COUNT may aggregate Name
+		"SELECT AVG(Start) FROM Employed",          // timestamps are not aggregable
+		"SELECT Salary, COUNT(Name) FROM Employed", // only Name can group
+		"SELECT COUNT(Name) FROM Employed WHERE Name = 5",
+		"SELECT COUNT(Name) FROM Employed WHERE Salary = 'x'",
+		"SELECT Name, COUNT(Name) FROM Employed GROUP BY Salary",
+		"SELECT COUNT(Name) FROM Employed WHERE Name = 'unterminated",
+		"SELECT COUNT(Bogus) FROM Employed",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q): expected error", sql)
+		}
+	}
+}
+
+func TestParseLexerErrors(t *testing.T) {
+	if _, err := Parse("SELECT COUNT(Name) FROM Employed WHERE Salary = #"); err == nil {
+		t.Fatal("expected lexer error for '#'")
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT COUNT(Name) FROM Employed",
+		"SELECT Name, AVG(Salary) FROM Employed GROUP BY Name",
+		"SELECT SUM(Salary) FROM Employed WHERE Salary > 30 GROUP BY SPAN 100 USING LIST",
+		"SELECT MAX(Salary) FROM Employed WHERE Name = 'Karen' AND Salary <> 10 USING KTREE 2",
+	}
+	for _, sql := range queries {
+		q := mustParse(t, sql)
+		again := mustParse(t, q.String())
+		if q.String() != again.String() {
+			t.Errorf("round trip changed %q -> %q", q.String(), again.String())
+		}
+	}
+}
+
+func TestNegativeNumberLiteral(t *testing.T) {
+	q := mustParse(t, "SELECT SUM(Salary) FROM R WHERE Salary > -10")
+	if q.Where[0].Num != -10 {
+		t.Fatalf("negative literal parsed as %d", q.Where[0].Num)
+	}
+}
+
+func TestAttrString(t *testing.T) {
+	if AttrName.String() != "Name" || AttrValue.String() != "Salary" ||
+		AttrStart.String() != "Start" || AttrEnd.String() != "Stop" {
+		t.Fatal("attribute names wrong")
+	}
+	if !strings.HasPrefix(Attr(9).String(), "Attr(") {
+		t.Fatal("unknown attribute name wrong")
+	}
+}

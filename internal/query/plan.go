@@ -1,0 +1,151 @@
+package query
+
+import (
+	"fmt"
+
+	"tempagg/internal/core"
+)
+
+// RelationInfo is the metadata the optimizer consults (§6.3): size,
+// declared ordering properties, and the memory available for evaluation
+// structures.
+type RelationInfo struct {
+	// Tuples is the relation cardinality.
+	Tuples int
+	// Sorted declares the relation totally ordered by time (e.g. from the
+	// storage header's sorted flag).
+	Sorted bool
+	// KBound, when non-negative, declares the relation k-ordered with this
+	// bound — the database administrator's "retroactively bounded"
+	// declaration (§6.3). Negative means unknown.
+	KBound int
+	// MemoryBudget bounds evaluation-structure memory in bytes; 0 means
+	// unlimited.
+	MemoryBudget int64
+	// ExpectedConstantIntervals, when positive, hints how many constant
+	// intervals the result will have (few when the granularity is coarse or
+	// timestamps cluster); a small value favours the linked list (§6.3).
+	ExpectedConstantIntervals int
+	// Cost, when enabled, switches the planner to cost-based choice among
+	// the §6.3 strategies (see CostModel); otherwise the qualitative rules
+	// below apply.
+	Cost CostModel
+}
+
+// Plan is the optimizer's decision for an instant-grouped query.
+type Plan struct {
+	// SortFirst asks the executor to sort the relation by time before
+	// evaluation — the paper's headline strategy pairs this with the
+	// k-ordered tree at k=1 (§7).
+	SortFirst bool
+	// Tuma selects the two-pass baseline instead of an Evaluator (only via
+	// an explicit USING TUMA).
+	Tuma bool
+	// Snapshot marks an AT-instant query: a direct aggregation pass with no
+	// constant-interval structure at all.
+	Snapshot bool
+	// Spec is the evaluator to run (ignored when Tuma is set).
+	Spec core.Spec
+	// Reason explains the choice, for EXPLAIN-style output.
+	Reason string
+}
+
+// String renders the plan.
+func (p Plan) String() string {
+	alg := p.Spec.Algorithm.String()
+	if p.Tuma {
+		alg = "tuma-two-pass"
+	}
+	if p.Snapshot {
+		alg = "snapshot-scan"
+	}
+	if p.Spec.Algorithm == core.KOrderedTree && !p.Tuma {
+		alg = fmt.Sprintf("%s(k=%d)", alg, p.Spec.K)
+	}
+	if p.SortFirst {
+		alg = "sort + " + alg
+	}
+	return fmt.Sprintf("%s — %s", alg, p.Reason)
+}
+
+// resolveUsing maps a USING clause to a plan component.
+func resolveUsing(q *Query) (core.Spec, bool, error) {
+	switch q.Using {
+	case "LIST", "LINKEDLIST":
+		return core.Spec{Algorithm: core.LinkedList}, false, nil
+	case "TREE", "AGGTREE":
+		return core.Spec{Algorithm: core.AggregationTree}, false, nil
+	case "BTREE", "BALANCED":
+		return core.Spec{Algorithm: core.BalancedTree}, false, nil
+	case "KTREE":
+		k := 1
+		if q.HasUsingK {
+			k = q.UsingK
+		}
+		if k < 0 {
+			return core.Spec{}, false, fmt.Errorf("query: USING KTREE requires K >= 0, got %d", k)
+		}
+		return core.Spec{Algorithm: core.KOrderedTree, K: k}, false, nil
+	case "TUMA":
+		return core.Spec{}, true, nil
+	}
+	return core.Spec{}, false, fmt.Errorf("query: unknown algorithm %q in USING clause", q.Using)
+}
+
+// PlanQuery chooses the evaluation strategy for an instant-grouped query,
+// implementing the optimizer reasoning of §6.3:
+//
+//   - An explicit USING clause always wins.
+//   - With very few expected constant intervals the linked list is adequate
+//     and cheapest in space.
+//   - A sorted relation takes the k-ordered tree with k=1.
+//   - A relation declared retroactively bounded (k-ordered) takes the
+//     k-ordered tree with that k, with no sorting required.
+//   - Otherwise the aggregation tree is best — unless its memory need
+//     exceeds the budget, in which case the executor sorts first and runs
+//     the k-ordered tree with k=1 (memory is then dearer than the sort).
+func PlanQuery(q *Query, info RelationInfo) (Plan, error) {
+	if q.Using != "" {
+		spec, tuma, err := resolveUsing(q)
+		if err != nil {
+			return Plan{}, err
+		}
+		return Plan{Spec: spec, Tuma: tuma, Reason: "forced by USING clause"}, nil
+	}
+	if info.Cost.Enabled() {
+		return PlanQueryCosted(q, info, info.Cost)
+	}
+	if n := info.ExpectedConstantIntervals; n > 0 && n <= 64 {
+		return Plan{
+			Spec:   core.Spec{Algorithm: core.LinkedList},
+			Reason: fmt.Sprintf("only ~%d constant intervals expected; the linked list is adequate (§6.3)", n),
+		}, nil
+	}
+	if info.Sorted {
+		return Plan{
+			Spec:   core.Spec{Algorithm: core.KOrderedTree, K: 1},
+			Reason: "relation is sorted: k-ordered tree with k=1 (§7)",
+		}, nil
+	}
+	if info.KBound >= 0 {
+		return Plan{
+			Spec:   core.Spec{Algorithm: core.KOrderedTree, K: info.KBound},
+			Reason: fmt.Sprintf("relation declared retroactively bounded (k=%d): k-ordered tree without sorting (§6.3)", info.KBound),
+		}, nil
+	}
+	// Unsorted, unbounded. Estimate the aggregation tree's memory: each
+	// tuple adds at most 4 nodes (two leaf splits), 16 bytes each.
+	est := int64(4*info.Tuples+1) * core.NodeBytes
+	if info.MemoryBudget == 0 || est <= info.MemoryBudget {
+		return Plan{
+			Spec:   core.Spec{Algorithm: core.AggregationTree},
+			Reason: fmt.Sprintf("unsorted relation, memory is plentiful (≤%d B): aggregation tree (§6.3)", est),
+		}, nil
+	}
+	return Plan{
+		SortFirst: true,
+		Spec:      core.Spec{Algorithm: core.KOrderedTree, K: 1},
+		Reason: fmt.Sprintf("aggregation tree would need ~%d B > budget %d B: sort then k-ordered tree with k=1 (§6.3)",
+			est, info.MemoryBudget),
+	}, nil
+}

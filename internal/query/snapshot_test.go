@@ -1,0 +1,87 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"tempagg/internal/interval"
+	"tempagg/internal/relation"
+)
+
+func TestParseAt(t *testing.T) {
+	q := mustParse(t, "SELECT COUNT(Name) FROM Employed AT 19")
+	if q.At == nil || *q.At != 19 {
+		t.Fatalf("At = %v", q.At)
+	}
+	again := mustParse(t, q.String())
+	if again.At == nil || *again.At != 19 {
+		t.Fatalf("round trip lost AT: %q", q.String())
+	}
+}
+
+func TestParseAtErrors(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT COUNT(Name) FROM R AT",
+		"SELECT COUNT(Name) FROM R AT -5",
+		"SELECT COUNT(Name) FROM R AT x",
+		"SELECT COUNT(Name) FROM R VALID OVERLAPS 0 9 AT 5",
+		"SELECT COUNT(Name) FROM R AT 5 GROUP BY SPAN 10",
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q): expected error", sql)
+		}
+	}
+}
+
+// TestSnapshotMatchesTemporalResult: AT t must equal the instant-grouped
+// result sampled at t, for every probe.
+func TestSnapshotMatchesTemporalResult(t *testing.T) {
+	rel := relation.Employed()
+	full := execute(t, "SELECT AVG(Salary) FROM Employed", rel)
+	for _, at := range []interval.Time{0, 7, 12, 15, 19, 21, 30} {
+		qr, err := Run(
+			"SELECT AVG(Salary) FROM Employed AT "+interval.FormatTime(at), rel, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := qr.Groups[0].Result
+		if len(res.Rows) != 1 || res.Rows[0].Interval != interval.At(at) {
+			t.Fatalf("AT %d: rows = %v", at, res.Rows)
+		}
+		want, _ := full.Groups[0].Result.At(at)
+		got := res.Value(0)
+		if got != want {
+			t.Fatalf("AT %d = %v, want %v", at, got, want)
+		}
+	}
+}
+
+func TestSnapshotPlanReason(t *testing.T) {
+	qr := execute(t, "SELECT COUNT(Name) FROM Employed AT 19", relation.Employed())
+	if !strings.Contains(qr.Plan.Reason, "snapshot") {
+		t.Fatalf("plan = %v", qr.Plan)
+	}
+}
+
+func TestSnapshotWithGroupByAndWhere(t *testing.T) {
+	qr := execute(t,
+		"SELECT Name, COUNT(Name) FROM Employed AT 19 WHERE Salary > 36 GROUP BY Name",
+		relation.Employed())
+	// Qualifying at 19 with Salary > 36: Rich (40), Karen (45), Nathan (37).
+	if len(qr.Groups) != 3 {
+		t.Fatalf("%d groups", len(qr.Groups))
+	}
+	for _, g := range qr.Groups {
+		if got := g.Result.Value(0).Int; got != 1 {
+			t.Errorf("group %s count = %d, want 1", g.Key, got)
+		}
+	}
+}
+
+func TestSnapshotViaFile(t *testing.T) {
+	path := writeRelation(t, relation.Employed())
+	qr := runFile(t, "SELECT MAX(Salary) FROM Employed AT 21", path)
+	if got := qr.Groups[0].Result.Value(0).Int; got != 40 {
+		t.Fatalf("MAX at 21 = %d, want 40", got)
+	}
+}

@@ -1,0 +1,58 @@
+package relation
+
+import (
+	"sort"
+
+	"tempagg/internal/tuple"
+)
+
+// CoalesceTuples merges value-equivalent tuples (same Name and Value) whose
+// valid-time intervals overlap or meet, returning a new time-ordered slice —
+// classic temporal-database coalescing, the relation-level counterpart of
+// Result.Coalesce. TSQL2 relations are conceptually coalesced; applying this
+// before aggregation also subsumes exact-duplicate elimination (§7).
+//
+// Coalescing changes COUNT semantics by design: a fact stored as two
+// adjacent rows counts once afterwards. The query layer therefore exposes
+// it only as an explicit preprocessing step, never implicitly.
+func CoalesceTuples(ts []tuple.Tuple) []tuple.Tuple {
+	if len(ts) == 0 {
+		return nil
+	}
+	sorted := append([]tuple.Tuple(nil), ts...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Value != b.Value {
+			return a.Value < b.Value
+		}
+		return a.Less(b)
+	})
+	out := make([]tuple.Tuple, 0, len(sorted))
+	cur := sorted[0]
+	for _, t := range sorted[1:] {
+		sameFact := t.Name == cur.Name && t.Value == cur.Value
+		adjoins := sameFact && (t.Valid.Overlaps(cur.Valid) || cur.Valid.Meets(t.Valid))
+		if adjoins {
+			if t.Valid.End > cur.Valid.End {
+				cur.Valid.End = t.Valid.End
+			}
+			continue
+		}
+		out = append(out, cur)
+		cur = t
+	}
+	out = append(out, cur)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// CoalesceInPlace coalesces the relation's tuples, returning how many rows
+// were merged away. The relation ends up totally ordered by time.
+func (r *Relation) CoalesceInPlace() int {
+	before := len(r.Tuples)
+	r.Tuples = CoalesceTuples(r.Tuples)
+	return before - len(r.Tuples)
+}

@@ -1,0 +1,125 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+func TestCoalesceTuplesMergesAdjacent(t *testing.T) {
+	ts := []tuple.Tuple{
+		tuple.MustNew("a", 5, 0, 9),
+		tuple.MustNew("a", 5, 10, 19), // meets: merge
+		tuple.MustNew("a", 5, 15, 30), // overlaps: merge
+		tuple.MustNew("a", 5, 40, 50), // gap: separate
+	}
+	out := CoalesceTuples(ts)
+	if len(out) != 2 {
+		t.Fatalf("coalesced to %d tuples, want 2: %v", len(out), out)
+	}
+	if out[0].Valid != interval.MustNew(0, 30) || out[1].Valid != interval.MustNew(40, 50) {
+		t.Fatalf("intervals = %v, %v", out[0].Valid, out[1].Valid)
+	}
+}
+
+func TestCoalesceTuplesRespectsValueAndName(t *testing.T) {
+	ts := []tuple.Tuple{
+		tuple.MustNew("a", 5, 0, 9),
+		tuple.MustNew("a", 6, 10, 19), // different value: no merge
+		tuple.MustNew("b", 5, 10, 19), // different name: no merge
+	}
+	if out := CoalesceTuples(ts); len(out) != 3 {
+		t.Fatalf("coalesced to %d tuples, want 3", len(out))
+	}
+}
+
+func TestCoalesceTuplesSubsumesDuplicates(t *testing.T) {
+	ts := []tuple.Tuple{
+		tuple.MustNew("a", 5, 0, 9),
+		tuple.MustNew("a", 5, 0, 9),
+		tuple.MustNew("a", 5, 3, 7), // contained
+	}
+	out := CoalesceTuples(ts)
+	if len(out) != 1 || out[0].Valid != interval.MustNew(0, 9) {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestCoalesceTuplesForever(t *testing.T) {
+	ts := []tuple.Tuple{
+		tuple.MustNew("a", 5, 0, 9),
+		tuple.MustNew("a", 5, 10, interval.Forever),
+	}
+	out := CoalesceTuples(ts)
+	if len(out) != 1 || out[0].Valid != interval.Universe() {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestCoalesceInPlace(t *testing.T) {
+	r := FromTuples("r", []tuple.Tuple{
+		tuple.MustNew("a", 5, 10, 19),
+		tuple.MustNew("a", 5, 0, 9),
+	})
+	if merged := r.CoalesceInPlace(); merged != 1 {
+		t.Fatalf("merged %d, want 1", merged)
+	}
+	if !r.IsSorted() {
+		t.Fatal("coalesced relation must be sorted")
+	}
+	if CoalesceTuples(nil) != nil {
+		t.Fatal("empty input must stay empty")
+	}
+}
+
+// TestCoalescePreservesCoverageProperty: the set of (name, value, instant)
+// facts is unchanged by coalescing.
+func TestCoalescePreservesCoverageProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	prop := func() bool {
+		n := r.Intn(30)
+		ts := make([]tuple.Tuple, n)
+		for i := range ts {
+			s := r.Int63n(40)
+			ts[i] = tuple.Tuple{
+				Name:  string(rune('a' + r.Intn(3))),
+				Value: r.Int63n(2),
+				Valid: interval.Interval{Start: s, End: s + r.Int63n(15)},
+			}
+		}
+		out := CoalesceTuples(ts)
+		covers := func(set []tuple.Tuple, name string, v int64, at int64) bool {
+			for _, t := range set {
+				if t.Name == name && t.Value == v && t.Valid.Contains(at) {
+					return true
+				}
+			}
+			return false
+		}
+		for at := int64(0); at < 60; at++ {
+			for _, name := range []string{"a", "b", "c"} {
+				for v := int64(0); v < 2; v++ {
+					if covers(ts, name, v, at) != covers(out, name, v, at) {
+						return false
+					}
+				}
+			}
+		}
+		// Coalesced output never has two mergeable rows.
+		for i, a := range out {
+			for _, b := range out[i+1:] {
+				if a.Name == b.Name && a.Value == b.Value &&
+					(a.Valid.Overlaps(b.Valid) || a.Valid.Meets(b.Valid) || b.Valid.Meets(a.Valid)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+// csvHeader is the canonical column order for CSV interchange.
+var csvHeader = []string{"name", "value", "start", "end"}
+
+// ReadCSV parses a relation from CSV with columns name,value,start,end. A
+// header row matching those column names (any case) is skipped. The end
+// column accepts "forever" (any case) or "∞" for open-ended tuples.
+func ReadCSV(r io.Reader, name string) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	cr.TrimLeadingSpace = true
+	rel := New(name)
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rel, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: csv: %w", err)
+		}
+		line++
+		if line == 1 && isCSVHeader(rec) {
+			continue
+		}
+		t, err := parseCSVRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("relation: csv line %d: %w", line, err)
+		}
+		rel.Append(t)
+	}
+}
+
+func isCSVHeader(rec []string) bool {
+	for i, want := range csvHeader {
+		if !strings.EqualFold(strings.TrimSpace(rec[i]), want) {
+			return false
+		}
+	}
+	return true
+}
+
+func parseCSVRecord(rec []string) (tuple.Tuple, error) {
+	value, err := strconv.ParseInt(strings.TrimSpace(rec[1]), 10, 64)
+	if err != nil {
+		return tuple.Tuple{}, fmt.Errorf("bad value %q: %w", rec[1], err)
+	}
+	start, err := strconv.ParseInt(strings.TrimSpace(rec[2]), 10, 64)
+	if err != nil {
+		return tuple.Tuple{}, fmt.Errorf("bad start %q: %w", rec[2], err)
+	}
+	endField := strings.TrimSpace(rec[3])
+	var end interval.Time
+	if strings.EqualFold(endField, "forever") || endField == "∞" {
+		end = interval.Forever
+	} else {
+		end, err = strconv.ParseInt(endField, 10, 64)
+		if err != nil {
+			return tuple.Tuple{}, fmt.Errorf("bad end %q: %w", rec[3], err)
+		}
+	}
+	return tuple.New(strings.TrimSpace(rec[0]), value, start, end)
+}
+
+// WriteCSV writes the relation as CSV with a header row; open-ended tuples
+// write "forever" in the end column.
+func WriteCSV(w io.Writer, rel *Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("relation: csv: %w", err)
+	}
+	for i, t := range rel.Tuples {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("relation: csv tuple %d: %w", i, err)
+		}
+		end := "forever"
+		if t.Valid.End != interval.Forever {
+			end = strconv.FormatInt(t.Valid.End, 10)
+		}
+		rec := []string{
+			t.Name,
+			strconv.FormatInt(t.Value, 10),
+			strconv.FormatInt(t.Valid.Start, 10),
+			end,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("relation: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("relation: csv: %w", err)
+	}
+	return nil
+}

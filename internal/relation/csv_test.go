@@ -1,0 +1,151 @@
+package relation
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := Employed()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "Employed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("round trip lost tuples: %d != %d", got.Len(), orig.Len())
+	}
+	for i := range orig.Tuples {
+		if got.Tuples[i] != orig.Tuples[i] {
+			t.Fatalf("tuple %d: %v != %v", i, got.Tuples[i], orig.Tuples[i])
+		}
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	prop := func() bool {
+		rel := randomRelation(r, r.Intn(100))
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, rel); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf, rel.Name)
+		if err != nil {
+			return false
+		}
+		if got.Len() != rel.Len() {
+			return false
+		}
+		for i := range rel.Tuples {
+			if got.Tuples[i] != rel.Tuples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVReadWithoutHeader(t *testing.T) {
+	in := "Karen,45,8,20\nRich,40,18,forever\n"
+	rel, err := ReadCSV(strings.NewReader(in), "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("%d tuples", rel.Len())
+	}
+	if rel.Tuples[1].Valid.End != interval.Forever {
+		t.Fatal("forever not parsed")
+	}
+}
+
+func TestCSVReadHeaderVariants(t *testing.T) {
+	in := "NAME,Value,Start,END\nKaren,45,8,20\n"
+	rel, err := ReadCSV(strings.NewReader(in), "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 {
+		t.Fatalf("%d tuples (header not skipped?)", rel.Len())
+	}
+}
+
+func TestCSVReadInfinitySymbol(t *testing.T) {
+	rel, err := ReadCSV(strings.NewReader("a,1,0,∞\n"), "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Tuples[0].Valid.End != interval.Forever {
+		t.Fatal("∞ not parsed")
+	}
+}
+
+func TestCSVReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"wrong field count": "a,1,2\n",
+		"bad value":         "a,x,0,5\n",
+		"bad start":         "a,1,x,5\n",
+		"bad end":           "a,1,0,x\n",
+		"reversed interval": "a,1,9,5\n",
+		"long name":         "abcdefgh,1,0,5\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), "R"); err == nil {
+			t.Errorf("%s: expected error for %q", name, in)
+		}
+	}
+}
+
+func TestCSVWriteRejectsInvalidTuple(t *testing.T) {
+	rel := New("bad")
+	rel.Tuples = append(rel.Tuples, tuple.Tuple{
+		Name:  "x",
+		Valid: interval.Interval{Start: 9, End: 1},
+	})
+	if err := WriteCSV(&bytes.Buffer{}, rel); err == nil {
+		t.Fatal("expected error for invalid tuple")
+	}
+}
+
+// FuzzReadCSV checks that arbitrary input never panics the CSV reader and
+// that accepted relations round-trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("name,value,start,end\nKaren,45,8,20\n")
+	f.Add("a,1,0,forever\n")
+	f.Add("a,1,0,∞\n")
+	f.Add("x,,,\n")
+	f.Add("\"q\"\"uote\",1,2,3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		rel, err := ReadCSV(strings.NewReader(input), "F")
+		if err != nil {
+			return
+		}
+		if err := rel.Validate(); err != nil {
+			t.Fatalf("accepted relation fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, rel); err != nil {
+			t.Fatalf("accepted relation fails to write: %v", err)
+		}
+		back, err := ReadCSV(&buf, "F")
+		if err != nil {
+			t.Fatalf("round trip read failed: %v", err)
+		}
+		if back.Len() != rel.Len() {
+			t.Fatalf("round trip changed cardinality: %d != %d", back.Len(), rel.Len())
+		}
+	})
+}

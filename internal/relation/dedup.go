@@ -1,0 +1,30 @@
+package relation
+
+import "tempagg/internal/tuple"
+
+// Deduplicate returns ts with exact duplicate tuples (same name, value, and
+// valid-time interval) removed, keeping the first occurrence and preserving
+// order. This is the paper's recommended treatment of duplicates (§7):
+// "Probably the best single approach for this problem involves removing the
+// duplicates before the relation is processed." The query layer applies it
+// for DISTINCT aggregates.
+func Deduplicate(ts []tuple.Tuple) []tuple.Tuple {
+	seen := make(map[tuple.Tuple]struct{}, len(ts))
+	out := make([]tuple.Tuple, 0, len(ts))
+	for _, t := range ts {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// DeduplicateInPlace removes exact duplicates from the relation, returning
+// how many tuples were dropped.
+func (r *Relation) DeduplicateInPlace() int {
+	before := len(r.Tuples)
+	r.Tuples = Deduplicate(r.Tuples)
+	return before - len(r.Tuples)
+}

@@ -1,0 +1,79 @@
+package relation_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tempagg/internal/relation"
+)
+
+// Example_storageRoundTrip writes the Employed relation in the paged binary
+// format and scans it back one page at a time.
+func Example_storageRoundTrip() {
+	dir, err := os.MkdirTemp("", "tempagg-example")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "employed.rel")
+
+	if err := relation.WriteFile(path, relation.Employed()); err != nil {
+		panic(err)
+	}
+	sc, err := relation.Open(path, relation.ScanOptions{})
+	if err != nil {
+		panic(err)
+	}
+	defer sc.Close()
+	fmt.Printf("tuples: %d, sorted flag: %t\n", sc.Count(), sc.Sorted())
+	for {
+		t, ok, err := sc.Next()
+		if err != nil {
+			panic(err)
+		}
+		if !ok {
+			break
+		}
+		fmt.Println(t)
+	}
+	// Output:
+	// tuples: 4, sorted flag: false
+	// [Rich, 40, 18, ∞]
+	// [Karen, 45, 8, 20]
+	// [Nathan, 35, 7, 12]
+	// [Nathan, 37, 18, 21]
+}
+
+// ExampleReadCSV imports a relation from CSV text.
+func ExampleReadCSV() {
+	csv := "name,value,start,end\nKaren,45,8,20\nRich,40,18,forever\n"
+	rel, err := relation.ReadCSV(bytes.NewReader([]byte(csv)), "Imported")
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range rel.Tuples {
+		fmt.Println(t)
+	}
+	// Output:
+	// [Karen, 45, 8, 20]
+	// [Rich, 40, 18, ∞]
+}
+
+// ExampleCoalesceTuples merges value-equivalent adjacent rows.
+func ExampleCoalesceTuples() {
+	rel := relation.New("r")
+	for _, iv := range [][2]int64{{0, 9}, {10, 19}, {30, 40}} {
+		rel.Tuples = append(rel.Tuples, relation.Employed().Tuples[0])
+		last := &rel.Tuples[len(rel.Tuples)-1]
+		last.Valid.Start, last.Valid.End = iv[0], iv[1]
+	}
+	out := relation.CoalesceTuples(rel.Tuples)
+	for _, t := range out {
+		fmt.Println(t.Valid)
+	}
+	// Output:
+	// [0,19]
+	// [30,40]
+}

@@ -1,0 +1,131 @@
+package relation
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"tempagg/internal/tuple"
+)
+
+func TestExternalSortSmallMemory(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.rel")
+	out := filepath.Join(dir, "out.rel")
+
+	r := rand.New(rand.NewSource(61))
+	rel := New("r")
+	const n = 5000
+	for i := 0; i < n; i++ {
+		s := r.Int63n(1_000_000)
+		rel.Append(tuple.Tuple{Name: "t", Value: int64(i),
+			Valid: tuple.MustNew("t", 0, s, s+r.Int63n(1000)).Valid})
+	}
+	if err := WriteFile(in, rel); err != nil {
+		t.Fatal(err)
+	}
+	// 257 tuples per run forces ~20 runs and a real k-way merge.
+	if err := ExternalSort(in, out, 257); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != n {
+		t.Fatalf("sorted file has %d tuples, want %d", got.Len(), n)
+	}
+	if !got.IsSorted() {
+		t.Fatal("output not sorted")
+	}
+	// Same multiset: the Value field is a unique id here.
+	seen := make(map[int64]bool, n)
+	for _, tu := range got.Tuples {
+		if seen[tu.Value] {
+			t.Fatalf("duplicate id %d after sort", tu.Value)
+		}
+		seen[tu.Value] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("lost tuples: %d ids", len(seen))
+	}
+	// The header must carry the sorted flag so later scans exploit it.
+	sc, err := Open(out, ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if !sc.Sorted() {
+		t.Fatal("sorted flag missing")
+	}
+}
+
+func TestExternalSortStable(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.rel")
+	out := filepath.Join(dir, "out.rel")
+	rel := New("r")
+	// Equal intervals: input order must be preserved (stability) even
+	// across run boundaries.
+	for i := 0; i < 10; i++ {
+		rel.Append(tuple.Tuple{Name: "t", Value: int64(i),
+			Valid: tuple.MustNew("t", 0, 5, 9).Valid})
+	}
+	if err := WriteFile(in, rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExternalSort(in, out, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tu := range got.Tuples {
+		if tu.Value != int64(i) {
+			t.Fatalf("stability violated at %d: id %d", i, tu.Value)
+		}
+	}
+}
+
+func TestExternalSortEmptyAndSingleRun(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.rel")
+	out := filepath.Join(dir, "out.rel")
+	if err := WriteFile(in, New("empty")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExternalSort(in, out, 100); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("empty sort produced %d tuples", got.Len())
+	}
+
+	// Single run (memTuples > n), including the default budget.
+	if err := WriteFile(in, Employed()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExternalSort(in, out, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsSorted() || got.Len() != 4 {
+		t.Fatalf("single-run sort wrong: %d tuples, sorted=%t", got.Len(), got.IsSorted())
+	}
+}
+
+func TestExternalSortMissingInput(t *testing.T) {
+	dir := t.TempDir()
+	if err := ExternalSort(filepath.Join(dir, "missing.rel"),
+		filepath.Join(dir, "out.rel"), 10); err == nil {
+		t.Fatal("missing input must fail")
+	}
+}

@@ -1,0 +1,111 @@
+// Package relation provides the in-memory temporal relation model and a
+// paged binary storage layer preserving the paper's physical layout: fixed
+// 128-byte tuples (6-byte name, 4-byte value, two 4-byte timestamps, and 110
+// bytes of attributes not examined by the aggregate), scanned one page at a
+// time (Kline & Snodgrass §6).
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+// Relation is an in-memory interval-stamped relation. Tuple order is
+// significant: the algorithms' behaviour depends on how far the relation is
+// from being totally ordered by time (§5.2).
+type Relation struct {
+	// Name labels the relation (e.g. "Employed").
+	Name string
+	// Tuples holds the rows in physical order.
+	Tuples []tuple.Tuple
+}
+
+// New returns an empty relation with the given name.
+func New(name string) *Relation {
+	return &Relation{Name: name}
+}
+
+// FromTuples builds a relation over a copied tuple slice.
+func FromTuples(name string, ts []tuple.Tuple) *Relation {
+	r := &Relation{Name: name, Tuples: make([]tuple.Tuple, len(ts))}
+	copy(r.Tuples, ts)
+	return r
+}
+
+// Len is the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Append adds a tuple to the end of the relation.
+func (r *Relation) Append(t tuple.Tuple) { r.Tuples = append(r.Tuples, t) }
+
+// Clone returns a deep copy; mutating the copy's order leaves r untouched.
+func (r *Relation) Clone() *Relation {
+	return FromTuples(r.Name, r.Tuples)
+}
+
+// Validate checks every tuple.
+func (r *Relation) Validate() error {
+	for i, t := range r.Tuples {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("relation %s: tuple %d: %w", r.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// SortByTime sorts the tuples "totally ordered by time": by start, ties
+// broken by end (§5.2). The sort is stable so equal-interval tuples keep
+// their relative order.
+func (r *Relation) SortByTime() {
+	sort.SliceStable(r.Tuples, func(i, j int) bool {
+		return r.Tuples[i].Less(r.Tuples[j])
+	})
+}
+
+// IsSorted reports whether the relation is already totally ordered by time
+// (equivalently, 0-ordered).
+func (r *Relation) IsSorted() bool {
+	return sort.SliceIsSorted(r.Tuples, func(i, j int) bool {
+		return r.Tuples[i].Less(r.Tuples[j])
+	})
+}
+
+// Lifespan returns the smallest interval covering every tuple. ok is false
+// for an empty relation.
+func (r *Relation) Lifespan() (interval.Interval, bool) {
+	if len(r.Tuples) == 0 {
+		return interval.Interval{}, false
+	}
+	span := r.Tuples[0].Valid
+	for _, t := range r.Tuples[1:] {
+		if t.Valid.Start < span.Start {
+			span.Start = t.Valid.Start
+		}
+		if t.Valid.End > span.End {
+			span.End = t.Valid.End
+		}
+	}
+	return span, true
+}
+
+// Employed returns the paper's running-example relation (Figure 1, as
+// reconstructed from Figures 2–3 and Table 1):
+//
+//	Richard  40K  [18, ∞]
+//	Karen    45K  [ 8, 20]
+//	Nathan   35K  [ 7, 12]
+//	Nathan   37K  [18, 21]
+//
+// Nathan is not employed during [13,17], and the relation is in no
+// particular order.
+func Employed() *Relation {
+	return FromTuples("Employed", []tuple.Tuple{
+		tuple.MustNew("Rich", 40, 18, interval.Forever),
+		tuple.MustNew("Karen", 45, 8, 20),
+		tuple.MustNew("Nathan", 35, 7, 12),
+		tuple.MustNew("Nathan", 37, 18, 21),
+	})
+}

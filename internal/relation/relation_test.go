@@ -1,0 +1,88 @@
+package relation
+
+import (
+	"testing"
+
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+func TestEmployedFixture(t *testing.T) {
+	r := Employed()
+	if r.Len() != 4 {
+		t.Fatalf("Employed has %d tuples, want 4", r.Len())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Employed invalid: %v", err)
+	}
+	if r.IsSorted() {
+		t.Fatal("Employed is in no particular order (paper §5); fixture must not be sorted")
+	}
+	span, ok := r.Lifespan()
+	if !ok || span != interval.MustNew(7, interval.Forever) {
+		t.Fatalf("Lifespan = %v, %t; want [7,∞]", span, ok)
+	}
+}
+
+func TestSortByTime(t *testing.T) {
+	r := Employed()
+	r.SortByTime()
+	if !r.IsSorted() {
+		t.Fatal("SortByTime did not sort")
+	}
+	got := make([]interval.Interval, 0, r.Len())
+	for _, tu := range r.Tuples {
+		got = append(got, tu.Valid)
+	}
+	want := []interval.Interval{
+		interval.MustNew(7, 12),
+		interval.MustNew(8, 20),
+		interval.MustNew(18, 21),
+		interval.MustNew(18, interval.Forever),
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSortIsStable(t *testing.T) {
+	r := FromTuples("r", []tuple.Tuple{
+		tuple.MustNew("a", 1, 5, 9),
+		tuple.MustNew("b", 2, 5, 9),
+		tuple.MustNew("c", 3, 1, 2),
+	})
+	r.SortByTime()
+	if r.Tuples[1].Name != "a" || r.Tuples[2].Name != "b" {
+		t.Fatalf("stable sort violated: %v", r.Tuples)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := Employed()
+	c := r.Clone()
+	c.SortByTime()
+	if r.IsSorted() {
+		t.Fatal("sorting the clone mutated the original")
+	}
+	if c.Len() != r.Len() {
+		t.Fatal("clone lost tuples")
+	}
+}
+
+func TestLifespanEmpty(t *testing.T) {
+	if _, ok := New("empty").Lifespan(); ok {
+		t.Fatal("empty relation must have no lifespan")
+	}
+}
+
+func TestValidateReportsIndex(t *testing.T) {
+	r := New("bad")
+	r.Tuples = append(r.Tuples, tuple.Tuple{Name: "ok", Valid: interval.MustNew(0, 1)})
+	r.Tuples = append(r.Tuples, tuple.Tuple{Name: "toolongname", Valid: interval.MustNew(0, 1)})
+	err := r.Validate()
+	if err == nil {
+		t.Fatal("expected validation error")
+	}
+}

@@ -1,0 +1,85 @@
+package relation
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"tempagg/internal/tuple"
+)
+
+// FileWriter streams tuples to a relation file without holding them in
+// memory — the spill path of the out-of-core partitioned evaluation (the
+// paper's §5.1/§7 idea of accumulating the tuples that overlap an offloaded
+// region of the aggregation tree and processing them later).
+//
+// The header's tuple count is patched on Close; a writer that is abandoned
+// without Close leaves an unreadable file.
+type FileWriter struct {
+	f      *os.File
+	buf    *bufio.Writer
+	rec    [RecordSize]byte
+	count  uint64
+	sorted bool
+	last   tuple.Tuple
+	closed bool
+}
+
+// NewFileWriter creates path and prepares it for streaming appends.
+func NewFileWriter(path string) (*FileWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("relation: %w", err)
+	}
+	w := &FileWriter{f: f, buf: bufio.NewWriterSize(f, PageSize), sorted: true}
+	// Placeholder header; rewritten with the real count on Close.
+	if _, err := w.buf.Write(header{version: formatVersion}.encode()); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("relation: write header: %w", err)
+	}
+	return w, nil
+}
+
+// Append writes one tuple.
+func (w *FileWriter) Append(t tuple.Tuple) error {
+	if w.closed {
+		return fmt.Errorf("relation: append to closed writer")
+	}
+	if err := encodeRecord(w.rec[:], t); err != nil {
+		return err
+	}
+	if _, err := w.buf.Write(w.rec[:]); err != nil {
+		return fmt.Errorf("relation: write record: %w", err)
+	}
+	if w.count > 0 && t.Less(w.last) {
+		w.sorted = false
+	}
+	w.last = t
+	w.count++
+	return nil
+}
+
+// Count reports how many tuples have been appended.
+func (w *FileWriter) Count() int { return int(w.count) }
+
+// Close flushes buffered records and patches the header with the final
+// count and sorted flag.
+func (w *FileWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.buf.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("relation: flush: %w", err)
+	}
+	h := header{version: formatVersion, count: w.count}
+	if w.sorted {
+		h.flags |= FlagSorted
+	}
+	if _, err := w.f.WriteAt(h.encode(), 0); err != nil {
+		w.f.Close()
+		return fmt.Errorf("relation: patch header: %w", err)
+	}
+	return w.f.Close()
+}

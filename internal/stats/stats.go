@@ -1,0 +1,77 @@
+// Package stats estimates relation statistics for the query optimizer.
+//
+// The §6.3 discussion hinges on the number of constant intervals the result
+// will have: "if there were very few constant intervals in the results ...
+// the linked list algorithm would have quite adequate performance", and
+// fewer unique timestamps shrink every algorithm's state. The number of
+// constant intervals is (number of distinct boundary timestamps) + 1, where
+// a tuple [s, e] contributes boundaries s and e+1, so the problem reduces
+// to distinct-count estimation from a sample — done here with the Chao1
+// species-richness estimator.
+package stats
+
+import (
+	"math/rand"
+
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+// EstimateConstantIntervals estimates how many constant intervals the
+// relation induces, from a uniform sample of at most sampleSize tuples.
+// sampleSize <= 0 or >= len(ts) examines every tuple (an exact count).
+func EstimateConstantIntervals(ts []tuple.Tuple, sampleSize int, seed int64) int {
+	if len(ts) == 0 {
+		return 1
+	}
+	sampled := ts
+	if sampleSize > 0 && sampleSize < len(ts) {
+		r := rand.New(rand.NewSource(seed))
+		idx := r.Perm(len(ts))[:sampleSize]
+		sampled = make([]tuple.Tuple, 0, sampleSize)
+		for _, i := range idx {
+			sampled = append(sampled, ts[i])
+		}
+	}
+	freq := make(map[interval.Time]int, 2*len(sampled))
+	for _, t := range sampled {
+		freq[t.Valid.Start]++
+		if t.Valid.End != interval.Forever {
+			freq[t.Valid.End+1]++
+		}
+	}
+	if len(sampled) == len(ts) {
+		return len(freq) + 1
+	}
+
+	// Chao1: D̂ = u + f1²/(2·f2), with the bias-corrected form when no
+	// value was seen exactly twice. u is the observed distinct count, f1
+	// and f2 the counts of values seen once and twice.
+	u, f1, f2 := len(freq), 0, 0
+	for _, c := range freq {
+		switch c {
+		case 1:
+			f1++
+		case 2:
+			f2++
+		}
+	}
+	var est float64
+	if f2 > 0 {
+		est = float64(u) + float64(f1*f1)/(2*float64(f2))
+	} else {
+		est = float64(u) + float64(f1*(f1-1))/2
+	}
+	// Chao1 estimates the distinct boundaries *of the sampled population*;
+	// scale the unseen mass by the sampling fraction, then clamp to the
+	// structural maximum of 2n distinct boundaries.
+	frac := float64(len(ts)) / float64(len(sampled))
+	scaled := float64(u) + (est-float64(u))*frac
+	if max := float64(2 * len(ts)); scaled > max {
+		scaled = max
+	}
+	if scaled < float64(u) {
+		scaled = float64(u)
+	}
+	return int(scaled) + 1
+}

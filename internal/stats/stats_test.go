@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/core"
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+	"tempagg/internal/workload"
+)
+
+func exactIntervals(t *testing.T, ts []tuple.Tuple) int {
+	t.Helper()
+	res := core.Reference(aggregate.For(aggregate.Count), ts)
+	return len(res.Rows)
+}
+
+func TestEstimateExactWhenUnsampled(t *testing.T) {
+	rel, err := workload.Generate(workload.Config{Tuples: 800, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := EstimateConstantIntervals(rel.Tuples, 0, 1)
+	want := exactIntervals(t, rel.Tuples)
+	if got != want {
+		t.Fatalf("full-scan estimate %d != exact %d", got, want)
+	}
+}
+
+func TestEstimateEmpty(t *testing.T) {
+	if got := EstimateConstantIntervals(nil, 100, 1); got != 1 {
+		t.Fatalf("empty relation estimate = %d, want 1", got)
+	}
+}
+
+// TestEstimateMostlyUniqueTimestamps: the paper's workloads have mostly
+// unique timestamps, so the estimate should land near 2n.
+func TestEstimateMostlyUniqueTimestamps(t *testing.T) {
+	rel, err := workload.Generate(workload.Config{Tuples: 4000, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exactIntervals(t, rel.Tuples)
+	got := EstimateConstantIntervals(rel.Tuples, 400, 7)
+	if got < want/2 || got > want*2 {
+		t.Fatalf("estimate %d not within 2x of exact %d", got, want)
+	}
+}
+
+// TestEstimateCoarseGranularity: timestamps clustered on a coarse grid —
+// the §6.3 "very coarse granularity" case — must yield a small estimate so
+// the optimizer can pick the linked list.
+func TestEstimateCoarseGranularity(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	ts := make([]tuple.Tuple, 5000)
+	for i := range ts {
+		s := r.Int63n(10) * 1000 // only 10 distinct start times
+		ts[i] = tuple.Tuple{Name: "t", Value: 1,
+			Valid: interval.Interval{Start: s, End: s + 999}}
+	}
+	want := exactIntervals(t, ts) // ~11
+	got := EstimateConstantIntervals(ts, 300, 9)
+	if got > 4*want {
+		t.Fatalf("coarse-granularity estimate %d far above exact %d", got, want)
+	}
+	if got < 2 {
+		t.Fatalf("estimate %d too small", got)
+	}
+}
+
+func TestEstimateNeverExceedsStructuralMax(t *testing.T) {
+	rel, err := workload.Generate(workload.Config{Tuples: 1000, Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sample := range []int{10, 50, 100, 999} {
+		got := EstimateConstantIntervals(rel.Tuples, sample, 11)
+		if got > 2*rel.Len()+1 {
+			t.Fatalf("sample %d: estimate %d exceeds 2n+1", sample, got)
+		}
+		if got < 2 {
+			t.Fatalf("sample %d: estimate %d degenerate", sample, got)
+		}
+	}
+}

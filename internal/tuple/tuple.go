@@ -1,0 +1,74 @@
+// Package tuple defines the interval-stamped tuple model used by the
+// temporal-aggregation algorithms.
+//
+// The tuple mirrors the paper's test relation (Kline & Snodgrass §6): a name
+// attribute, an integer value attribute ("salary"), and a closed valid-time
+// interval [Start, End]. The additional 110 bytes of attributes "not examined
+// by the aggregate" exist only at the storage layer (see internal/relation),
+// where the 128-byte on-disk record is preserved.
+package tuple
+
+import (
+	"fmt"
+
+	"tempagg/internal/interval"
+)
+
+// NameLen is the on-disk width of the Name attribute, per the paper's
+// 6-byte name field. Longer names are rejected by Validate.
+const NameLen = 6
+
+// Tuple is one fact with a closed valid-time interval.
+type Tuple struct {
+	// Name identifies the entity (e.g. the employee). Used as the grouping
+	// attribute and, for COUNT(Name), the counted attribute.
+	Name string
+	// Value is the aggregated attribute (the paper's Salary).
+	Value int64
+	// Valid is the closed interval during which the fact holds.
+	Valid interval.Interval
+}
+
+// New constructs a validated tuple.
+func New(name string, value int64, start, end interval.Time) (Tuple, error) {
+	iv, err := interval.New(start, end)
+	if err != nil {
+		return Tuple{}, fmt.Errorf("tuple %q: %w", name, err)
+	}
+	t := Tuple{Name: name, Value: value, Valid: iv}
+	if err := t.Validate(); err != nil {
+		return Tuple{}, err
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on invalid input. Intended for tests and
+// literals.
+func MustNew(name string, value int64, start, end interval.Time) Tuple {
+	t, err := New(name, value, start, end)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Validate checks the tuple against the storage constraints.
+func (t Tuple) Validate() error {
+	if len(t.Name) > NameLen {
+		return fmt.Errorf("tuple: name %q exceeds %d bytes", t.Name, NameLen)
+	}
+	return t.Valid.Validate()
+}
+
+// Less orders tuples "totally ordered by time" (§5.2): by start time, ties
+// broken by end time.
+func (t Tuple) Less(other Tuple) bool {
+	return interval.Compare(t.Valid, other.Valid) < 0
+}
+
+// String renders the tuple in the paper's figure style.
+func (t Tuple) String() string {
+	return fmt.Sprintf("[%s, %d, %s, %s]",
+		t.Name, t.Value,
+		interval.FormatTime(t.Valid.Start), interval.FormatTime(t.Valid.End))
+}

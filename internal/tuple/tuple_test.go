@@ -1,0 +1,63 @@
+package tuple
+
+import (
+	"testing"
+
+	"tempagg/internal/interval"
+)
+
+func TestNewValid(t *testing.T) {
+	tu, err := New("Karen", 45, 8, 20)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if tu.Name != "Karen" || tu.Value != 45 || tu.Valid != interval.MustNew(8, 20) {
+		t.Fatalf("New = %+v", tu)
+	}
+}
+
+func TestNewRejectsBadInterval(t *testing.T) {
+	if _, err := New("x", 1, 9, 3); err == nil {
+		t.Fatal("expected error for reversed interval")
+	}
+	if _, err := New("x", 1, -2, 3); err == nil {
+		t.Fatal("expected error for negative start")
+	}
+}
+
+func TestNewRejectsLongName(t *testing.T) {
+	if _, err := New("Bartholomew", 1, 0, 1); err == nil {
+		t.Fatal("expected error for >6-byte name")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew("x", 1, 5, 2)
+}
+
+func TestLessIsTimeOrder(t *testing.T) {
+	a := MustNew("a", 0, 1, 9)
+	b := MustNew("b", 0, 2, 3)
+	c := MustNew("c", 0, 1, 3)
+	if !a.Less(b) || b.Less(a) {
+		t.Error("ordering by start time failed")
+	}
+	if !c.Less(a) || a.Less(c) {
+		t.Error("tie on start must break by end time")
+	}
+	if a.Less(a) {
+		t.Error("Less must be irreflexive")
+	}
+}
+
+func TestString(t *testing.T) {
+	tu := MustNew("Rich", 40, 18, interval.Forever)
+	if got := tu.String(); got != "[Rich, 40, 18, ∞]" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"testing"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/core"
+)
+
+func TestEventRelationGeneration(t *testing.T) {
+	rel, err := Generate(Config{Tuples: 2000, EventPct: 100, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range rel.Tuples {
+		if tu.Valid.Duration() != 1 {
+			t.Fatalf("event tuple with duration %d", tu.Valid.Duration())
+		}
+	}
+}
+
+func TestEventMixExact(t *testing.T) {
+	rel, err := Generate(Config{Tuples: 1000, EventPct: 30, LongLivedPct: 20, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, long := 0, 0
+	for _, tu := range rel.Tuples {
+		switch d := tu.Valid.Duration(); {
+		case d == 1:
+			events++
+		case d > DefaultShortMax:
+			long++
+		}
+	}
+	// Events are exactly 30% (single-chronon short tuples can only add a
+	// handful of false positives at 1-in-1000 odds per short tuple).
+	if events < 300 || events > 320 {
+		t.Fatalf("events = %d, want ≈300", events)
+	}
+	if long != 200 {
+		t.Fatalf("long-lived = %d, want 200", long)
+	}
+}
+
+func TestEventRelationAggregates(t *testing.T) {
+	// Aggregates over event relations (§2) work with every algorithm: each
+	// event induces a single-instant constant interval.
+	rel, err := Generate(Config{Tuples: 500, EventPct: 100, Order: Sorted, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := aggregate.For(aggregate.Count)
+	want := core.Reference(f, rel.Tuples)
+	for _, spec := range []core.Spec{
+		{Algorithm: core.LinkedList},
+		{Algorithm: core.AggregationTree},
+		{Algorithm: core.KOrderedTree, K: 1},
+		{Algorithm: core.BalancedTree},
+	} {
+		got, _, err := core.Run(spec, f, rel.Tuples)
+		if err != nil {
+			t.Fatalf("%v: %v", spec.Algorithm, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%v: event relation mis-aggregated", spec.Algorithm)
+		}
+	}
+}
+
+func TestEventValidation(t *testing.T) {
+	if _, err := Generate(Config{Tuples: 10, EventPct: 101}); err == nil {
+		t.Error("EventPct > 100 must fail")
+	}
+	if _, err := Generate(Config{Tuples: 10, EventPct: 60, LongLivedPct: 60}); err == nil {
+		t.Error("event + long-lived > 100% must fail")
+	}
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"testing"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/core"
+	"tempagg/internal/order"
+)
+
+func TestRetroBoundedIsKOrdered(t *testing.T) {
+	// With a uniform arrival rate of n/lifespan and a delay bound D, two
+	// tuples can swap only if their starts are within D of each other, so
+	// the k-orderedness is bounded by the tuples per D-window (plus burst
+	// slack). §6: "For a uniform arrival rate, the two are identical."
+	const n = 4000
+	const delay = 2000 // instants; expected ~8 tuples per window at 1M lifespan
+	rel, err := Generate(Config{Tuples: n, Order: RetroBounded, MaxDelay: delay, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := order.KOrderedness(rel.Tuples)
+	if k == 0 {
+		t.Fatal("retro-bounded relation should show some disorder")
+	}
+	// Generous burst allowance: 10x the expected window population.
+	expected := int(delay * n / int64(DefaultLifespan))
+	if k > 10*expected+10 {
+		t.Fatalf("k-orderedness %d far exceeds the delay-implied bound ~%d", k, expected)
+	}
+}
+
+func TestRetroBoundedFeedsKTree(t *testing.T) {
+	rel, err := Generate(Config{Tuples: 2000, Order: RetroBounded, MaxDelay: 1000, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := order.KOrderedness(rel.Tuples)
+	f := aggregate.For(aggregate.Count)
+	res, stats, err := core.Run(core.Spec{Algorithm: core.KOrderedTree, K: k}, f, rel.Tuples)
+	if err != nil {
+		t.Fatalf("ktree k=%d over retro-bounded input: %v", k, err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Collected == 0 {
+		t.Fatal("retro-bounded input should allow garbage collection")
+	}
+	if !res.Equal(core.Reference(f, rel.Tuples)) {
+		t.Fatal("ktree result differs from oracle")
+	}
+}
+
+func TestRetroBoundedDelayZeroRejected(t *testing.T) {
+	if _, err := Generate(Config{Tuples: 10, Order: RetroBounded}); err == nil {
+		t.Fatal("MaxDelay <= 0 must be rejected")
+	}
+}
+
+func TestRetroBoundedDeterministic(t *testing.T) {
+	a, err := Generate(Config{Tuples: 300, Order: RetroBounded, MaxDelay: 500, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Tuples: 300, Order: RetroBounded, MaxDelay: 500, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tuples {
+		if a.Tuples[i] != b.Tuples[i] {
+			t.Fatal("same seed produced different retro-bounded relations")
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package workload generates the synthetic temporal relations of the
+// paper's empirical comparison (Kline & Snodgrass §6, Table 3).
+//
+// Relations have a lifespan of one million instants. Tuple start positions
+// are drawn independently and uniformly (so timestamps are mostly unique,
+// the paper's stated worst case for the tree algorithms). Short-lived tuples
+// have a random length of 1 to 1000 instants; long-lived tuples have a
+// length between 20% and 80% of the relation's lifespan. Tuples extending
+// past the lifespan are discarded and redrawn. The relation is then left in
+// random order, fully sorted, or perturbed to a target (k, k-ordered-
+// percentage) pair.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tempagg/internal/interval"
+	"tempagg/internal/order"
+	"tempagg/internal/relation"
+	"tempagg/internal/tuple"
+)
+
+// Order selects the physical tuple order of a generated relation.
+type Order int
+
+const (
+	// Random leaves the tuples in generation order — independent draws, so
+	// effectively random by time. Used for Figure 6.
+	Random Order = iota
+	// Sorted totally orders the relation by time. Used for the "sorted
+	// relation" series of Figures 7–9.
+	Sorted
+	// KOrdered sorts and then disorders the relation to a target k and
+	// k-ordered-percentage. Used for the Ktree series of Figures 7–9.
+	KOrdered
+	// RetroBounded simulates a retroactively bounded relation (Jensen &
+	// Snodgrass; §6): each fact is recorded within MaxDelay instants of
+	// becoming valid, and the physical order is recording order. The paper
+	// approximates these with k-ordered relations ("for a uniform arrival
+	// rate, the two are identical"); this order generates the real thing so
+	// the approximation can be checked.
+	RetroBounded
+)
+
+// String names the order for harness output.
+func (o Order) String() string {
+	switch o {
+	case Random:
+		return "random"
+	case Sorted:
+		return "sorted"
+	case KOrdered:
+		return "k-ordered"
+	case RetroBounded:
+		return "retro-bounded"
+	}
+	return fmt.Sprintf("Order(%d)", int(o))
+}
+
+// Defaults from Table 3 and §6.
+const (
+	// DefaultLifespan is the relation lifespan: one million instants.
+	DefaultLifespan interval.Time = 1_000_000
+	// DefaultShortMax is the maximum short-lived tuple length.
+	DefaultShortMax interval.Time = 1000
+	// DefaultLongMinFrac and DefaultLongMaxFrac bound long-lived tuple
+	// lengths as fractions of the lifespan (20%–80%, i.e. 200,000 to
+	// 800,000 instants).
+	DefaultLongMinFrac = 0.2
+	DefaultLongMaxFrac = 0.8
+)
+
+// Config parameterizes relation generation; zero values take the paper's
+// defaults where one exists.
+type Config struct {
+	// Tuples is the relation size (the paper sweeps 1K–64K).
+	Tuples int
+	// Lifespan is the relation lifespan; defaults to 1,000,000 instants.
+	Lifespan interval.Time
+	// LongLivedPct is the percentage (0–100) of long-lived tuples; the
+	// paper tests 0, 40, and 80.
+	LongLivedPct int
+	// Order selects the physical order.
+	Order Order
+	// K and KPct configure the KOrdered order: the disorder bound and the
+	// target k-ordered-percentage (the paper tests k ∈ {4, 40, 400} and
+	// percentages {0.02, 0.08, 0.14}).
+	K int
+	// KPct is the target k-ordered-percentage for Order == KOrdered.
+	KPct float64
+	// MaxDelay is the recording delay bound for Order == RetroBounded:
+	// every tuple is recorded within MaxDelay instants of its start time.
+	MaxDelay interval.Time
+	// EventPct is the percentage (0–100) of event tuples — instantaneous
+	// facts whose interval is a single chronon (§2: "aggregates may also be
+	// evaluated over event relations"). Events are drawn from the
+	// short-lived quota.
+	EventPct int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Lifespan == 0 {
+		c.Lifespan = DefaultLifespan
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Tuples < 0 {
+		return fmt.Errorf("workload: negative tuple count %d", c.Tuples)
+	}
+	if c.Lifespan < 2 {
+		return fmt.Errorf("workload: lifespan %d too small", c.Lifespan)
+	}
+	if c.LongLivedPct < 0 || c.LongLivedPct > 100 {
+		return fmt.Errorf("workload: long-lived percentage %d outside [0,100]", c.LongLivedPct)
+	}
+	if c.Order == KOrdered && c.K <= 0 {
+		return fmt.Errorf("workload: k-ordered relation requires K > 0, got %d", c.K)
+	}
+	if c.Order == RetroBounded && c.MaxDelay <= 0 {
+		return fmt.Errorf("workload: retro-bounded relation requires MaxDelay > 0, got %d", c.MaxDelay)
+	}
+	if c.EventPct < 0 || c.EventPct > 100 {
+		return fmt.Errorf("workload: event percentage %d outside [0,100]", c.EventPct)
+	}
+	if c.EventPct+c.LongLivedPct > 100 {
+		return fmt.Errorf("workload: event (%d%%) and long-lived (%d%%) percentages exceed 100%%",
+			c.EventPct, c.LongLivedPct)
+	}
+	return nil
+}
+
+// Generate builds a relation per the configuration.
+func Generate(cfg Config) (*relation.Relation, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	rel := relation.New(fmt.Sprintf("synth-%d", cfg.Tuples))
+	rel.Tuples = make([]tuple.Tuple, 0, cfg.Tuples)
+
+	longMin := interval.Time(DefaultLongMinFrac * float64(cfg.Lifespan))
+	longMax := interval.Time(DefaultLongMaxFrac * float64(cfg.Lifespan))
+	shortMax := DefaultShortMax
+	if shortMax > cfg.Lifespan {
+		shortMax = cfg.Lifespan
+	}
+
+	// Fix the long-lived count up front so LongLivedPct is the share in the
+	// final relation, then draw each tuple's kind in proportion to the
+	// remaining quota (keeping generation order unbiased). Tuples that
+	// extend past the lifespan are discarded and redrawn within their kind
+	// (§6: "Generated tuples that extend past the relation's lifespan were
+	// discarded").
+	longLeft := cfg.Tuples * cfg.LongLivedPct / 100
+	eventLeft := cfg.Tuples * cfg.EventPct / 100
+	shortLeft := cfg.Tuples - longLeft - eventLeft
+	for len(rel.Tuples) < cfg.Tuples {
+		var length interval.Time
+		kind := 2 // short-lived
+		switch pick := r.Intn(longLeft + eventLeft + shortLeft); {
+		case pick < longLeft:
+			kind = 0
+			length = longMin + r.Int63n(longMax-longMin+1)
+		case pick < longLeft+eventLeft:
+			kind = 1
+			length = 1 // an event occupies a single chronon
+		default:
+			length = 1 + r.Int63n(shortMax)
+		}
+		start := r.Int63n(cfg.Lifespan)
+		end := start + length - 1
+		if end >= cfg.Lifespan {
+			continue
+		}
+		switch kind {
+		case 0:
+			longLeft--
+		case 1:
+			eventLeft--
+		default:
+			shortLeft--
+		}
+		name := fmt.Sprintf("p%05d", len(rel.Tuples)%100000)
+		value := 20_000 + r.Int63n(80_001) // salary-like values
+		rel.Append(tuple.Tuple{
+			Name:  name,
+			Value: value,
+			Valid: interval.Interval{Start: start, End: end},
+		})
+	}
+
+	switch cfg.Order {
+	case Random:
+		// Independent draws are already randomly ordered.
+	case Sorted:
+		rel.SortByTime()
+	case KOrdered:
+		rel.SortByTime()
+		perturbed, err := order.PerturbToPercentage(rel.Tuples, cfg.K, cfg.KPct, cfg.Seed+1)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		rel.Tuples = perturbed
+	case RetroBounded:
+		// Record each fact within MaxDelay instants of its start and order
+		// physically by recording time (start-time ties broken stably).
+		type recorded struct {
+			at interval.Time
+			t  tuple.Tuple
+		}
+		recs := make([]recorded, len(rel.Tuples))
+		for i, t := range rel.Tuples {
+			recs[i] = recorded{at: t.Valid.Start + r.Int63n(cfg.MaxDelay+1), t: t}
+		}
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].at < recs[j].at })
+		for i, rec := range recs {
+			rel.Tuples[i] = rec.t
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown order %v", cfg.Order)
+	}
+	return rel, nil
+}
+
+// Table3Sizes are the relation sizes of the paper's sweep: 1K to 64K
+// tuples, doubling.
+func Table3Sizes() []int {
+	return []int{1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16}
+}
+
+// Table3LongLivedPcts are the long-lived tuple percentages tested.
+func Table3LongLivedPcts() []int { return []int{0, 40, 80} }
+
+// Table3KValues are the k values tested for the k-ordered tree.
+func Table3KValues() []int { return []int{4, 40, 400} }
+
+// Table3KPcts are the k-ordered-percentages tested.
+func Table3KPcts() []float64 { return []float64{0.02, 0.08, 0.14} }

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"testing"
+
+	"tempagg/internal/interval"
+	"tempagg/internal/order"
+)
+
+func TestGenerateSizeAndLifespan(t *testing.T) {
+	rel, err := Generate(Config{Tuples: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2000 {
+		t.Fatalf("generated %d tuples, want 2000", rel.Len())
+	}
+	if err := rel.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	span, ok := rel.Lifespan()
+	if !ok {
+		t.Fatal("no lifespan")
+	}
+	if span.Start < 0 || span.End >= DefaultLifespan {
+		t.Fatalf("tuples escape the lifespan: %v", span)
+	}
+}
+
+func TestGenerateShortLivedLengths(t *testing.T) {
+	rel, err := Generate(Config{Tuples: 3000, LongLivedPct: 0, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range rel.Tuples {
+		d := tu.Valid.Duration()
+		if d < 1 || d > DefaultShortMax {
+			t.Fatalf("short-lived tuple with duration %d", d)
+		}
+	}
+}
+
+func TestGenerateLongLivedLengths(t *testing.T) {
+	rel, err := Generate(Config{Tuples: 3000, LongLivedPct: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := interval.Time(DefaultLongMinFrac * float64(DefaultLifespan))
+	hi := interval.Time(DefaultLongMaxFrac * float64(DefaultLifespan))
+	for _, tu := range rel.Tuples {
+		d := tu.Valid.Duration()
+		if d < lo || d > hi {
+			t.Fatalf("long-lived tuple with duration %d outside [%d,%d]", d, lo, hi)
+		}
+	}
+}
+
+func TestGenerateMixRoughlyMatchesPct(t *testing.T) {
+	rel, err := Generate(Config{Tuples: 5000, LongLivedPct: 40, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := 0
+	for _, tu := range rel.Tuples {
+		if tu.Valid.Duration() > DefaultShortMax {
+			long++
+		}
+	}
+	frac := float64(long) / float64(rel.Len())
+	if frac < 0.39 || frac > 0.41 {
+		t.Fatalf("long-lived fraction %.3f, want 0.40", frac)
+	}
+}
+
+func TestGenerateOrders(t *testing.T) {
+	base := Config{Tuples: 4000, Seed: 5}
+
+	randomCfg := base
+	rel, err := Generate(randomCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.IsSorted() {
+		t.Fatal("random order produced a sorted relation")
+	}
+
+	sortedCfg := base
+	sortedCfg.Order = Sorted
+	rel, err = Generate(sortedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.IsSorted() {
+		t.Fatal("sorted order not sorted")
+	}
+
+	kCfg := base
+	kCfg.Order = KOrdered
+	kCfg.K = 40
+	kCfg.KPct = 0.08
+	rel, err = Generate(kCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order.KOrderedness(rel.Tuples) > 40 {
+		t.Fatalf("relation is %d-ordered, want <= 40", order.KOrderedness(rel.Tuples))
+	}
+	pct, err := order.KOrderedPercentage(rel.Tuples, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pct < 0.07 || pct > 0.09 {
+		t.Fatalf("k-ordered-percentage %.4f not near 0.08", pct)
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	a, err := Generate(Config{Tuples: 500, LongLivedPct: 40, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Tuples: 500, LongLivedPct: 40, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tuples {
+		if a.Tuples[i] != b.Tuples[i] {
+			t.Fatal("same seed produced different relations")
+		}
+	}
+	c, err := Generate(Config{Tuples: 500, LongLivedPct: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Tuples {
+		if a.Tuples[i] != c.Tuples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical relations")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cases := map[string]Config{
+		"negative size": {Tuples: -1},
+		"bad pct":       {Tuples: 10, LongLivedPct: 101},
+		"kordered k=0":  {Tuples: 10, Order: KOrdered},
+		"unknown order": {Tuples: 10, Order: Order(9)},
+		"tiny lifespan": {Tuples: 10, Lifespan: 1},
+	}
+	for name, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestGenerateEmpty(t *testing.T) {
+	rel, err := Generate(Config{Tuples: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 0 {
+		t.Fatalf("empty config generated %d tuples", rel.Len())
+	}
+}
+
+func TestTable3Parameters(t *testing.T) {
+	sizes := Table3Sizes()
+	if len(sizes) != 7 || sizes[0] != 1024 || sizes[6] != 65536 {
+		t.Fatalf("Table3Sizes = %v", sizes)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] != 2*sizes[i-1] {
+			t.Fatal("sizes must double")
+		}
+	}
+	if got := Table3LongLivedPcts(); len(got) != 3 || got[0] != 0 || got[2] != 80 {
+		t.Fatalf("Table3LongLivedPcts = %v", got)
+	}
+	if got := Table3KValues(); len(got) != 3 || got[0] != 4 || got[2] != 400 {
+		t.Fatalf("Table3KValues = %v", got)
+	}
+	if got := Table3KPcts(); len(got) != 3 || got[0] != 0.02 || got[2] != 0.14 {
+		t.Fatalf("Table3KPcts = %v", got)
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	if Random.String() != "random" || Sorted.String() != "sorted" || KOrdered.String() != "k-ordered" {
+		t.Fatal("order names wrong")
+	}
+	if Order(9).String() != "Order(9)" {
+		t.Fatal("unknown order name wrong")
+	}
+}

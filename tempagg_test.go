@@ -1,0 +1,187 @@
+package tempagg_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"tempagg"
+)
+
+// TestPublicAPIQuickstart walks the README's quick-start path end to end.
+func TestPublicAPIQuickstart(t *testing.T) {
+	rel := tempagg.Employed()
+	res, stats, err := tempagg.ComputeByInstant(rel, tempagg.Count,
+		tempagg.Spec{Algorithm: tempagg.AggregationTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("%d constant intervals, want 7", len(res.Rows))
+	}
+	if stats.Tuples != 4 {
+		t.Fatalf("stats.Tuples = %d", stats.Tuples)
+	}
+	if v, ok := res.At(19); !ok || v.Int != 3 {
+		t.Fatalf("count at 19 = %v", v)
+	}
+}
+
+// TestPublicAPIFullPipeline: generate → write → scan → evaluate → query.
+func TestPublicAPIFullPipeline(t *testing.T) {
+	rel, err := tempagg.Generate(tempagg.WorkloadConfig{Tuples: 800, LongLivedPct: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "synth.rel")
+	if err := tempagg.WriteRelation(path, rel); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tempagg.ReadRelation(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != rel.Len() {
+		t.Fatalf("round trip: %d != %d", back.Len(), rel.Len())
+	}
+
+	// The three single-scan algorithms and Tuma agree.
+	var results []*tempagg.Result
+	for _, spec := range []tempagg.Spec{
+		{Algorithm: tempagg.LinkedList},
+		{Algorithm: tempagg.AggregationTree},
+		{Algorithm: tempagg.BalancedTree},
+	} {
+		res, _, err := tempagg.ComputeByInstant(back, tempagg.Sum, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	tumaRes, err := tempagg.ComputeTuma(tempagg.NewSliceSource(back.Tuples), tempagg.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results = append(results, tumaRes)
+	for i := 1; i < len(results); i++ {
+		if !results[0].Equal(results[i]) {
+			t.Fatalf("result %d disagrees", i)
+		}
+	}
+
+	// Sorted copy through the k-ordered tree.
+	sorted := back.Clone()
+	sorted.SortByTime()
+	res, _, err := tempagg.ComputeByInstant(sorted, tempagg.Sum,
+		tempagg.Spec{Algorithm: tempagg.KOrderedTree, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Equal(res) {
+		t.Fatal("ktree disagrees")
+	}
+
+	// Query language over the same relation.
+	back.Name = "Synth"
+	qr, err := tempagg.Query("SELECT AVG(Salary) FROM Synth", back, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qr.Groups[0].Result.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPISpanAndMetrics(t *testing.T) {
+	rel, err := tempagg.Generate(tempagg.WorkloadConfig{Tuples: 300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window, _ := tempagg.NewInterval(0, 999_999)
+	res, err := tempagg.ComputeBySpan(rel, tempagg.Count, 100_000, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("%d spans, want 10", len(res.Rows))
+	}
+
+	if k := tempagg.KOrderedness(rel.Tuples); k == 0 {
+		t.Fatal("random relation should not be sorted")
+	}
+	sorted := rel.Clone()
+	sorted.SortByTime()
+	if k := tempagg.KOrderedness(sorted.Tuples); k != 0 {
+		t.Fatalf("sorted relation is %d-ordered, want 0", k)
+	}
+	if _, err := tempagg.KOrderedPercentage(sorted.Tuples, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIEvaluatorIncremental(t *testing.T) {
+	ev, err := tempagg.NewEvaluator(tempagg.Spec{Algorithm: tempagg.KOrderedTree, K: 2}, tempagg.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tu, err := tempagg.NewTuple("t", int64(i%7), int64(i*3), int64(i*3+10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.Add(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := ev.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Stats().Collected == 0 {
+		t.Fatal("expected GC activity on ordered input")
+	}
+}
+
+// ExampleComputeByInstant reproduces the paper's Table 1.
+func ExampleComputeByInstant() {
+	rel := tempagg.Employed()
+	res, _, err := tempagg.ComputeByInstant(rel, tempagg.Count,
+		tempagg.Spec{Algorithm: tempagg.AggregationTree})
+	if err != nil {
+		panic(err)
+	}
+	for i, row := range res.Rows {
+		fmt.Printf("%s %s\n", res.Value(i), row.Interval)
+	}
+	// Output:
+	// 0 [0,6]
+	// 1 [7,7]
+	// 2 [8,12]
+	// 1 [13,17]
+	// 3 [18,20]
+	// 2 [21,21]
+	// 1 [22,∞]
+}
+
+// ExampleQuery shows the TSQL2-flavoured query interface.
+func ExampleQuery() {
+	qr, err := tempagg.Query(
+		"SELECT MAX(Salary) FROM Employed WHERE Name = 'Nathan'",
+		tempagg.Employed(), nil)
+	if err != nil {
+		panic(err)
+	}
+	res := qr.Groups[0].Result.Coalesce()
+	for i, row := range res.Rows {
+		fmt.Printf("%s %s\n", res.Value(i), row.Interval)
+	}
+	// Output:
+	// - [0,6]
+	// 35 [7,12]
+	// - [13,17]
+	// 37 [18,21]
+	// - [22,∞]
+}
