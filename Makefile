@@ -1,0 +1,29 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet lint test race fuzz-smoke
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint = go vet plus the domain-aware tempagglint analyzers (see README,
+# "Static analysis & CI"). CI runs exactly these targets.
+lint: vet
+	$(GO) run ./cmd/tempagglint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A short fuzz pass over the query layer's corpus-seeded targets; long
+# campaigns use the same targets with a bigger FUZZTIME.
+fuzz-smoke:
+	$(GO) test ./internal/query -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/query -run '^$$' -fuzz FuzzExecute -fuzztime $(FUZZTIME)

@@ -165,7 +165,9 @@ func oneQuery(cfg config, sql string, out io.Writer) error {
 			MemoryBudget: cfg.memory,
 			Cost:         costs,
 		}
-		sc.Close()
+		if err := sc.Close(); err != nil {
+			return err
+		}
 	}
 	qr, err := query.ExecuteFile(q, cfg.relPath, info, sopts)
 	if err != nil {

@@ -26,8 +26,16 @@ func TestClientModeAgainstServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go srv.Serve(lis)
-	defer srv.Close()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
 	// Let the accept loop spin up.
 	time.Sleep(10 * time.Millisecond)
 

@@ -1,0 +1,120 @@
+// Command tempagglint runs the domain-aware static-analysis suite over
+// tempagg packages and exits non-zero if any invariant the paper's
+// algorithms depend on is violated.
+//
+// Usage:
+//
+//	go run ./cmd/tempagglint ./...
+//	go run ./cmd/tempagglint -enable errdrop,nodebytes ./internal/bench
+//	go run ./cmd/tempagglint -list
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+//
+// The five analyzers (see internal/lint):
+//
+//   - intervalbounds — raw tuple.Tuple/interval.Interval literals that
+//     bypass the validating constructors
+//   - finishonce — Evaluator reuse after Finish (-strict-stats extends the
+//     check to Stats calls)
+//   - errdrop — discarded error results from tempagg APIs, goroutine
+//     bodies included
+//   - nodebytes — hardcoded 16 in memory accounting instead of
+//     core.NodeBytes
+//   - lockcopy — by-value copies of lock- or tree-holding structs
+//
+// Suppress a single finding with a justified directive on or directly
+// above the flagged line:
+//
+//	//tempagglint:ignore errdrop best-effort cache warm-up, failure is benign
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tempagg/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("tempagglint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		list        = fs.Bool("list", false, "list the analyzers and exit")
+		enable      = fs.String("enable", "", "comma-separated analyzer names to run (default: all)")
+		tests       = fs.Bool("tests", true, "analyze _test.go files and external test packages too")
+		strictStats = fs.Bool("strict-stats", false, "finishonce: also flag Stats calls after Finish")
+		dir         = fs.String("C", "", "change to this directory before loading (like go -C)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(errOut, "usage: tempagglint [flags] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers(lint.Config{StrictStats: *strictStats})
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-15s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *enable != "" {
+		selected, err := selectAnalyzers(analyzers, *enable)
+		if err != nil {
+			fmt.Fprintln(errOut, "tempagglint:", err)
+			return 2
+		}
+		analyzers = selected
+	}
+
+	prog, err := lint.Load(lint.LoadOptions{Dir: *dir, Tests: *tests}, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(errOut, "tempagglint:", err)
+		return 2
+	}
+	diags, err := lint.Run(prog, analyzers)
+	if err != nil {
+		fmt.Fprintln(errOut, "tempagglint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errOut, "tempagglint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(all []*lint.Analyzer, csv string) ([]*lint.Analyzer, error) {
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var selected []*lint.Analyzer
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+		}
+		selected = append(selected, a)
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("-enable selected no analyzers")
+	}
+	return selected, nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tempagg/internal/lint"
+)
+
+func TestListPrintsAllAnalyzers(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run -list = %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"intervalbounds", "finishonce", "errdrop", "nodebytes", "lockcopy"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	all := lint.Analyzers(lint.Config{})
+	got, err := selectAnalyzers(all, "errdrop, nodebytes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "errdrop" || got[1].Name != "nodebytes" {
+		t.Fatalf("selectAnalyzers = %v", got)
+	}
+	if _, err := selectAnalyzers(all, "nosuch"); err == nil {
+		t.Error("unknown analyzer accepted")
+	}
+	if _, err := selectAnalyzers(all, " , "); err == nil {
+		t.Error("empty selection accepted")
+	}
+}
+
+func TestUnknownFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("run with bad flag = %d, want 2", code)
+	}
+}
+
+// TestRepositoryIsClean is the acceptance gate: the suite must exit 0 over
+// the whole tree, test files included. Skipped under -short because it
+// type-checks the entire module.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module lint is not short")
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-C", "../..", "./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("tempagglint over the repository = %d\n%s%s", code, out.String(), errOut.String())
+	}
+}

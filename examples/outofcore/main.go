@@ -27,7 +27,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	lifespan, _ := tempagg.NewInterval(0, 999_999)
+	lifespan, err := tempagg.NewInterval(0, 999_999)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Baseline: the whole aggregation tree in memory.
 	start := time.Now()

@@ -72,7 +72,10 @@ func TestIntegrationEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	results["tuma"] = tuma
-	window, _ := tempagg.NewInterval(0, 1_099_999)
+	window, err := tempagg.NewInterval(0, 1_099_999)
+	if err != nil {
+		t.Fatal(err)
+	}
 	part, _, err := tempagg.ComputePartitioned(rel, tempagg.Sum, tempagg.PartitionOptions{
 		Boundaries: tempagg.UniformBoundaries(window, 8),
 		SpillDir:   dir,

@@ -261,7 +261,7 @@ func AblationPartitioned(opts Options) (Figure, error) {
 		{"partitioned parallel=4", 4},
 	}
 	boundaries := core.UniformBoundaries(
-		interval.Interval{Start: 0, End: workload.DefaultLifespan - 1}, 16)
+		interval.MustNew(0, workload.DefaultLifespan-1), 16)
 	for _, v := range variants {
 		s := Series{Name: v.name}
 		for _, size := range opts.Sizes {
@@ -309,7 +309,7 @@ func AblationSpan(opts Options) (Figure, error) {
 
 	instant := Series{Name: "instant (ktree sorted k=1)"}
 	span := Series{Name: "span grouping"}
-	window := interval.Interval{Start: 0, End: workload.DefaultLifespan - 1}
+	window := interval.MustNew(0, workload.DefaultLifespan-1)
 	spanLen := workload.DefaultLifespan / 1000
 	for _, size := range opts.Sizes {
 		var mi, msp []measurement

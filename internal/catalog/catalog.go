@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"tempagg/internal/query"
 	"tempagg/internal/relation"
@@ -40,9 +41,13 @@ type Entry struct {
 	Comment string `json:"comment,omitempty"`
 }
 
-// Catalog is an open catalog directory.
+// Catalog is an open catalog directory. It is safe for concurrent use: the
+// server serves every connection from its own goroutine, so declarations
+// can arrive while queries resolve names.
 type Catalog struct {
-	dir     string
+	dir string
+
+	mu      sync.RWMutex
 	entries map[string]Entry
 }
 
@@ -86,7 +91,9 @@ func Open(dir string) (*Catalog, error) {
 
 // Save persists the declarations to catalog.json.
 func (c *Catalog) Save() error {
+	c.mu.RLock()
 	data, err := json.MarshalIndent(c.entries, "", "  ")
+	c.mu.RUnlock()
 	if err != nil {
 		return fmt.Errorf("catalog: %w", err)
 	}
@@ -99,6 +106,13 @@ func (c *Catalog) Save() error {
 
 // Names lists the catalog's relations, sorted.
 func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.namesLocked()
+}
+
+// namesLocked is Names without locking, for use under either lock mode.
+func (c *Catalog) namesLocked() []string {
 	names := make([]string, 0, len(c.entries))
 	for n := range c.entries {
 		names = append(names, n)
@@ -109,10 +123,17 @@ func (c *Catalog) Names() []string {
 
 // Entry returns the declarations for a relation.
 func (c *Catalog) Entry(name string) (Entry, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.lookup(name)
+}
+
+// lookup is Entry without locking, for use under either lock mode.
+func (c *Catalog) lookup(name string) (Entry, error) {
 	e, ok := c.entries[name]
 	if !ok {
 		return Entry{}, fmt.Errorf("catalog: relation %q not found (have: %s)",
-			name, strings.Join(c.Names(), ", "))
+			name, strings.Join(c.namesLocked(), ", "))
 	}
 	return e, nil
 }
@@ -120,7 +141,9 @@ func (c *Catalog) Entry(name string) (Entry, error) {
 // Declare updates a relation's declarations (KBound, MemoryBudget,
 // ExpectedConstantIntervals, Comment) in memory; call Save to persist.
 func (c *Catalog) Declare(name string, e Entry) error {
-	old, err := c.Entry(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, err := c.lookup(name)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package catalog
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"tempagg/internal/core"
@@ -152,5 +153,54 @@ func TestOpenRejectsBadMetadata(t *testing.T) {
 func TestOpenMissingDir(t *testing.T) {
 	if _, err := Open(filepath.Join(t.TempDir(), "nonexistent")); err == nil {
 		t.Fatal("missing directory must fail")
+	}
+}
+
+// TestConcurrentDeclareAndRead pins down the Catalog's concurrency
+// contract: Declare's map write must not race with readers. Run under
+// -race; before entries was guarded by an RWMutex this test failed.
+func TestConcurrentDeclareAndRead(t *testing.T) {
+	cat, err := Open(newCatalogDir(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch w % 4 {
+				case 0:
+					if err := cat.Declare("Synth", Entry{KBound: i}); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, err := cat.Entry("Employed"); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					if len(cat.Names()) != 2 {
+						t.Error("catalog lost a relation")
+						return
+					}
+				case 3:
+					if _, err := cat.Info("Synth"); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	e, err := cat.Entry("Synth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.File != "Synth.rel" {
+		t.Fatalf("Declare must preserve the file binding, got %q", e.File)
 	}
 }

@@ -79,7 +79,7 @@ func emitSubtree(f aggregate.Func, n *treeNode, lo, hi interval.Time, acc aggreg
 		acc = f.Merge(acc, n.state)
 		if n.isLeaf() {
 			res.Rows = append(res.Rows, Row{
-				Interval: interval.Interval{Start: lo, End: hi},
+				Interval: interval.MustNew(lo, hi),
 				State:    acc,
 			})
 			return
@@ -98,6 +98,8 @@ func emitSubtree(f aggregate.Func, n *treeNode, lo, hi interval.Time, acc aggreg
 // its O(n²) degeneration on sorted input is one of the paper's findings
 // (Figure 7). See BalancedTree for the future-work variant that rebalances.
 type Tree struct {
+	noCopy noCopy
+
 	f     aggregate.Func
 	root  *treeNode
 	span  interval.Interval // the root's covered range

@@ -34,11 +34,7 @@ func randomTuples(r *rand.Rand, n int, horizon int64) []tuple.Tuple {
 		default:
 			e = s + r.Int63n(horizon/2+1)
 		}
-		ts[i] = tuple.Tuple{
-			Name:  "t",
-			Value: r.Int63n(200) - 100,
-			Valid: interval.Interval{Start: s, End: e},
-		}
+		ts[i] = tuple.MustNew("t", r.Int63n(200)-100, s, e)
 	}
 	return ts
 }
@@ -284,6 +280,7 @@ func TestAdjacentTuplesMeetButDoNotOverlap(t *testing.T) {
 // TestAddRejectsInvalidInterval exercises input validation on every
 // evaluator.
 func TestAddRejectsInvalidInterval(t *testing.T) {
+	//tempagglint:ignore intervalbounds the test needs an invalid interval to exercise Add's rejection
 	bad := tuple.Tuple{Name: "x", Valid: interval.Interval{Start: 9, End: 2}}
 	f := aggregate.For(aggregate.Count)
 	for _, spec := range []Spec{

@@ -47,6 +47,8 @@ func (n *bNode) fix() {
 // This removes the O(n²) degeneration on sorted input at the cost of
 // rotation work per insert; the ablation benchmarks quantify the trade.
 type BTree struct {
+	noCopy noCopy
+
 	f     aggregate.Func
 	root  *bNode
 	stats Stats
@@ -165,7 +167,7 @@ func (t *BTree) emit(n *bNode, lo, hi interval.Time, acc aggregate.State, res *R
 	acc = t.f.Merge(acc, n.state)
 	if n.isLeaf() {
 		res.Rows = append(res.Rows, Row{
-			Interval: interval.Interval{Start: lo, End: hi},
+			Interval: interval.MustNew(lo, hi),
 			State:    acc,
 		})
 		return

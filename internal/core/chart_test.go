@@ -72,6 +72,7 @@ func TestSparklineErrors(t *testing.T) {
 	if _, err := res.Sparkline(interval.Universe(), 10); err == nil {
 		t.Error("infinite window must fail")
 	}
+	//tempagglint:ignore intervalbounds the test needs an invalid window to exercise rejection
 	if _, err := res.Sparkline(interval.Interval{Start: 5, End: 1}, 10); err == nil {
 		t.Error("invalid window must fail")
 	}

@@ -7,6 +7,18 @@ import (
 	"tempagg/internal/tuple"
 )
 
+// noCopy marks a struct as copy-hostile. An evaluator owns live tree state
+// — node pools, GC bookkeeping, peak counters — so a by-value copy would
+// create two owners of one structure. The type carries pointer-receiver
+// Lock/Unlock no-ops, the convention both go vet's copylocks and
+// tempagglint's lockcopy analyzer key on, so any copy is reported at build
+// time. Include it as a named field (never embed it, which would promote
+// Lock into the public method set).
+type noCopy struct{}
+
+func (*noCopy) Lock()   {}
+func (*noCopy) Unlock() {}
+
 // NodeBytes is the memory cost charged per structure node, matching the
 // paper's accounting (§6.2): both tree algorithms and the linked list use
 // 16 bytes per node (two pointers or two timestamps, an aggregate value, and

@@ -41,11 +41,9 @@ func ExampleKTree() {
 		panic(err)
 	}
 	for i := int64(0); i < 1000; i++ {
-		_ = kt.Add(tuple.Tuple{
-			Name:  "t",
-			Value: 1,
-			Valid: interval.Interval{Start: i * 10, End: i*10 + 4},
-		})
+		if err := kt.Add(tuple.MustNew("t", 1, i*10, i*10+4)); err != nil {
+			panic(err)
+		}
 	}
 	res, err := kt.Finish()
 	if err != nil {

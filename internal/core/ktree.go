@@ -23,6 +23,8 @@ import (
 // only ever removes the earliest consecutive part of the tree, so no hole is
 // created in the constant intervals and emission stays in time order.
 type KTree struct {
+	noCopy noCopy
+
 	f aggregate.Func
 	k int
 
@@ -130,7 +132,7 @@ func (t *KTree) collect(threshold interval.Time) {
 		}
 		leafState := t.f.Merge(t.f.Merge(acc, parent.state), parent.left.state)
 		t.emitted = append(t.emitted, Row{
-			Interval: interval.Interval{Start: t.rootLo, End: parent.split},
+			Interval: interval.MustNew(t.rootLo, parent.split),
 			State:    leafState,
 		})
 		parent.right.state = t.f.Merge(parent.right.state, parent.state)

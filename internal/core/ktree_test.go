@@ -6,7 +6,6 @@ import (
 	"testing/quick"
 
 	"tempagg/internal/aggregate"
-	"tempagg/internal/interval"
 	"tempagg/internal/tuple"
 )
 
@@ -28,8 +27,7 @@ func TestKTreeGarbageCollectsSortedInput(t *testing.T) {
 	const n = 5000
 	for i := 0; i < n; i++ {
 		s := int64(i * 10)
-		if err := kt.Add(tuple.Tuple{Name: "t", Value: 1,
-			Valid: interval.Interval{Start: s, End: s + 5}}); err != nil {
+		if err := kt.Add(tuple.MustNew("t", 1, s, s+5)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -62,8 +60,7 @@ func TestKTreePeakMemoryGrowsWithK(t *testing.T) {
 	var ts []tuple.Tuple
 	for i := 0; i < 4000; i++ {
 		s := int64(i*5) + r.Int63n(5)
-		ts = append(ts, tuple.Tuple{Name: "t", Value: 1,
-			Valid: interval.Interval{Start: s, End: s + r.Int63n(50)}})
+		ts = append(ts, tuple.MustNew("t", 1, s, s+r.Int63n(50)))
 	}
 	ts = sortTuples(ts)
 	peak := func(k int) int {
@@ -89,10 +86,8 @@ func TestKTreeLongLivedTuplesInflateMemory(t *testing.T) {
 	r := rand.New(rand.NewSource(6))
 	for i := 0; i < 2000; i++ {
 		s := int64(i * 10)
-		short = append(short, tuple.Tuple{Name: "t", Value: 1,
-			Valid: interval.Interval{Start: s, End: s + r.Int63n(20)}})
-		long = append(long, tuple.Tuple{Name: "t", Value: 1,
-			Valid: interval.Interval{Start: s, End: s + 10000 + r.Int63n(5000)}})
+		short = append(short, tuple.MustNew("t", 1, s, s+r.Int63n(20)))
+		long = append(long, tuple.MustNew("t", 1, s, s+10000+r.Int63n(5000)))
 	}
 	_, shortStats, err := Run(Spec{Algorithm: KOrderedTree, K: 1}, f, short)
 	if err != nil {
@@ -119,13 +114,11 @@ func TestKTreeDetectsOrderViolation(t *testing.T) {
 	// With k=0 the window holds one start; strictly increasing starts allow
 	// immediate collection, so jumping far forward then far back must fail.
 	for _, s := range []int64{100, 200, 300, 400} {
-		if err := kt.Add(tuple.Tuple{Name: "t", Value: 1,
-			Valid: interval.Interval{Start: s, End: s + 10}}); err != nil {
+		if err := kt.Add(tuple.MustNew("t", 1, s, s+10)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	err = kt.Add(tuple.Tuple{Name: "late", Value: 1,
-		Valid: interval.Interval{Start: 0, End: 5}})
+	err = kt.Add(tuple.MustNew("late", 1, 0, 5))
 	if err == nil {
 		t.Fatal("expected k-orderedness violation to be detected")
 	}

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"tempagg/internal/aggregate"
-	"tempagg/internal/interval"
 	"tempagg/internal/tuple"
 )
 
@@ -22,8 +21,7 @@ func TestKTreeWindowSemanticsPaperExample(t *testing.T) {
 	// relation is 0-ordered (and trivially 10-ordered).
 	add := func(i int) {
 		t.Helper()
-		if err := kt.Add(tuple.Tuple{Name: "t", Value: 1, Valid: interval.Interval{
-			Start: int64(i) * 100, End: int64(i)*100 + 5}}); err != nil {
+		if err := kt.Add(tuple.MustNew("t", 1, int64(i)*100, int64(i)*100+5)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -84,7 +82,7 @@ func TestKTreeGCThresholdBoundary(t *testing.T) {
 		t.Fatal(err)
 	}
 	mk := func(s, e int64) tuple.Tuple {
-		return tuple.Tuple{Name: "t", Value: 1, Valid: interval.Interval{Start: s, End: e}}
+		return tuple.MustNew("t", 1, s, e)
 	}
 	if err := kt.Add(mk(10, 20)); err != nil {
 		t.Fatal(err)

@@ -23,6 +23,8 @@ type listNode struct {
 // aggregation tree at 64K tuples, while noting it is adequate when the
 // result has few constant intervals.
 type List struct {
+	noCopy noCopy
+
 	f     aggregate.Func
 	head  *listNode
 	stats Stats
@@ -76,7 +78,7 @@ func (l *List) Add(t tuple.Tuple) error {
 // state (the tuples counted so far overlapped the whole of n).
 func (l *List) split(n *listNode, at interval.Time) {
 	tail := &listNode{
-		iv:    interval.Interval{Start: at + 1, End: n.iv.End},
+		iv:    interval.MustNew(at+1, n.iv.End),
 		state: n.state,
 		next:  n.next,
 	}

@@ -71,10 +71,10 @@ func partitionSpans(boundaries []interval.Time) ([]interval.Interval, error) {
 			return nil, fmt.Errorf("core: partition boundary %d (%d) must exceed %d",
 				i, b, prev)
 		}
-		spans = append(spans, interval.Interval{Start: prev, End: b - 1})
+		spans = append(spans, interval.MustNew(prev, b-1))
 		prev = b
 	}
-	spans = append(spans, interval.Interval{Start: prev, End: interval.Forever})
+	spans = append(spans, interval.MustNew(prev, interval.Forever))
 	return spans, nil
 }
 
@@ -309,6 +309,7 @@ func (b *spillBuckets) drain(i int, fn func(tuple.Tuple) error) error {
 func (b *spillBuckets) cleanup() {
 	for _, w := range b.writers {
 		if w != nil {
+			//tempagglint:ignore errdrop best-effort teardown: the bucket files are removed below
 			w.Close()
 		}
 	}

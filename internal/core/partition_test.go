@@ -100,8 +100,7 @@ func TestPartitionedSpillToDisk(t *testing.T) {
 	ts := make([]tuple.Tuple, 300)
 	for i := range ts {
 		s := r.Int63n(1000)
-		ts[i] = tuple.Tuple{Name: "t", Value: r.Int63n(1000),
-			Valid: interval.Interval{Start: s, End: s + r.Int63n(400)}}
+		ts[i] = tuple.MustNew("t", r.Int63n(1000), s, s+r.Int63n(400))
 	}
 	want := Reference(f, ts)
 	opts := PartitionOptions{
@@ -129,8 +128,7 @@ func TestPartitionedBoundsMemory(t *testing.T) {
 	ts := make([]tuple.Tuple, 4000)
 	for i := range ts {
 		s := r.Int63n(100000)
-		ts[i] = tuple.Tuple{Name: "t", Value: 1,
-			Valid: interval.Interval{Start: s, End: s + r.Int63n(300)}}
+		ts[i] = tuple.MustNew("t", 1, s, s+r.Int63n(300))
 	}
 	_, whole, err := Run(Spec{Algorithm: AggregationTree}, f, ts)
 	if err != nil {
@@ -152,8 +150,8 @@ func TestPartitionedBoundsMemory(t *testing.T) {
 func TestPartitionedForeverTuples(t *testing.T) {
 	f := aggregate.For(aggregate.Count)
 	ts := []tuple.Tuple{
-		{Name: "a", Value: 1, Valid: interval.Interval{Start: 5, End: interval.Forever}},
-		{Name: "b", Value: 1, Valid: interval.Interval{Start: 0, End: 9}},
+		tuple.MustNew("a", 1, 5, interval.Forever),
+		tuple.MustNew("b", 1, 0, 9),
 	}
 	got, _, err := EvaluatePartitionedTuples(f, ts, PartitionOptions{
 		Boundaries: []interval.Time{10, 100},
@@ -168,6 +166,7 @@ func TestPartitionedForeverTuples(t *testing.T) {
 
 func TestPartitionedRejectsInvalidInput(t *testing.T) {
 	f := aggregate.For(aggregate.Count)
+	//tempagglint:ignore intervalbounds the test needs an invalid tuple to exercise input rejection
 	bad := []tuple.Tuple{{Name: "x", Valid: interval.Interval{Start: 9, End: 1}}}
 	if _, _, err := EvaluatePartitionedTuples(f, bad, PartitionOptions{}); err == nil {
 		t.Fatal("invalid tuple must be rejected")
@@ -203,9 +202,9 @@ func TestAggregationTreeRangeClipsInput(t *testing.T) {
 	f := aggregate.For(aggregate.Count)
 	tree := NewAggregationTreeRange(f, interval.MustNew(10, 19))
 	for _, tu := range []tuple.Tuple{
-		{Name: "in", Value: 1, Valid: interval.MustNew(12, 14)},
-		{Name: "straddle", Value: 1, Valid: interval.MustNew(0, 11)},
-		{Name: "outside", Value: 1, Valid: interval.MustNew(30, 40)},
+		tuple.MustNew("in", 1, 12, 14),
+		tuple.MustNew("strad", 1, 0, 11),
+		tuple.MustNew("out", 1, 30, 40),
 	} {
 		if err := tree.Add(tu); err != nil {
 			t.Fatal(err)

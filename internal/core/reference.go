@@ -30,7 +30,7 @@ func Reference(f aggregate.Func, tuples []tuple.Tuple) *Result {
 		if i+1 < len(boundaries) {
 			end = boundaries[i+1] - 1
 		}
-		iv := interval.Interval{Start: b, End: end}
+		iv := interval.MustNew(b, end)
 		state := f.Zero()
 		for _, t := range tuples {
 			if t.Valid.Overlaps(iv) {

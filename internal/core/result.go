@@ -105,8 +105,8 @@ func (r *Result) Clip(window interval.Interval) *Result {
 // ordered, contiguous, and exactly covering the range.
 func (r *Result) ValidatePartition(lo, hi interval.Time) error {
 	if len(r.Rows) == 0 {
-		return fmt.Errorf("core: empty result cannot cover %s",
-			interval.Interval{Start: lo, End: hi})
+		return fmt.Errorf("core: empty result cannot cover [%s,%s]",
+			interval.FormatTime(lo), interval.FormatTime(hi))
 	}
 	if first := r.Rows[0].Interval.Start; first != lo {
 		return fmt.Errorf("core: result starts at %s, want %s",

@@ -14,7 +14,7 @@ func row(f aggregate.Func, s, e interval.Time, vals ...int64) Row {
 	for _, v := range vals {
 		st = f.Add(st, v)
 	}
-	return Row{Interval: interval.Interval{Start: s, End: e}, State: st}
+	return Row{Interval: interval.MustNew(s, e), State: st}
 }
 
 func TestCoalesceMergesEqualAdjacent(t *testing.T) {

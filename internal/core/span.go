@@ -50,7 +50,7 @@ func GroupBySpan(f aggregate.Func, tuples []tuple.Tuple, span interval.Time, win
 			end = window.End
 		}
 		res.Rows = append(res.Rows, Row{
-			Interval: interval.Interval{Start: start, End: end},
+			Interval: interval.MustNew(start, end),
 			State:    states[b],
 		})
 	}

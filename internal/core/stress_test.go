@@ -23,8 +23,7 @@ func TestDeepLeftSpineTree(t *testing.T) {
 	f := aggregate.For(aggregate.Count)
 	tree := NewAggregationTree(f)
 	for i := n; i > 0; i-- {
-		tu := tuple.Tuple{Name: "t", Value: 1,
-			Valid: interval.Interval{Start: int64(i) * 5, End: int64(i)*5 + 2}}
+		tu := tuple.MustNew("t", 1, int64(i)*5, int64(i)*5+2)
 		if err := tree.Add(tu); err != nil {
 			t.Fatal(err)
 		}
@@ -51,8 +50,7 @@ func TestDeepRightSpineTree(t *testing.T) {
 	f := aggregate.For(aggregate.Sum)
 	tree := NewAggregationTree(f)
 	for i := 0; i < n; i++ {
-		tu := tuple.Tuple{Name: "t", Value: 2,
-			Valid: interval.Interval{Start: int64(i) * 5, End: int64(i)*5 + 2}}
+		tu := tuple.MustNew("t", 2, int64(i)*5, int64(i)*5+2)
 		if err := tree.Add(tu); err != nil {
 			t.Fatal(err)
 		}
@@ -73,8 +71,7 @@ func TestBalancedTreeStaysShallow(t *testing.T) {
 	bt := NewBalancedTree(f)
 	const n = 50_000
 	for i := 0; i < n; i++ {
-		tu := tuple.Tuple{Name: "t", Value: 1,
-			Valid: interval.Interval{Start: int64(i) * 3, End: int64(i)*3 + 1}}
+		tu := tuple.MustNew("t", 1, int64(i)*3, int64(i)*3+1)
 		if err := bt.Add(tu); err != nil {
 			t.Fatal(err)
 		}
@@ -100,8 +97,7 @@ func TestBalancedTreeHeightInvariant(t *testing.T) {
 	bt := NewBalancedTree(f)
 	for i := 0; i < 3000; i++ {
 		s := r.Int63n(100000)
-		tu := tuple.Tuple{Name: "t", Value: r.Int63n(100),
-			Valid: interval.Interval{Start: s, End: s + r.Int63n(5000)}}
+		tu := tuple.MustNew("t", r.Int63n(100), s, s+r.Int63n(5000))
 		if err := bt.Add(tu); err != nil {
 			t.Fatal(err)
 		}
@@ -146,8 +142,7 @@ func TestKTreeSustainedStream(t *testing.T) {
 		if i%3 == 0 && s >= 4 {
 			s -= 4 // within the k=2 disorder budget for this arrival rate
 		}
-		tu := tuple.Tuple{Name: "t", Value: r.Int63n(1000),
-			Valid: interval.Interval{Start: s, End: s + r.Int63n(40)}}
+		tu := tuple.MustNew("t", r.Int63n(1000), s, s+r.Int63n(40))
 		if err := kt.Add(tu); err != nil {
 			t.Fatal(err)
 		}
@@ -179,8 +174,7 @@ func TestLargeRandomAgreement(t *testing.T) {
 	ts := make([]tuple.Tuple, 20_000)
 	for i := range ts {
 		s := r.Int63n(1_000_000)
-		ts[i] = tuple.Tuple{Name: "t", Value: r.Int63n(1000) - 500,
-			Valid: interval.Interval{Start: s, End: s + r.Int63n(10_000)}}
+		ts[i] = tuple.MustNew("t", r.Int63n(1000)-500, s, s+r.Int63n(10_000))
 	}
 	want, _, err := Run(Spec{Algorithm: LinkedList}, f, ts)
 	if err != nil {

@@ -87,7 +87,7 @@ func Tuma(src TupleSource, f aggregate.Func) (*Result, error) {
 		if i+1 < len(boundaries) {
 			end = boundaries[i+1] - 1
 		}
-		res.Rows = append(res.Rows, Row{Interval: interval.Interval{Start: b, End: end}})
+		res.Rows = append(res.Rows, Row{Interval: interval.MustNew(b, end)})
 	}
 
 	// Pass 2: re-scan the relation and fold each tuple into every constant

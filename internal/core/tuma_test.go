@@ -58,6 +58,7 @@ func TestTumaEmptyRelation(t *testing.T) {
 }
 
 func TestTumaRejectsInvalidTuple(t *testing.T) {
+	//tempagglint:ignore intervalbounds the test needs an invalid tuple to exercise rejection
 	src := NewSliceSource([]tuple.Tuple{{Name: "x", Valid: interval.Interval{Start: 5, End: 1}}})
 	if _, err := Tuma(src, aggregate.For(aggregate.Count)); err == nil {
 		t.Fatal("expected error for invalid tuple")

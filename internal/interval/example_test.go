@@ -26,7 +26,10 @@ func Example() {
 // ExampleGranularity converts calendar units to chronons for span grouping.
 func ExampleGranularity() {
 	fmt.Println(interval.Year.Span(2))
-	g, _ := interval.ParseGranularity("weeks")
+	g, err := interval.ParseGranularity("weeks")
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(g)
 	// Output:
 	// 63072000

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags discarded error returns from tempagg's own APIs: a bare
+// call statement, a `go`/`defer` call, or an assignment that sends every
+// error result to the blank identifier. Evaluator.Add and Finish report
+// overflow and contract violations, the relation loaders report short
+// reads and malformed records — dropping any of these is silent data
+// loss, which in a goroutine body never surfaces at all. Errors from the
+// standard library are out of scope (go vet and callers' judgment cover
+// those), with one idiomatic carve-out here too: `defer x.Close()` on a
+// read path is conventional and stays legal.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "flag discarded error results from tempagg APIs (bare calls, " +
+		"go/defer calls, and _ assignments), goroutine bodies included",
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call, "")
+				}
+			case *ast.GoStmt:
+				checkDroppedCall(pass, n.Call, "go")
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, n.Call, "defer")
+			case *ast.AssignStmt:
+				checkDroppedAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDroppedCall flags a statement-position call that returns an error.
+func checkDroppedCall(pass *Pass, call *ast.CallExpr, keyword string) {
+	fn := moduleCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || len(errorResults(sig)) == 0 {
+		return
+	}
+	if keyword == "defer" && fn.Name() == "Close" {
+		return // conventional best-effort close on a read path
+	}
+	what := funcDisplayName(fn)
+	switch keyword {
+	case "":
+		pass.Reportf(call.Pos(), "error result of %s is discarded", what)
+	default:
+		pass.Reportf(call.Pos(), "error result of %s is discarded by %s "+
+			"(a dropped error in a %s statement is silent data loss)",
+			what, keyword, keyword)
+	}
+}
+
+// checkDroppedAssign flags x, _ := f() / _ = f() where every error result
+// lands in the blank identifier.
+func checkDroppedAssign(pass *Pass, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := moduleCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	errIdx := errorResults(sig)
+	if len(errIdx) == 0 {
+		return
+	}
+	if len(assign.Lhs) != sig.Results().Len() {
+		return // single-value assignment of a multi-result call cannot parse
+	}
+	for _, i := range errIdx {
+		if id, ok := assign.Lhs[i].(*ast.Ident); !ok || id.Name != "_" {
+			return // at least one error result is captured
+		}
+	}
+	pass.Reportf(assign.Pos(), "error result of %s is assigned to _ "+
+		"(handle it or add a tempagglint:ignore directive with a reason)",
+		funcDisplayName(fn))
+}
+
+// moduleCallee resolves the callee if it is declared in the tempagg module.
+func moduleCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || !inModule(fn.Pkg()) {
+		return nil
+	}
+	return fn
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tempagg/internal/lint"
+	"tempagg/internal/lint/linttest"
+)
+
+// TestErrDrop also covers the suppression directive: the fixture contains
+// a flagged pattern silenced by //tempagglint:ignore with no `want`, so a
+// broken directive surfaces as an unexpected diagnostic.
+func TestErrDrop(t *testing.T) {
+	linttest.Run(t, lint.ErrDrop, "errdrop")
+}

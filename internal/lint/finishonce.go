@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// NewFinishOnce returns the finishonce analyzer.
+//
+// The Evaluator contract (internal/core/evaluator.go) says "the evaluator
+// must not be reused" after Finish: the aggregation tree has been walked
+// and partially reclaimed, the k-ordered tree's collected prefix is gone,
+// so a later Add would fold tuples into a structure that no longer
+// represents the relation — silently wrong results, not a crash. The check
+// is flow-insensitive: within one function body, a call to Add (or a
+// second Finish) on the same evaluator value textually after a Finish call
+// is flagged, unless the variable is reassigned in between.
+//
+// With strictStats, Stats calls after Finish are flagged too. The default
+// leaves them legal because the documented contract explicitly permits
+// Stats "at any point" and reading the final PeakNodes after Finish is the
+// blessed reporting pattern (core.Run, partition workers, the benchmarks).
+func NewFinishOnce(strictStats bool) *Analyzer {
+	return &Analyzer{
+		Name: "finishonce",
+		Doc: "flag Add (and with -strict-stats, Stats) calls on a core.Evaluator " +
+			"after Finish in the same function, and double Finish",
+		Run: func(pass *Pass) error { return runFinishOnce(pass, strictStats) },
+	}
+}
+
+// evEvent is one use of an evaluator value inside a function body.
+type evEvent struct {
+	pos    token.Pos
+	method string // "Add", "Finish", "Stats", or "" for a reassignment
+	expr   string // receiver rendering, for the message
+}
+
+func runFinishOnce(pass *Pass, strictStats bool) error {
+	iface := evaluatorInterface(pass.Pkg)
+	if iface == nil {
+		return nil // package cannot name core.Evaluator values
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFinishOnceBody(pass, iface, fn.Body, strictStats)
+				}
+			case *ast.FuncLit:
+				checkFinishOnceBody(pass, iface, fn.Body, strictStats)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// evaluatorInterface finds core.Evaluator in pkg's import closure.
+func evaluatorInterface(pkg *types.Package) *types.Interface {
+	core := findImport(pkg, corePkgPath, map[*types.Package]bool{})
+	if core == nil {
+		return nil
+	}
+	obj := core.Scope().Lookup("Evaluator")
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+func findImport(pkg *types.Package, path string, seen map[*types.Package]bool) *types.Package {
+	if pkg == nil || seen[pkg] {
+		return nil
+	}
+	seen[pkg] = true
+	if pkg.Path() == path {
+		return pkg
+	}
+	for _, imp := range pkg.Imports() {
+		if found := findImport(imp, path, seen); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// checkFinishOnceBody analyzes one function body, not descending into
+// nested function literals (each gets its own pass; a goroutine body is a
+// separate flow).
+func checkFinishOnceBody(pass *Pass, iface *types.Interface, body *ast.BlockStmt, strictStats bool) {
+	events := map[string][]evEvent{} // receiver key → ordered uses
+	tainted := map[string]bool{}     // receiver key → address taken, skip
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if key, ok := receiverKey(pass, n.X); ok {
+					tainted[key] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if key, ok := receiverKey(pass, lhs); ok {
+					events[key] = append(events[key],
+						evEvent{pos: lhs.Pos(), method: "", expr: exprString(lhs)})
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			method := sel.Sel.Name
+			if method != "Add" && method != "Finish" && method != "Stats" {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sel.X]
+			if !ok || !isEvaluatorType(tv.Type, iface) {
+				return true
+			}
+			key, ok := receiverKey(pass, sel.X)
+			if !ok {
+				return true
+			}
+			events[key] = append(events[key],
+				evEvent{pos: n.Pos(), method: method, expr: exprString(sel.X)})
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	for key, evs := range events {
+		if tainted[key] {
+			continue // address escaped; the value may be swapped out
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+		finished := false
+		for _, e := range evs {
+			switch e.method {
+			case "":
+				finished = false // reassigned: a fresh evaluator
+			case "Finish":
+				if finished {
+					pass.Reportf(e.pos, "Finish called twice on %s "+
+						"(evaluator must not be reused after Finish)", e.expr)
+				}
+				finished = true
+			case "Add":
+				if finished {
+					pass.Reportf(e.pos, "Add called on %s after Finish "+
+						"(evaluator must not be reused after Finish)", e.expr)
+				}
+			case "Stats":
+				if finished && strictStats {
+					pass.Reportf(e.pos, "Stats called on %s after Finish "+
+						"(strict-stats: snapshot Stats before Finish)", e.expr)
+				}
+			}
+		}
+	}
+}
+
+// isEvaluatorType reports whether a value of type t can be a
+// core.Evaluator: the interface itself, or a concrete type whose (pointer)
+// method set implements it.
+func isEvaluatorType(t types.Type, iface *types.Interface) bool {
+	if t == nil {
+		return false
+	}
+	if types.AssignableTo(t, iface) {
+		return true
+	}
+	if _, ok := types.Unalias(t).(*types.Pointer); !ok {
+		return types.AssignableTo(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+// receiverKey identifies the evaluator value a method is called on: the
+// object for a plain variable, the rendered path for a field selection.
+// Calls on arbitrary expressions (function results, index expressions)
+// return ok=false — there is no stable identity to track.
+func receiverKey(pass *Pass, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[e]
+		}
+		if obj == nil {
+			return "", false
+		}
+		return fmt.Sprintf("obj:%p", obj), true
+	case *ast.SelectorExpr:
+		if base, ok := receiverKey(pass, e.X); ok {
+			return base + "." + e.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// exprString renders a receiver expression for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "evaluator"
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tempagg/internal/lint"
+	"tempagg/internal/lint/linttest"
+)
+
+func TestFinishOnce(t *testing.T) {
+	linttest.Run(t, lint.NewFinishOnce(false), "finishonce")
+}
+
+func TestFinishOnceStrictStats(t *testing.T) {
+	linttest.Run(t, lint.NewFinishOnce(true), "finishonce_strict")
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// IntervalBounds flags raw tuple.Tuple and interval.Interval composite
+// literals that set fields, outside the defining packages. Every interval
+// the evaluators consume must satisfy Start <= End (and Start >= Origin);
+// the validating constructors — interval.New, interval.MustNew,
+// interval.At, interval.Universe, tuple.New, tuple.MustNew — are the only
+// places that invariant is checked, so a literal with explicit fields is a
+// hole through which an inverted interval can reach an evaluator and
+// corrupt a constant-interval structure. The empty literal (the zero value
+// [0,0]) is the conventional "no result" sentinel and stays legal.
+var IntervalBounds = &Analyzer{
+	Name: "intervalbounds",
+	Doc: "flag tuple.Tuple/interval.Interval literals with fields set that " +
+		"bypass the validating constructors (start<=end, name width)",
+	Run: runIntervalBounds,
+}
+
+func runIntervalBounds(pass *Pass) error {
+	// The defining packages (and their tests, which must build invalid
+	// values on purpose to exercise Validate) are exempt.
+	owner := strings.TrimSuffix(pass.Pkg.Path(), "_test")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || len(lit.Elts) == 0 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[lit]
+			if !ok {
+				return true
+			}
+			switch {
+			case isNamed(tv.Type, intervalPkgPath, "Interval") && owner != intervalPkgPath:
+				pass.Reportf(lit.Pos(), "raw interval.Interval literal bypasses validation; "+
+					"use interval.New, interval.MustNew, or interval.At so Start<=End is checked")
+			case isNamed(tv.Type, tuplePkgPath, "Tuple") && owner != tuplePkgPath:
+				pass.Reportf(lit.Pos(), "raw tuple.Tuple literal bypasses validation; "+
+					"use tuple.New or tuple.MustNew so the interval and name width are checked")
+			}
+			return true
+		})
+	}
+	return nil
+}

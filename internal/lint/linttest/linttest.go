@@ -1,0 +1,196 @@
+// Package linttest runs a lint analyzer over a fixture directory and
+// compares its diagnostics against `// want` expectations, the same
+// fixture convention golang.org/x/tools/go/analysis/analysistest uses
+// (re-implemented here because the repository builds offline).
+//
+// Fixtures live under internal/lint/testdata/src/<name>/ as ordinary Go
+// files in package `fixture`; they may import real tempagg packages. A
+// line expecting diagnostics carries one or more quoted regular
+// expressions:
+//
+//	ev.Add(t) // want `Add called on ev after Finish`
+//
+// Every diagnostic must be matched by a want on its line and every want
+// must be matched by a diagnostic, or the test fails.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"tempagg/internal/lint"
+)
+
+var (
+	progOnce sync.Once
+	prog     *lint.Program
+	progErr  error
+)
+
+// program loads the whole tempagg module once per test binary; fixture
+// packages type-check against its in-memory packages and export data.
+func program(t *testing.T) *lint.Program {
+	t.Helper()
+	progOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			progErr = err
+			return
+		}
+		prog, progErr = lint.Load(lint.LoadOptions{Dir: root}, "./...")
+	})
+	if progErr != nil {
+		t.Fatalf("linttest: load module: %v", progErr)
+	}
+	return prog
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("linttest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Run checks analyzer against testdata/src/<name> relative to the test's
+// working directory (the internal/lint package directory).
+func Run(t *testing.T, analyzer *lint.Analyzer, name string) {
+	t.Helper()
+	p := program(t)
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []*ast.File
+	wants := map[string][]*want{} // "file:line" → expectations
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(p.Fset, path, nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		files = append(files, f)
+		collectWants(t, p, f, wants)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no fixture files in %s", dir)
+	}
+	pkgTypes, info, err := p.CheckFiles("fixture/"+name, files)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pkg := &lint.Package{Path: "fixture/" + name, Dir: dir, Files: files, Pkg: pkgTypes, Info: info}
+	diags, err := lint.RunPackage(p, pkg, []*lint.Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		if !matchWant(wants[key], d.Message) {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("no diagnostic at %s matching %q", k, w.re.String())
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func matchWant(ws []*want, message string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses `// want "re" `re`...` comments.
+func collectWants(t *testing.T, p *lint.Program, f *ast.File, wants map[string][]*want) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := p.Fset.Position(c.Pos())
+			key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+			for _, pat := range splitQuoted(t, text[len("want "):], key) {
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("linttest: bad want pattern at %s: %v", key, err)
+				}
+				wants[key] = append(wants[key], &want{re: re})
+			}
+		}
+	}
+}
+
+// splitQuoted extracts the quoted (double- or back-quoted) patterns.
+func splitQuoted(t *testing.T, s, key string) []string {
+	t.Helper()
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var end int
+		switch s[0] {
+		case '"':
+			end = strings.Index(s[1:], `"`)
+		case '`':
+			end = strings.Index(s[1:], "`")
+		default:
+			t.Fatalf("linttest: malformed want at %s: %q", key, s)
+		}
+		if end < 0 {
+			t.Fatalf("linttest: unterminated want pattern at %s", key)
+		}
+		quoted := s[:end+2]
+		pat, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("linttest: bad want pattern at %s: %v", key, err)
+		}
+		pats = append(pats, pat)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return pats
+}

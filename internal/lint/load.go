@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("tempagg/internal/core"); external test
+	// packages carry a "_test" suffix ("tempagg/internal/core_test").
+	Path string
+	// Dir is the package directory on disk.
+	Dir   string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// A Program is a loaded set of packages sharing one FileSet.
+type Program struct {
+	Fset *token.FileSet
+	// Packages are the module packages matched by the load patterns, in
+	// dependency order, followed by their external test packages.
+	Packages []*Package
+
+	exports map[string]string         // import path → export data file
+	checked map[string]*types.Package // import path → source-checked package
+	gc      types.Importer            // export-data fallback importer
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	Standard     bool
+	DepOnly      bool
+	ForTest      string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Module       *struct{ Path string }
+}
+
+// LoadOptions configures Load.
+type LoadOptions struct {
+	// Dir is the directory to run `go list` from; it must be inside the
+	// tempagg module. Empty means the current directory.
+	Dir string
+	// Tests includes each package's test files: in-package _test.go files
+	// are type-checked with the package, external test packages are
+	// appended as separate packages.
+	Tests bool
+}
+
+// Load lists patterns with the go tool, type-checks every matched module
+// package from source (dependencies resolved against in-memory packages
+// first, `go list -export` export data second), and returns the program.
+func Load(opts LoadOptions, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"list", "-e", "-export", "-json", "-deps"}
+	if opts.Tests {
+		// -test ensures export data exists for test-only dependencies
+		// (testing, net/http/httptest, ...).
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = opts.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %w\n%s", err, stderr.String())
+	}
+
+	prog := &Program{
+		Fset:    token.NewFileSet(),
+		exports: map[string]string{},
+		checked: map[string]*types.Package{},
+	}
+	prog.gc = importer.ForCompiler(prog.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := prog.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: parse go list output: %w", err)
+		}
+		// Test variants ("pkg [pkg.test]") and synthesized test binaries
+		// ("pkg.test") only contribute export data under their own keys;
+		// targets come from the plain packages.
+		if p.Export != "" {
+			prog.exports[p.ImportPath] = p.Export
+		}
+		if p.ForTest != "" || strings.HasSuffix(p.ImportPath, ".test") ||
+			strings.Contains(p.ImportPath, " [") {
+			continue
+		}
+		if p.Module != nil && p.Module.Path == modulePath && !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("lint: no tempagg packages match %v", patterns)
+	}
+
+	// Phase 1: type-check every target from its non-test sources, in the
+	// dependency order go list -deps guarantees, registering each result
+	// so later packages import the in-memory version. Only these pure
+	// packages are ever importable — that keeps type identity consistent.
+	pure := make([]*Package, len(targets))
+	for i, p := range targets {
+		files := append(append([]string{}, p.GoFiles...), p.CgoFiles...)
+		pkg, err := prog.check(p.ImportPath, p.Dir, files, true)
+		if err != nil {
+			return nil, err
+		}
+		pure[i] = pkg
+	}
+
+	// Phase 2: build the analysis set. With tests, a package that has
+	// in-package test files is re-checked with them included (against the
+	// pure registry, unregistered, so no one imports the test-augmented
+	// variant), and external test packages are appended under a "_test"
+	// path suffix.
+	for i, p := range targets {
+		pkg := pure[i]
+		if opts.Tests && len(p.TestGoFiles) > 0 {
+			files := append(append([]string{}, p.GoFiles...), p.CgoFiles...)
+			files = append(files, p.TestGoFiles...)
+			var err error
+			pkg, err = prog.check(p.ImportPath, p.Dir, files, false)
+			if err != nil {
+				return nil, err
+			}
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	if opts.Tests {
+		for _, p := range targets {
+			if len(p.XTestGoFiles) == 0 {
+				continue
+			}
+			pkg, err := prog.check(p.ImportPath+"_test", p.Dir, p.XTestGoFiles, false)
+			if err != nil {
+				return nil, err
+			}
+			prog.Packages = append(prog.Packages, pkg)
+		}
+	}
+	return prog, nil
+}
+
+// Import implements types.Importer: in-memory source-checked packages win,
+// everything else (the standard library) comes from export data.
+func (prog *Program) Import(path string) (*types.Package, error) {
+	if pkg, ok := prog.checked[path]; ok {
+		return pkg, nil
+	}
+	return prog.gc.Import(path)
+}
+
+// check parses and type-checks one package from source. register makes
+// the result importable by later packages; only pure (non-test) variants
+// may register, or import graphs would mix type incarnations.
+func (prog *Program) check(path, dir string, fileNames []string, register bool) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(prog.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := prog.checkFiles(path, files, register)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// CheckFiles type-checks already-parsed files as package path against the
+// program's import graph without registering the result. It is used by
+// linttest for fixture packages that import real tempagg packages.
+func (prog *Program) CheckFiles(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	return prog.checkFiles(path, files, false)
+}
+
+func (prog *Program) checkFiles(path string, files []*ast.File, register bool) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: prog}
+	pkg, err := conf.Check(path, prog.Fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: type-check %s: %w", path, err)
+	}
+	if register {
+		prog.checked[path] = pkg
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCopy flags by-value copies of structs that hold a lock or live
+// structure state: value receivers, by-value parameters and results,
+// assignments, call arguments, returns, and range values. A copied
+// sync.Mutex is two independent locks guarding one map — exactly the
+// failure mode the shared catalog and server would hit under concurrent
+// ingest + query. Evaluator structs embed a core noCopy marker (a
+// zero-size type with pointer Lock/Unlock methods) so a copied aggregation
+// tree — two owners garbage-collecting one node pool — is caught the same
+// way. The detector keys off "has a pointer-receiver Lock and Unlock", the
+// same convention go vet's copylocks uses, so any future type can opt in
+// by embedding noCopy.
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc: "flag by-value copies of structs holding mutexes or live tree " +
+		"state (anything with pointer-receiver Lock/Unlock, incl. core.noCopy)",
+	Run: runLockCopy,
+}
+
+func runLockCopy(pass *Pass) error {
+	cache := map[types.Type]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					checkFieldList(pass, cache, n.Recv, "receiver")
+				}
+				checkFuncType(pass, cache, n.Type)
+			case *ast.FuncLit:
+				checkFuncType(pass, cache, n.Type)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// Assigning to _ discards the value; nothing is copied
+					// anywhere it could be locked.
+					if len(n.Lhs) == len(n.Rhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					checkCopyExpr(pass, cache, rhs, "assignment copies")
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkCopyExpr(pass, cache, v, "variable initialization copies")
+				}
+			case *ast.CallExpr:
+				if isConversion(pass, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					checkCopyExpr(pass, cache, arg, "call passes")
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					checkCopyExpr(pass, cache, r, "return copies")
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := rangeValueType(pass, n.Value); t != nil && containsLock(cache, t) {
+						pass.Reportf(n.Value.Pos(),
+							"range value copies lock-holding type %s by value; iterate by index or pointer",
+							types.TypeString(t, relativeTo(pass.Pkg)))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFuncType(pass *Pass, cache map[types.Type]bool, ft *ast.FuncType) {
+	checkFieldList(pass, cache, ft.Params, "parameter")
+	checkFieldList(pass, cache, ft.Results, "result")
+}
+
+func checkFieldList(pass *Pass, cache map[types.Type]bool, fl *ast.FieldList, what string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		t := tv.Type
+		if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(cache, t) {
+			pass.Reportf(field.Type.Pos(),
+				"%s passes lock-holding type %s by value; use a pointer",
+				what, types.TypeString(t, relativeTo(pass.Pkg)))
+		}
+	}
+}
+
+// checkCopyExpr flags expressions that copy an existing lock-holding value:
+// a variable, a field or element of one, or a pointer dereference.
+// Composite literals and function results are transfers of a fresh value,
+// not copies of a live one, and stay legal.
+func checkCopyExpr(pass *Pass, cache map[types.Type]bool, e ast.Expr, what string) {
+	if !isCopySource(e) {
+		return
+	}
+	t := exprType(pass, e)
+	if t == nil || !containsLock(cache, t) {
+		return
+	}
+	pass.Reportf(e.Pos(), "%s lock-holding type %s by value; use a pointer",
+		what, types.TypeString(t, relativeTo(pass.Pkg)))
+}
+
+func isCopySource(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name != "_" && e.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// rangeValueType resolves the type of a range statement's value variable;
+// a `:=`-defined identifier lives in Defs rather than Types.
+func rangeValueType(pass *Pass, e ast.Expr) types.Type {
+	if t := exprType(pass, e); t != nil {
+		return t
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return nil
+	}
+	if _, isPtr := types.Unalias(obj.Type()).(*types.Pointer); isPtr {
+		return nil
+	}
+	return obj.Type()
+}
+
+func exprType(pass *Pass, e ast.Expr) types.Type {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if _, isPtr := types.Unalias(tv.Type).(*types.Pointer); isPtr {
+		return nil
+	}
+	return tv.Type
+}
+
+func isConversion(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(call.Fun)]
+	return ok && tv.IsType()
+}
+
+// containsLock reports whether t directly is, or transitively contains (via
+// struct fields and array elements), a type whose pointer method set has
+// Lock and Unlock.
+func containsLock(cache map[types.Type]bool, t types.Type) bool {
+	t = types.Unalias(t)
+	if v, ok := cache[t]; ok {
+		return v
+	}
+	cache[t] = false // break cycles
+	result := false
+	switch u := t.(type) {
+	case *types.Named:
+		result = hasPointerLock(u) || containsLock(cache, u.Underlying())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(cache, u.Field(i).Type()) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = containsLock(cache, u.Elem())
+	}
+	cache[t] = result
+	return result
+}
+
+// hasPointerLock reports whether *T has niladic Lock and Unlock methods —
+// sync.Mutex, sync.RWMutex, sync.WaitGroup via embedding, or a noCopy
+// marker.
+func hasPointerLock(named *types.Named) bool {
+	if _, isIface := named.Underlying().(*types.Interface); isIface {
+		return false
+	}
+	ms := types.NewMethodSet(types.NewPointer(named))
+	return hasNiladicMethod(ms, "Lock") && hasNiladicMethod(ms, "Unlock")
+}
+
+func hasNiladicMethod(ms *types.MethodSet, name string) bool {
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || fn.Name() != name {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		return sig.Params().Len() == 0 && sig.Results().Len() == 0
+	}
+	return false
+}
+
+// relativeTo qualifies type names relative to the package under analysis.
+func relativeTo(pkg *types.Package) types.Qualifier {
+	return func(other *types.Package) string {
+		if other == pkg {
+			return ""
+		}
+		return other.Name()
+	}
+}

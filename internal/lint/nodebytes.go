@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// NodeBytes flags the integer literal 16 used in memory-accounting
+// arithmetic instead of core.NodeBytes. The paper's space model (§6.2)
+// charges 16 bytes per structure node, and every byte figure the system
+// reports — PeakBytes, the optimizer's cost model, the benchmark tables —
+// must agree on that constant. A hardcoded 16 next to a node count is a
+// copy of the constant that silently diverges the day the node layout
+// changes; internal/core/evaluator.go, where NodeBytes is defined, is the
+// only place the raw number may appear.
+var NodeBytes = &Analyzer{
+	Name: "nodebytes",
+	Doc: "flag integer literal 16 in memory-accounting arithmetic " +
+		"(node/peak/live/bytes context); use core.NodeBytes",
+	Run: runNodeBytes,
+}
+
+// memoryWord matches identifiers that indicate memory accounting.
+var memoryWord = regexp.MustCompile(`(?i)(node|peak|live|mem|byte|space|budget|alloc)`)
+
+func runNodeBytes(pass *Pass) error {
+	for _, f := range pass.Files {
+		filename := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if pass.Pkg.Path() == corePkgPath && filename == "evaluator.go" {
+			continue // the NodeBytes declaration itself
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.MUL && n.Op != token.QUO {
+					return true
+				}
+				if lit := literal16(n.X); lit != nil && mentionsMemory(n.Y) {
+					report16(pass, lit)
+				} else if lit := literal16(n.Y); lit != nil && mentionsMemory(n.X) {
+					report16(pass, lit)
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i >= len(n.Values) {
+						break
+					}
+					if lit := literal16(n.Values[i]); lit != nil && memoryWord.MatchString(name.Name) {
+						report16(pass, lit)
+					}
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || !memoryWord.MatchString(id.Name) {
+						continue
+					}
+					if lit := literal16(n.Rhs[i]); lit != nil {
+						report16(pass, lit)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func report16(pass *Pass, lit *ast.BasicLit) {
+	pass.Reportf(lit.Pos(), "hardcoded 16 in memory accounting; "+
+		"use core.NodeBytes (the §6.2 per-node cost) so the space model has one owner")
+}
+
+// literal16 unwraps parens and conversions down to an integer literal 16.
+func literal16(e ast.Expr) *ast.BasicLit {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.CallExpr:
+			// A conversion like int64(16); a real call has a non-type Fun
+			// and is rejected by the literal check below anyway.
+			if len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+		}
+		break
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return nil
+	}
+	if v, err := strconv.ParseInt(strings.ReplaceAll(lit.Value, "_", ""), 0, 64); err != nil || v != 16 {
+		return nil
+	}
+	return lit
+}
+
+// mentionsMemory reports whether any identifier in e smells like memory
+// accounting (node counts, peak/live figures, byte totals).
+func mentionsMemory(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && memoryWord.MatchString(id.Name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

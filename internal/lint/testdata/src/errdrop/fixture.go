@@ -1,0 +1,58 @@
+// Fixture for the errdrop analyzer: discarded error results from tempagg
+// APIs are flagged — bare statements, go/defer calls, and blank
+// assignments; handled errors, stdlib calls, and `defer Close` are clean.
+package fixture
+
+import (
+	"fmt"
+
+	"tempagg/internal/core"
+	"tempagg/internal/relation"
+	"tempagg/internal/tuple"
+)
+
+func bareCalls(ev core.Evaluator, t tuple.Tuple) {
+	ev.Add(t)   // want `error result of \(core\.Evaluator\)\.Add is discarded`
+	ev.Finish() // want `error result of \(core\.Evaluator\)\.Finish is discarded`
+}
+
+func blankAssigns(ev core.Evaluator, t tuple.Tuple) {
+	_ = ev.Add(t)         // want `error result of \(core\.Evaluator\)\.Add is assigned to _`
+	res, _ := ev.Finish() // want `error result of \(core\.Evaluator\)\.Finish is assigned to _`
+	_ = res
+}
+
+func goroutineBodies(ev core.Evaluator, t tuple.Tuple) {
+	go ev.Add(t) // want `error result of \(core\.Evaluator\)\.Add is discarded by go`
+	go func() {
+		ev.Add(t) // want `error result of \(core\.Evaluator\)\.Add is discarded`
+	}()
+}
+
+func deferred(sc *relation.Scanner, ev core.Evaluator) {
+	defer ev.Finish() // want `error result of \(core\.Evaluator\)\.Finish is discarded by defer`
+	defer sc.Close()  // ok: best-effort close on a read path is conventional
+}
+
+func loaders() {
+	relation.Open("missing.rel", relation.ScanOptions{}) // want `error result of relation\.Open is discarded`
+}
+
+func handled(ev core.Evaluator, t tuple.Tuple) error {
+	if err := ev.Add(t); err != nil {
+		return err
+	}
+	res, err := ev.Finish()
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)    // ok: stdlib errors are out of scope here
+	stats := ev.Stats() // ok: no error result
+	_ = stats
+	return nil
+}
+
+func suppressed(ev core.Evaluator, t tuple.Tuple) {
+	//tempagglint:ignore errdrop fixture demonstrates a justified suppression
+	ev.Add(t) // ok: suppressed by the directive above
+}

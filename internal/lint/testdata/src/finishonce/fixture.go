@@ -1,0 +1,69 @@
+// Fixture for the finishonce analyzer (default mode): Add after Finish and
+// double Finish are flagged; Stats after Finish is permitted by the
+// documented contract; reassignment resets the tracking.
+package fixture
+
+import (
+	"tempagg/internal/aggregate"
+	"tempagg/internal/core"
+	"tempagg/internal/tuple"
+)
+
+func reuseAfterFinish(ev core.Evaluator, t tuple.Tuple) error {
+	if err := ev.Add(t); err != nil { // ok: Add before Finish
+		return err
+	}
+	if _, err := ev.Finish(); err != nil {
+		return err
+	}
+	return ev.Add(t) // want `Add called on ev after Finish`
+}
+
+func doubleFinish(ev core.Evaluator) {
+	_, _ = ev.Finish()
+	_, _ = ev.Finish() // want `Finish called twice on ev`
+}
+
+func statsAfterFinish(ev core.Evaluator) core.Stats {
+	_, _ = ev.Finish()
+	return ev.Stats() // ok by default: the contract allows Stats "at any point"
+}
+
+func concreteEvaluator(f aggregate.Func, t tuple.Tuple) error {
+	kt, err := core.NewKOrderedTree(f, 1)
+	if err != nil {
+		return err
+	}
+	if _, err := kt.Finish(); err != nil {
+		return err
+	}
+	return kt.Add(t) // want `Add called on kt after Finish`
+}
+
+func reassigned(f aggregate.Func, t tuple.Tuple) error {
+	ev := core.Evaluator(core.NewLinkedList(f))
+	if _, err := ev.Finish(); err != nil {
+		return err
+	}
+	ev = core.NewLinkedList(f) // a fresh evaluator: tracking resets
+	return ev.Add(t)           // ok: this is the new value
+}
+
+func fieldReceivers(t tuple.Tuple) {
+	var h struct{ ev core.Evaluator }
+	h.ev = core.NewLinkedList(aggregate.For(aggregate.Count))
+	_, _ = h.ev.Finish()
+	_ = h.ev.Add(t) // want `Add called on h\.ev after Finish`
+}
+
+func separateFlows(ev core.Evaluator, t tuple.Tuple) {
+	done := make(chan struct{})
+	go func() {
+		// A nested function body is its own flow: the flow-insensitive
+		// check cannot order it against the outer Finish.
+		_ = ev.Add(t) // ok
+		close(done)
+	}()
+	<-done
+	_, _ = ev.Finish()
+}

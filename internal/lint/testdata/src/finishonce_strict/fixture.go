@@ -1,0 +1,18 @@
+// Fixture for finishonce under -strict-stats: Stats after Finish is
+// flagged too; Stats before Finish stays clean.
+package fixture
+
+import (
+	"tempagg/internal/core"
+)
+
+func statsAfterFinish(ev core.Evaluator) core.Stats {
+	_, _ = ev.Finish()
+	return ev.Stats() // want `Stats called on ev after Finish`
+}
+
+func statsBeforeFinish(ev core.Evaluator) core.Stats {
+	st := ev.Stats() // ok: snapshot before Finish
+	_, _ = ev.Finish()
+	return st
+}

@@ -1,0 +1,45 @@
+// Fixture for the intervalbounds analyzer: raw interval/tuple literals
+// with fields set are flagged; zero literals and the validating
+// constructors are clean.
+package fixture
+
+import (
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+func rawIntervals(start, end interval.Time) []interval.Interval {
+	bad := interval.Interval{Start: 5, End: 2}            // want `raw interval\.Interval literal bypasses validation`
+	alsoBad := &interval.Interval{Start: start, End: end} // want `raw interval\.Interval literal bypasses validation`
+	partial := interval.Interval{Start: 9}                // want `raw interval\.Interval literal bypasses validation`
+	positional := interval.Interval{3, 1}                 // want `raw interval\.Interval literal bypasses validation`
+	return []interval.Interval{bad, *alsoBad, partial, positional}
+}
+
+func validatedIntervals() ([]interval.Interval, error) {
+	var zero interval.Interval   // ok: zero value, the [0,0] instant
+	empty := interval.Interval{} // ok: the conventional "no result" sentinel
+	good, err := interval.New(2, 5)
+	if err != nil {
+		return nil, err
+	}
+	must := interval.MustNew(2, 5)
+	at := interval.At(7)
+	all := interval.Universe()
+	return []interval.Interval{zero, empty, good, must, at, all}, nil
+}
+
+func rawTuples() []tuple.Tuple {
+	bad := tuple.Tuple{Name: "ada", Value: 1} // want `raw tuple\.Tuple literal bypasses validation`
+	return []tuple.Tuple{bad}
+}
+
+func validatedTuples() ([]tuple.Tuple, error) {
+	var zero tuple.Tuple // ok: zero value
+	good, err := tuple.New("ada", 1, 0, 10)
+	if err != nil {
+		return nil, err
+	}
+	must := tuple.MustNew("bob", 2, 3, 9)
+	return []tuple.Tuple{zero, good, must}, nil
+}

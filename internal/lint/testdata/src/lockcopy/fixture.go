@@ -1,0 +1,77 @@
+// Fixture for the lockcopy analyzer: by-value copies of lock-holding
+// structs are flagged; pointer use is clean.
+package fixture
+
+import (
+	"sync"
+
+	"tempagg/internal/core"
+)
+
+// guarded holds a mutex; a copy would fork the lock.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// wrapper holds a guarded value, so it transitively holds the lock.
+type wrapper struct {
+	g guarded
+}
+
+func (g *guarded) bump() { // ok: pointer receiver
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func (w wrapper) read() int { // want `receiver passes lock-holding type wrapper by value`
+	return w.g.n
+}
+
+func byValueParam(g guarded) int { // want `parameter passes lock-holding type guarded by value`
+	return g.n
+}
+
+func byValueResult(p *wrapper) wrapper { // want `result passes lock-holding type wrapper by value`
+	return *p // want `return copies lock-holding type wrapper by value`
+}
+
+func derefCopy(p *guarded) {
+	v := *p // want `assignment copies lock-holding type guarded by value`
+	v.n++
+}
+
+func callCopy(p *guarded) {
+	sink(*p) // want `call passes lock-holding type guarded by value`
+}
+
+func sink(g guarded) int { // want `parameter passes lock-holding type guarded by value`
+	return g.n
+}
+
+func rangeCopies(list []guarded) {
+	for i := range list { // ok: iterate by index
+		list[i].bump()
+	}
+	for _, g := range list { // want `range value copies lock-holding type guarded by value`
+		_ = g.n
+	}
+}
+
+func pointersEverywhere(p *guarded, q *wrapper) (*guarded, *wrapper) {
+	r := p   // ok: copying the pointer, not the lock
+	s := q.g // want `assignment copies lock-holding type guarded by value`
+	_ = s
+	return r, q
+}
+
+// Evaluators carry core's noCopy marker: copying one forks live tree state.
+func copiesEvaluator(t *core.Tree) {
+	clone := *t // want `assignment copies lock-holding type core\.Tree by value`
+	clone.Stats()
+}
+
+func evaluatorByPointer(t *core.Tree) core.Stats { // ok: pointer use
+	return t.Stats()
+}

@@ -1,0 +1,33 @@
+// Fixture for the nodebytes analyzer: the literal 16 in memory-accounting
+// arithmetic is flagged; core.NodeBytes and non-accounting 16s are clean.
+package fixture
+
+import "tempagg/internal/core"
+
+func hardcodedPeak(stats core.Stats) int64 {
+	return int64(stats.PeakNodes) * 16 // want `hardcoded 16 in memory accounting`
+}
+
+func hardcodedLive(stats core.Stats) int64 {
+	return 16 * int64(stats.LiveNodes) // want `hardcoded 16 in memory accounting`
+}
+
+func hardcodedBudget(memBudget int64) int64 {
+	return memBudget / 16 // want `hardcoded 16 in memory accounting`
+}
+
+func namedConstant(nodes int) int {
+	nodeBytes := 16 // want `hardcoded 16 in memory accounting`
+	return nodes * nodeBytes
+}
+
+func throughTheConstant(stats core.Stats) int64 {
+	return int64(stats.PeakNodes) * core.NodeBytes // ok: the one owner of the constant
+}
+
+func unrelatedSixteens(n int) int {
+	width := 16      // ok: not memory accounting
+	limit := 1 << 16 // ok: a shift count, not a node size
+	parts := n * 16  // ok: no accounting context on either side
+	return width + limit + parts
+}

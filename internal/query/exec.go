@@ -256,7 +256,7 @@ func executeSpan(q *Query, f aggregate.Func, ts []tuple.Tuple) (*core.Result, er
 	if rem := (end + 1) % q.Span; rem != 0 {
 		end += q.Span - rem
 	}
-	window := interval.Interval{Start: interval.Origin, End: end}
+	window := interval.MustNew(interval.Origin, end)
 	return core.GroupBySpan(f, ts, q.Span, window)
 }
 

@@ -62,7 +62,9 @@ func ExecuteFile(q *Query, path string, info *RelationInfo, sopts relation.ScanO
 	if plan.SortFirst || ktreeNeedsSort {
 		// The paper's sort-then-ktree strategy, out of core: external merge
 		// sort the file, then stream the sorted copy (§6.3/§7).
-		sc.Close()
+		if err := sc.Close(); err != nil {
+			return nil, fmt.Errorf("query: %w", err)
+		}
 		tmp, err := os.CreateTemp("", "tempagg-sorted-*.rel")
 		if err != nil {
 			return nil, fmt.Errorf("query: %w", err)

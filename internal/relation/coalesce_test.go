@@ -84,11 +84,7 @@ func TestCoalescePreservesCoverageProperty(t *testing.T) {
 		ts := make([]tuple.Tuple, n)
 		for i := range ts {
 			s := r.Int63n(40)
-			ts[i] = tuple.Tuple{
-				Name:  string(rune('a' + r.Intn(3))),
-				Value: r.Int63n(2),
-				Valid: interval.Interval{Start: s, End: s + r.Int63n(15)},
-			}
+			ts[i] = tuple.MustNew(string(rune('a'+r.Intn(3))), r.Int63n(2), s, s+r.Int63n(15))
 		}
 		out := CoalesceTuples(ts)
 		covers := func(set []tuple.Tuple, name string, v int64, at int64) bool {

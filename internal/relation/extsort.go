@@ -39,7 +39,7 @@ func ExternalSort(inPath, outPath string, memTuples int) error {
 	// Pass 1: produce sorted runs.
 	var runs []string
 	buf := make([]tuple.Tuple, 0, min(memTuples, in.Count()+1))
-	flush := func() error {
+	flush := func() (err error) {
 		if len(buf) == 0 {
 			return nil
 		}
@@ -49,14 +49,15 @@ func ExternalSort(inPath, outPath string, memTuples int) error {
 		if err != nil {
 			return err
 		}
+		defer func() {
+			if cerr := w.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 		for _, t := range buf {
 			if err := w.Append(t); err != nil {
-				w.Close()
 				return err
 			}
-		}
-		if err := w.Close(); err != nil {
-			return err
 		}
 		runs = append(runs, path)
 		buf = buf[:0]
@@ -89,16 +90,12 @@ func ExternalSort(inPath, outPath string, memTuples int) error {
 	defer out.Close()
 	h := &runHeap{}
 	scanners := make([]*Scanner, 0, len(runs))
-	defer func() {
-		for _, sc := range scanners {
-			sc.Close()
-		}
-	}()
 	for i, path := range runs {
 		sc, err := Open(path, ScanOptions{})
 		if err != nil {
 			return err
 		}
+		defer sc.Close()
 		scanners = append(scanners, sc)
 		t, ok, err := sc.Next()
 		if err != nil {

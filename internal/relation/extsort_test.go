@@ -18,8 +18,7 @@ func TestExternalSortSmallMemory(t *testing.T) {
 	const n = 5000
 	for i := 0; i < n; i++ {
 		s := r.Int63n(1_000_000)
-		rel.Append(tuple.Tuple{Name: "t", Value: int64(i),
-			Valid: tuple.MustNew("t", 0, s, s+r.Int63n(1000)).Valid})
+		rel.Append(tuple.MustNew("t", int64(i), s, s+r.Int63n(1000)))
 	}
 	if err := WriteFile(in, rel); err != nil {
 		t.Fatal(err)
@@ -68,8 +67,7 @@ func TestExternalSortStable(t *testing.T) {
 	// Equal intervals: input order must be preserved (stability) even
 	// across run boundaries.
 	for i := 0; i < 10; i++ {
-		rel.Append(tuple.Tuple{Name: "t", Value: int64(i),
-			Valid: tuple.MustNew("t", 0, 5, 9).Valid})
+		rel.Append(tuple.MustNew("t", int64(i), 5, 9))
 	}
 	if err := WriteFile(in, rel); err != nil {
 		t.Fatal(err)

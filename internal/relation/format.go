@@ -148,13 +148,5 @@ func decodeRecord(buf []byte) (tuple.Tuple, error) {
 	value := int64(int32(binary.BigEndian.Uint32(buf[off : off+4])))
 	start := decodeTime(binary.BigEndian.Uint32(buf[off+4 : off+8]))
 	end := decodeTime(binary.BigEndian.Uint32(buf[off+8 : off+12]))
-	t := tuple.Tuple{
-		Name:  string(name),
-		Value: value,
-		Valid: interval.Interval{Start: start, End: end},
-	}
-	if err := t.Validate(); err != nil {
-		return tuple.Tuple{}, err
-	}
-	return t, nil
+	return tuple.New(string(name), value, start, end)
 }

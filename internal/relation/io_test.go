@@ -265,10 +265,8 @@ func TestOpenRejectsUnknownVersion(t *testing.T) {
 
 func TestWriteRejectsOversizedTimestamp(t *testing.T) {
 	rel := New("r")
-	rel.Tuples = append(rel.Tuples, tuple.Tuple{
-		Name:  "t",
-		Valid: interval.MustNew(0, interval.Forever-1), // too big for 4 bytes, not ∞
-	})
+	// Forever-1 is too big for the 4-byte on-disk format but is not ∞.
+	rel.Tuples = append(rel.Tuples, tuple.MustNew("t", 0, 0, interval.Forever-1))
 	if err := Write(&bytes.Buffer{}, rel); err == nil {
 		t.Fatal("expected error for timestamp exceeding 4-byte format")
 	}
@@ -276,11 +274,7 @@ func TestWriteRejectsOversizedTimestamp(t *testing.T) {
 
 func TestWriteRejectsOversizedValue(t *testing.T) {
 	rel := New("r")
-	rel.Tuples = append(rel.Tuples, tuple.Tuple{
-		Name:  "t",
-		Value: math.MaxInt64,
-		Valid: interval.MustNew(0, 1),
-	})
+	rel.Tuples = append(rel.Tuples, tuple.MustNew("t", math.MaxInt64, 0, 1))
 	if err := Write(&bytes.Buffer{}, rel); err == nil {
 		t.Fatal("expected error for value exceeding 4-byte format")
 	}

@@ -79,7 +79,8 @@ func TestLifespanEmpty(t *testing.T) {
 
 func TestValidateReportsIndex(t *testing.T) {
 	r := New("bad")
-	r.Tuples = append(r.Tuples, tuple.Tuple{Name: "ok", Valid: interval.MustNew(0, 1)})
+	r.Tuples = append(r.Tuples, tuple.MustNew("ok", 0, 0, 1))
+	//tempagglint:ignore intervalbounds the test needs an over-wide name to exercise Validate
 	r.Tuples = append(r.Tuples, tuple.Tuple{Name: "toolongname", Valid: interval.MustNew(0, 1)})
 	err := r.Validate()
 	if err == nil {

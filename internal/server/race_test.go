@@ -1,0 +1,78 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"tempagg/internal/catalog"
+)
+
+// TestConcurrentDeclareAndQuery is a race-detector regression test: it
+// drives declaration updates (the administration/ingest path) and query
+// traffic against one shared catalog at the same time. Before Catalog
+// guarded its entries map with an RWMutex, Declare's map write raced with
+// the map reads in Query/Info/Entry/Names and `go test -race` failed here.
+func TestConcurrentDeclareAndQuery(t *testing.T) {
+	srv, addr := startServer(t)
+	cat := srv.cat
+
+	const queriers = 4
+	const queriesEach = 20
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Administration side: keep re-declaring the relation's bounds and
+	// listing names, as tempaggd's operator commands would.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := cat.Declare("Employed", catalog.Entry{KBound: i % 7}); err != nil {
+				t.Error(err)
+				return
+			}
+			if len(cat.Names()) != 1 {
+				t.Error("catalog lost its relation")
+				return
+			}
+		}
+	}()
+
+	// Query side: concurrent clients over the wire, each resolving the
+	// relation through the catalog on every request.
+	var qwg sync.WaitGroup
+	for w := 0; w < queriers; w++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < queriesEach; i++ {
+				if _, err := c.Query("SELECT COUNT(Name) FROM Employed"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	qwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	// The catalog must still be consistent and persistable.
+	if _, err := cat.Entry("Employed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Save(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -33,7 +33,9 @@ func startServer(t *testing.T) (*Server, string) {
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(lis) }()
 	t.Cleanup(func() {
-		srv.Close()
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
 		if err := <-done; err != nil {
 			t.Errorf("Serve: %v", err)
 		}
@@ -170,7 +172,9 @@ func TestServerCloseUnblocksServe(t *testing.T) {
 	if _, err := c.Query("SELECT COUNT(Name) FROM Employed"); err == nil {
 		t.Fatal("query after close should fail")
 	}
-	c.Close()
+	if err := c.Close(); err != nil {
+		t.Errorf("client Close: %v", err)
+	}
 	if err := srv.Close(); err != nil {
 		t.Fatal("double close must be fine")
 	}

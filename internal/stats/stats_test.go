@@ -6,7 +6,6 @@ import (
 
 	"tempagg/internal/aggregate"
 	"tempagg/internal/core"
-	"tempagg/internal/interval"
 	"tempagg/internal/tuple"
 	"tempagg/internal/workload"
 )
@@ -57,8 +56,7 @@ func TestEstimateCoarseGranularity(t *testing.T) {
 	ts := make([]tuple.Tuple, 5000)
 	for i := range ts {
 		s := r.Int63n(10) * 1000 // only 10 distinct start times
-		ts[i] = tuple.Tuple{Name: "t", Value: 1,
-			Valid: interval.Interval{Start: s, End: s + 999}}
+		ts[i] = tuple.MustNew("t", 1, s, s+999)
 	}
 	want := exactIntervals(t, ts) // ~11
 	got := EstimateConstantIntervals(ts, 300, 9)

@@ -189,11 +189,7 @@ func Generate(cfg Config) (*relation.Relation, error) {
 		}
 		name := fmt.Sprintf("p%05d", len(rel.Tuples)%100000)
 		value := 20_000 + r.Int63n(80_001) // salary-like values
-		rel.Append(tuple.Tuple{
-			Name:  name,
-			Value: value,
-			Valid: interval.Interval{Start: start, End: end},
-		})
+		rel.Append(tuple.MustNew(name, value, start, end))
 	}
 
 	switch cfg.Order {

@@ -97,7 +97,10 @@ func TestPublicAPISpanAndMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	window, _ := tempagg.NewInterval(0, 999_999)
+	window, err := tempagg.NewInterval(0, 999_999)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := tempagg.ComputeBySpan(rel, tempagg.Count, 100_000, window)
 	if err != nil {
 		t.Fatal(err)
