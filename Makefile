@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz-smoke
+.PHONY: all build vet lint test race fuzz-smoke obs-smoke
 
 all: build lint test
 
@@ -21,6 +21,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Boot tempaggd with its admin surface, run a query, and fail if /metrics
+# or /debug/pprof/heap is broken or the pipeline counters stayed at zero.
+obs-smoke:
+	$(GO) test ./cmd/tempaggd -run TestObsSmoke -count=1 -v
 
 # A short fuzz pass over the query layer's corpus-seeded targets; long
 # campaigns use the same targets with a bigger FUZZTIME.

@@ -26,6 +26,7 @@ import (
 
 	"tempagg"
 	"tempagg/internal/catalog"
+	"tempagg/internal/obs"
 	"tempagg/internal/query"
 	"tempagg/internal/relation"
 )
@@ -47,6 +48,7 @@ type config struct {
 	explain   bool
 	jsonOut   bool
 	chart     bool
+	trace     bool
 	randomize bool
 	seed      int64
 	costMem   float64
@@ -74,6 +76,7 @@ func run(args []string, out io.Writer) error {
 	fs.Float64Var(&cfg.costIO, "cost-io", 0, "cost-based planning: price per page I/O")
 	fs.Float64Var(&cfg.costCPU, "cost-cpu", 0, "cost-based planning: price per tuple of CPU")
 	fs.BoolVar(&cfg.chart, "chart", false, "render results as ASCII bar charts")
+	fs.BoolVar(&cfg.trace, "trace", false, "print each query's trace (spans, plan, evaluator counters) as a JSON line")
 	fs.BoolVar(&cfg.randomize, "randomize-pages", false, "scan pages in random order (avoids linearizing the tree on sorted files, §7)")
 	fs.Int64Var(&cfg.seed, "seed", 1, "seed for -randomize-pages")
 	if err := fs.Parse(args); err != nil {
@@ -131,12 +134,21 @@ func run(args []string, out io.Writer) error {
 
 func oneQuery(cfg config, sql string, out io.Writer) error {
 	sopts := relation.ScanOptions{RandomizePages: cfg.randomize, Seed: cfg.seed}
+	// With -trace each query gets a throwaway observer; its single-entry
+	// ring holds exactly the trace to print.
+	var o *obs.Observer
+	if cfg.trace {
+		o = obs.NewObserver(1, nil)
+	}
 	if cfg.dbDir != "" {
 		cat, err := catalog.Open(cfg.dbDir)
 		if err != nil {
 			return err
 		}
-		qr, err := cat.Query(sql, sopts)
+		qr, err := cat.QueryObserved(sql, sopts, o)
+		if terr := emitTrace(o, out); terr != nil {
+			return terr
+		}
 		if err != nil {
 			return err
 		}
@@ -169,11 +181,34 @@ func oneQuery(cfg config, sql string, out io.Writer) error {
 			return err
 		}
 	}
-	qr, err := query.ExecuteFile(q, cfg.relPath, info, sopts)
+	tr := o.StartQuery(sql)
+	qr, err := query.ExecuteFileTraced(q, cfg.relPath, info, sopts, tr)
+	o.FinishQuery(tr, err)
+	if terr := emitTrace(o, out); terr != nil {
+		return terr
+	}
 	if err != nil {
 		return err
 	}
 	return render(cfg, qr, out)
+}
+
+// emitTrace prints the observer's latest query trace as one JSON line; a
+// nil observer (no -trace) is a no-op.
+func emitTrace(o *obs.Observer, out io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	trs := o.Traces.Snapshot()
+	if len(trs) == 0 {
+		return nil
+	}
+	data, err := json.Marshal(trs[len(trs)-1])
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "-- trace: %s\n", data)
+	return err
 }
 
 func render(cfg config, qr *query.QueryResult, out io.Writer) error {

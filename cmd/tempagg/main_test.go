@@ -158,6 +158,28 @@ func TestRunScriptFile(t *testing.T) {
 	}
 }
 
+func TestRunTraceFlag(t *testing.T) {
+	path := writeEmployed(t)
+	for _, args := range [][]string{
+		{"-relation", path, "-trace", "-query", "SELECT COUNT(Name) FROM Employed"},
+		{"-db", filepath.Dir(path), "-trace", "-query", "SELECT COUNT(Name) FROM Employed"},
+	} {
+		var b strings.Builder
+		if err := run(args, &b); err != nil {
+			t.Fatal(err)
+		}
+		out := b.String()
+		for _, want := range []string{"-- trace: ", `"algorithm":`, `"tuples":4`, `"name":"plan"`} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%v: trace output missing %q:\n%s", args, want, out)
+			}
+		}
+		if !strings.Contains(out, "3 | 18 | 20") {
+			t.Errorf("%v: -trace must not suppress the result:\n%s", args, out)
+		}
+	}
+}
+
 func TestRunScriptFileErrors(t *testing.T) {
 	path := writeEmployed(t)
 	var b strings.Builder

@@ -1,14 +1,18 @@
 package main
 
 import (
+	"io"
 	"net"
+	"net/http"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
 
 	"tempagg"
 	"tempagg/internal/catalog"
+	"tempagg/internal/obs"
 	"tempagg/internal/server"
 )
 
@@ -41,7 +45,7 @@ func TestClientModeAgainstServer(t *testing.T) {
 
 	var b strings.Builder
 	err = run([]string{"-connect", lis.Addr().String(),
-		"-query", "SELECT COUNT(Name) FROM Employed"}, &b)
+		"-query", "SELECT COUNT(Name) FROM Employed"}, &b, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,22 +56,112 @@ func TestClientModeAgainstServer(t *testing.T) {
 
 func TestFlagValidation(t *testing.T) {
 	var b strings.Builder
-	if err := run(nil, &b); err == nil {
+	if err := run(nil, &b, nil); err == nil {
 		t.Error("no mode must fail")
 	}
-	if err := run([]string{"-listen", ":0", "-connect", "x"}, &b); err == nil {
+	if err := run([]string{"-listen", ":0", "-connect", "x"}, &b, nil); err == nil {
 		t.Error("both modes must fail")
 	}
-	if err := run([]string{"-listen", ":0"}, &b); err == nil {
+	if err := run([]string{"-listen", ":0"}, &b, nil); err == nil {
 		t.Error("listen without -db must fail")
 	}
-	if err := run([]string{"-connect", "127.0.0.1:1"}, &b); err == nil {
+	if err := run([]string{"-connect", "127.0.0.1:1"}, &b, nil); err == nil {
 		t.Error("connect without -query must fail")
 	}
-	if err := run([]string{"-connect", "127.0.0.1:1", "-query", "x"}, &b); err == nil {
+	if err := run([]string{"-connect", "127.0.0.1:1", "-query", "x"}, &b, nil); err == nil {
 		t.Error("unreachable server must fail")
 	}
-	if err := run([]string{"-listen", ":0", "-db", "/nonexistent"}, &b); err == nil {
+	if err := run([]string{"-listen", ":0", "-db", "/nonexistent"}, &b, nil); err == nil {
 		t.Error("missing catalog must fail")
+	}
+}
+
+// TestObsSmoke is the CI obs-smoke gate: boot the daemon with its admin
+// surface, run one query, and fail if /metrics or /debug/pprof/heap is
+// broken or the advertised counters stayed at zero.
+func TestObsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	if err := tempagg.WriteRelation(filepath.Join(dir, "Employed.rel"), tempagg.Employed()); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	type addrs struct{ query, admin string }
+	up := make(chan addrs, 1)
+	done := make(chan error, 1)
+	cfg := serveConfig{db: dir, listen: "127.0.0.1:0", httpAddr: "127.0.0.1:0",
+		slowQuery: time.Nanosecond, traces: 16}
+	var out strings.Builder
+	go func() {
+		done <- serve(cfg, &out, func(q, a string) { up <- addrs{q, a} }, stop)
+	}()
+	var a addrs
+	select {
+	case a = <-up:
+	case err := <-done:
+		t.Fatalf("daemon died before ready: %v\n%s", err, out.String())
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+	defer func() {
+		close(stop)
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+
+	c, err := server.Dial(a.query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Query("SELECT COUNT(Name) FROM Employed")
+	if err != nil || !resp.OK {
+		t.Fatalf("query failed: %+v, %v", resp, err)
+	}
+
+	get := func(path string) string {
+		r, err := http.Get("http://" + a.admin + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer r.Body.Close()
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d\n%s", path, r.StatusCode, body)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s: empty body", path)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, name := range []string{
+		obs.MetricTuplesProcessed,
+		obs.MetricNodesAllocated,
+		obs.MetricQueryDuration + "_bucket",
+	} {
+		re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `\{[^}]*\} ([0-9.e+-]+)$`)
+		m := re.FindAllStringSubmatch(metrics, -1)
+		if len(m) == 0 {
+			t.Errorf("%s missing from /metrics:\n%s", name, metrics)
+			continue
+		}
+		nonzero := false
+		for _, g := range m {
+			if g[1] != "0" {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			t.Errorf("%s is all zeros after a query:\n%s", name, metrics)
+		}
+	}
+	get("/debug/pprof/heap")
+	if traces := get("/debug/traces"); !strings.Contains(traces, "SELECT COUNT(Name) FROM Employed") {
+		t.Errorf("/debug/traces missing the query:\n%s", traces)
 	}
 }

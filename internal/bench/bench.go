@@ -17,6 +17,7 @@ import (
 
 	"tempagg/internal/aggregate"
 	"tempagg/internal/core"
+	"tempagg/internal/obs"
 	"tempagg/internal/relation"
 	"tempagg/internal/workload"
 )
@@ -141,6 +142,10 @@ type Options struct {
 	// Agg is the aggregate; the paper reports COUNT since the choice "did
 	// not materially alter the results" (§6).
 	Agg aggregate.Kind
+	// Sink, when non-nil, receives every evaluation's §6 counters — the
+	// same path production queries publish through, so a benchmark run can
+	// be scraped like a live daemon.
+	Sink obs.Sink
 }
 
 func (o Options) withDefaults() Options {
@@ -159,10 +164,11 @@ type measurement struct {
 	peakBytes int64
 }
 
-// runOnce times one evaluation of spec over rel.
-func runOnce(spec core.Spec, f aggregate.Func, rel *relation.Relation) (measurement, error) {
+// runOnce times one evaluation of spec over rel, publishing counters to
+// the sink when one is attached.
+func runOnce(spec core.Spec, f aggregate.Func, rel *relation.Relation, sink obs.Sink) (measurement, error) {
 	start := time.Now()
-	res, stats, err := core.Run(spec, f, rel.Tuples)
+	res, stats, err := core.RunObserved(spec, f, rel.Tuples, sink)
 	if err != nil {
 		return measurement{}, err
 	}
@@ -201,7 +207,7 @@ func sweep(opts Options, spec core.Spec, gen func(size int, seed int64) (*relati
 			if err != nil {
 				return Series{}, err
 			}
-			m, err := runOnce(spec, f, rel)
+			m, err := runOnce(spec, f, rel, opts.Sink)
 			if err != nil {
 				return Series{}, fmt.Errorf("bench: size %d seed %d: %w", size, seed, err)
 			}

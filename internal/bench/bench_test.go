@@ -3,12 +3,32 @@ package bench
 import (
 	"strings"
 	"testing"
+
+	"tempagg/internal/obs"
 )
 
 // smallOpts keeps experiment self-tests fast; the full sweep runs in
 // cmd/benchharness.
 func smallOpts() Options {
 	return Options{Sizes: []int{1 << 10, 1 << 11}, Seeds: []int64{1}}
+}
+
+// TestOptionsSinkReceivesCounters pins the bench↔obs integration: a run
+// with a sink attached publishes the same per-algorithm counters a live
+// daemon would, so benchmark numbers are scrapeable.
+func TestOptionsSinkReceivesCounters(t *testing.T) {
+	m := obs.NewMetrics(obs.NewRegistry())
+	opts := Options{Sizes: []int{256}, Seeds: []int64{1}, Sink: m}
+	if _, err := Figure6(opts); err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []string{"linked-list", "aggregation-tree"} {
+		got := m.Registry().CounterVec(obs.MetricTuplesProcessed, "", "algorithm").
+			With(alg).Value()
+		if got == 0 {
+			t.Errorf("sink saw no %s tuples", alg)
+		}
+	}
 }
 
 func TestFigure6Shape(t *testing.T) {

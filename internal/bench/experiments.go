@@ -318,7 +318,7 @@ func AblationSpan(opts Options) (Figure, error) {
 			if err != nil {
 				return Figure{}, err
 			}
-			m, err := runOnce(core.Spec{Algorithm: core.KOrderedTree, K: 1}, f, rel)
+			m, err := runOnce(core.Spec{Algorithm: core.KOrderedTree, K: 1}, f, rel, opts.Sink)
 			if err != nil {
 				return Figure{}, err
 			}

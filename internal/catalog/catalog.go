@@ -16,6 +16,7 @@ import (
 	"strings"
 	"sync"
 
+	"tempagg/internal/obs"
 	"tempagg/internal/query"
 	"tempagg/internal/relation"
 )
@@ -186,7 +187,26 @@ func (c *Catalog) Info(name string) (query.RelationInfo, error) {
 // Query parses and executes a query, resolving the FROM clause against the
 // catalog and streaming from the relation file where the plan allows.
 func (c *Catalog) Query(sql string, sopts relation.ScanOptions) (*query.QueryResult, error) {
+	return c.QueryObserved(sql, sopts, nil)
+}
+
+// QueryObserved is Query under observation: the whole query becomes one
+// trace on o — parse, plan, execute, and finish spans, the chosen
+// algorithm, and the evaluator-counter snapshot — and o's metrics record
+// the per-algorithm counters, latency histogram, and slow-query log entry.
+// A nil o is equivalent to Query.
+func (c *Catalog) QueryObserved(sql string, sopts relation.ScanOptions, o *obs.Observer) (*query.QueryResult, error) {
+	tr := o.StartQuery(sql)
+	qr, err := c.queryTraced(sql, sopts, tr)
+	o.FinishQuery(tr, err)
+	return qr, err
+}
+
+// queryTraced resolves and executes one query, recording stages on tr.
+func (c *Catalog) queryTraced(sql string, sopts relation.ScanOptions, tr *obs.QueryTrace) (*query.QueryResult, error) {
+	parseSpan := tr.StartSpan("parse")
 	q, err := query.Parse(sql)
+	parseSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -198,5 +218,5 @@ func (c *Catalog) Query(sql string, sopts relation.ScanOptions) (*query.QueryRes
 	if err != nil {
 		return nil, err
 	}
-	return query.ExecuteFile(q, path, &info, sopts)
+	return query.ExecuteFileTraced(q, path, &info, sopts, tr)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"tempagg/internal/aggregate"
 	"tempagg/internal/interval"
+	"tempagg/internal/obs"
 	"tempagg/internal/tuple"
 )
 
@@ -103,7 +104,8 @@ type Tree struct {
 	f     aggregate.Func
 	root  *treeNode
 	span  interval.Interval // the root's covered range
-	stats Stats
+	es    obs.EvalSink
+	stats statsCell
 }
 
 var _ Evaluator = (*Tree)(nil)
@@ -121,9 +123,13 @@ func NewAggregationTree(f aggregate.Func) *Tree {
 // separate trees cover separate regions of the time-line.
 func NewAggregationTreeRange(f aggregate.Func, span interval.Interval) *Tree {
 	t := &Tree{f: f, root: &treeNode{}, span: span}
-	t.stats.LiveNodes = 1
-	t.stats.PeakNodes = 1
+	t.stats.init(1)
 	return t
+}
+
+func (t *Tree) setSink(s obs.Sink) {
+	t.es = s.Evaluator(AggregationTree.String())
+	t.es.NodesAllocated(1) // the initial universe leaf
 }
 
 // Add inserts one tuple, splitting the leaves containing its start and end
@@ -139,11 +145,12 @@ func (t *Tree) Add(tu tuple.Tuple) error {
 	}
 	grown := treeInsert(t.f, t.root, t.span.Start, t.span.End,
 		iv.Start, iv.End, tu.Value)
-	t.stats.LiveNodes += grown
-	if t.stats.LiveNodes > t.stats.PeakNodes {
-		t.stats.PeakNodes = t.stats.LiveNodes
+	t.stats.grow(grown)
+	t.stats.addTuple()
+	if t.es != nil {
+		t.es.TuplesProcessed(1)
+		t.es.NodesAllocated(grown)
 	}
-	t.stats.Tuples++
 	return nil
 }
 
@@ -153,8 +160,11 @@ func (t *Tree) Finish() (*Result, error) {
 	res := &Result{Func: t.f}
 	emitSubtree(t.f, t.root, t.span.Start, t.span.End, t.f.Zero(), res)
 	t.root = nil
+	if t.es != nil {
+		t.es.PeakNodes(int(t.stats.peakNodes.Load()))
+	}
 	return res, nil
 }
 
 // Stats reports the evaluator's counters.
-func (t *Tree) Stats() Stats { return t.stats }
+func (t *Tree) Stats() Stats { return t.stats.snapshot() }

@@ -3,6 +3,7 @@ package core
 import (
 	"tempagg/internal/aggregate"
 	"tempagg/internal/interval"
+	"tempagg/internal/obs"
 	"tempagg/internal/tuple"
 )
 
@@ -51,7 +52,8 @@ type BTree struct {
 
 	f     aggregate.Func
 	root  *bNode
-	stats Stats
+	es    obs.EvalSink
+	stats statsCell
 }
 
 var _ Evaluator = (*BTree)(nil)
@@ -59,9 +61,13 @@ var _ Evaluator = (*BTree)(nil)
 // NewBalancedTree returns a balanced aggregation-tree evaluator for f.
 func NewBalancedTree(f aggregate.Func) *BTree {
 	t := &BTree{f: f, root: &bNode{}}
-	t.stats.LiveNodes = 1
-	t.stats.PeakNodes = 1
+	t.stats.init(1)
 	return t
+}
+
+func (t *BTree) setSink(s obs.Sink) {
+	t.es = s.Evaluator(BalancedTree.String())
+	t.es.NodesAllocated(1) // the initial universe leaf
 }
 
 // Add inserts one tuple, rebalancing along the insertion path.
@@ -69,12 +75,14 @@ func (t *BTree) Add(tu tuple.Tuple) error {
 	if err := tu.Valid.Validate(); err != nil {
 		return err
 	}
+	liveBefore := t.stats.liveNodes.Load()
 	t.root = t.insert(t.root, interval.Origin, interval.Forever,
 		tu.Valid.Start, tu.Valid.End, tu.Value)
-	if t.stats.LiveNodes > t.stats.PeakNodes {
-		t.stats.PeakNodes = t.stats.LiveNodes
+	t.stats.addTuple()
+	if t.es != nil {
+		t.es.TuplesProcessed(1)
+		t.es.NodesAllocated(int(t.stats.liveNodes.Load() - liveBefore))
 	}
-	t.stats.Tuples++
 	return nil
 }
 
@@ -94,7 +102,7 @@ func (t *BTree) insert(n *bNode, lo, hi, s, e interval.Time, v int64) *bNode {
 		n.left = &bNode{}
 		n.right = &bNode{}
 		n.height = 1
-		t.stats.LiveNodes += 2
+		t.stats.grow(2)
 	}
 	if s <= n.split {
 		n.left = t.insert(n.left, lo, n.split, s, e, v)
@@ -160,6 +168,9 @@ func (t *BTree) Finish() (*Result, error) {
 	res := &Result{Func: t.f}
 	t.emit(t.root, interval.Origin, interval.Forever, t.f.Zero(), res)
 	t.root = nil
+	if t.es != nil {
+		t.es.PeakNodes(int(t.stats.peakNodes.Load()))
+	}
 	return res, nil
 }
 
@@ -177,4 +188,4 @@ func (t *BTree) emit(n *bNode, lo, hi interval.Time, acc aggregate.State, res *R
 }
 
 // Stats reports the evaluator's counters.
-func (t *BTree) Stats() Stats { return t.stats }
+func (t *BTree) Stats() Stats { return t.stats.snapshot() }

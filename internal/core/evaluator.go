@@ -56,7 +56,10 @@ type Evaluator interface {
 	// Finish completes the computation and returns the constant intervals
 	// in time order. The evaluator must not be reused afterwards.
 	Finish() (*Result, error)
-	// Stats reports work and space counters; valid at any point.
+	// Stats reports work and space counters; valid at any point, and safe
+	// to call from another goroutine while Add or Finish is in flight (the
+	// counters are atomics — a concurrent /metrics scrape never observes a
+	// torn value).
 	Stats() Stats
 }
 
@@ -116,15 +119,5 @@ func New(spec Spec, f aggregate.Func) (Evaluator, error) {
 
 // Run evaluates tuples through a fresh evaluator built from spec.
 func Run(spec Spec, f aggregate.Func, tuples []tuple.Tuple) (*Result, Stats, error) {
-	ev, err := New(spec, f)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	for _, t := range tuples {
-		if err := ev.Add(t); err != nil {
-			return nil, ev.Stats(), err
-		}
-	}
-	res, err := ev.Finish()
-	return res, ev.Stats(), err
+	return RunObserved(spec, f, tuples, nil)
 }

@@ -5,6 +5,7 @@ import (
 
 	"tempagg/internal/aggregate"
 	"tempagg/internal/interval"
+	"tempagg/internal/obs"
 	"tempagg/internal/tuple"
 )
 
@@ -35,7 +36,8 @@ type KTree struct {
 	wpos   int
 
 	emitted []Row
-	stats   Stats
+	es      obs.EvalSink
+	stats   statsCell
 }
 
 var _ Evaluator = (*KTree)(nil)
@@ -54,9 +56,13 @@ func NewKOrderedTree(f aggregate.Func, k int) (*KTree, error) {
 		rootLo: interval.Origin,
 		window: make([]interval.Time, 0, 2*k+1),
 	}
-	t.stats.LiveNodes = 1
-	t.stats.PeakNodes = 1
+	t.stats.init(1)
 	return t, nil
+}
+
+func (t *KTree) setSink(s obs.Sink) {
+	t.es = s.Evaluator(KOrderedTree.String())
+	t.es.NodesAllocated(1) // the initial universe leaf
 }
 
 // K reports the orderedness bound the evaluator was built with.
@@ -76,11 +82,12 @@ func (t *KTree) Add(tu tuple.Tuple) error {
 			t.k, tu, interval.FormatTime(t.rootLo))
 	}
 	grown := treeInsert(t.f, t.root, t.rootLo, interval.Forever, s, e, tu.Value)
-	t.stats.LiveNodes += grown
-	if t.stats.LiveNodes > t.stats.PeakNodes {
-		t.stats.PeakNodes = t.stats.LiveNodes
+	t.stats.grow(grown)
+	t.stats.addTuple()
+	if t.es != nil {
+		t.es.TuplesProcessed(1)
+		t.es.NodesAllocated(grown)
 	}
-	t.stats.Tuples++
 
 	// Slide the 2k+1 window; once it is full, the evicted start time is the
 	// gc-threshold (the start of the tuple 2k+1 positions back).
@@ -100,6 +107,9 @@ func (t *KTree) Add(tu tuple.Tuple) error {
 
 // collect reclaims every constant interval ending before threshold.
 func (t *KTree) collect(threshold interval.Time) {
+	if t.es != nil {
+		t.es.GCThreshold(int64(threshold))
+	}
 	// Phase 1 (Figure 5.a): while the root's entire left half lies before
 	// the threshold, emit it, fold the root's contribution into the right
 	// child, and promote the right child.
@@ -143,8 +153,10 @@ func (t *KTree) collect(threshold interval.Time) {
 }
 
 func (t *KTree) reclaim(n int) {
-	t.stats.LiveNodes -= n
-	t.stats.Collected += n
+	t.stats.reclaim(n)
+	if t.es != nil {
+		t.es.NodesCollected(n)
+	}
 }
 
 // Finish emits the remainder of the tree after the already garbage-collected
@@ -154,8 +166,11 @@ func (t *KTree) Finish() (*Result, error) {
 	emitSubtree(t.f, t.root, t.rootLo, interval.Forever, t.f.Zero(), res)
 	t.root = nil
 	t.emitted = nil
+	if t.es != nil {
+		t.es.PeakNodes(int(t.stats.peakNodes.Load()))
+	}
 	return res, nil
 }
 
 // Stats reports the evaluator's counters, including nodes reclaimed by GC.
-func (t *KTree) Stats() Stats { return t.stats }
+func (t *KTree) Stats() Stats { return t.stats.snapshot() }

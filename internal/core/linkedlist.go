@@ -3,6 +3,7 @@ package core
 import (
 	"tempagg/internal/aggregate"
 	"tempagg/internal/interval"
+	"tempagg/internal/obs"
 	"tempagg/internal/tuple"
 )
 
@@ -27,7 +28,8 @@ type List struct {
 
 	f     aggregate.Func
 	head  *listNode
-	stats Stats
+	es    obs.EvalSink
+	stats statsCell
 }
 
 var _ Evaluator = (*List)(nil)
@@ -36,9 +38,13 @@ var _ Evaluator = (*List)(nil)
 // list starts as the single empty constant interval [0, ∞] (Figure 2.a).
 func NewLinkedList(f aggregate.Func) *List {
 	l := &List{f: f, head: &listNode{iv: interval.Universe()}}
-	l.stats.LiveNodes = 1
-	l.stats.PeakNodes = 1
+	l.stats.init(1)
 	return l
+}
+
+func (l *List) setSink(s obs.Sink) {
+	l.es = s.Evaluator(LinkedList.String())
+	l.es.NodesAllocated(1) // the initial universe node
 }
 
 // Add absorbs one tuple: the first and last overlapped constant intervals
@@ -49,6 +55,7 @@ func (l *List) Add(t tuple.Tuple) error {
 		return err
 	}
 	s, e, v := t.Valid.Start, t.Valid.End, t.Value
+	liveBefore := l.stats.liveNodes.Load()
 
 	// Walk to the first node overlapping the tuple (always from the head —
 	// the naive algorithm keeps no positional state).
@@ -70,7 +77,11 @@ func (l *List) Add(t tuple.Tuple) error {
 		n.state = l.f.Add(n.state, v)
 		n = n.next
 	}
-	l.stats.Tuples++
+	l.stats.addTuple()
+	if l.es != nil {
+		l.es.TuplesProcessed(1)
+		l.es.NodesAllocated(int(l.stats.liveNodes.Load() - liveBefore))
+	}
 	return nil
 }
 
@@ -84,10 +95,7 @@ func (l *List) split(n *listNode, at interval.Time) {
 	}
 	n.iv.End = at
 	n.next = tail
-	l.stats.LiveNodes++
-	if l.stats.LiveNodes > l.stats.PeakNodes {
-		l.stats.PeakNodes = l.stats.LiveNodes
-	}
+	l.stats.grow(1)
 }
 
 // Finish emits the constant intervals in time order.
@@ -97,8 +105,11 @@ func (l *List) Finish() (*Result, error) {
 		res.Rows = append(res.Rows, Row{Interval: n.iv, State: n.state})
 	}
 	l.head = nil
+	if l.es != nil {
+		l.es.PeakNodes(int(l.stats.peakNodes.Load()))
+	}
 	return res, nil
 }
 
 // Stats reports the evaluator's counters.
-func (l *List) Stats() Stats { return l.stats }
+func (l *List) Stats() Stats { return l.stats.snapshot() }

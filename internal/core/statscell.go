@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/obs"
+	"tempagg/internal/tuple"
+)
+
+// statsCell is the evaluators' internal form of Stats: every counter is an
+// atomic so Stats can be snapshotted from another goroutine while an
+// evaluation is in flight — the /metrics scrape path — without torn reads.
+// Mutation stays single-writer (the evaluator's own goroutine); the atomics
+// buy safe concurrent *readers*, not concurrent Add.
+type statsCell struct {
+	tuples    atomic.Int64
+	liveNodes atomic.Int64
+	peakNodes atomic.Int64
+	collected atomic.Int64
+}
+
+// init seeds the live/peak counters with the structure's initial node count.
+func (c *statsCell) init(nodes int) {
+	c.liveNodes.Store(int64(nodes))
+	c.peakNodes.Store(int64(nodes))
+}
+
+// addTuple counts one absorbed tuple.
+func (c *statsCell) addTuple() { c.tuples.Add(1) }
+
+// grow adds n live nodes and raises the peak high-water mark.
+func (c *statsCell) grow(n int) {
+	if n == 0 {
+		return
+	}
+	live := c.liveNodes.Add(int64(n))
+	for {
+		peak := c.peakNodes.Load()
+		if live <= peak || c.peakNodes.CompareAndSwap(peak, live) {
+			return
+		}
+	}
+}
+
+// reclaim moves n nodes from live to collected (garbage collection).
+func (c *statsCell) reclaim(n int) {
+	c.liveNodes.Add(int64(-n))
+	c.collected.Add(int64(n))
+}
+
+// snapshot assembles a Stats value from atomic loads. Counters are loaded
+// individually, so a snapshot taken mid-Add may mix a just-incremented
+// tuple count with a not-yet-raised peak; each individual counter is
+// consistent, which is what the scrape path needs.
+func (c *statsCell) snapshot() Stats {
+	return Stats{
+		Tuples:    int(c.tuples.Load()),
+		LiveNodes: int(c.liveNodes.Load()),
+		PeakNodes: int(c.peakNodes.Load()),
+		Collected: int(c.collected.Load()),
+	}
+}
+
+// sinkSetter is implemented by evaluators that can publish their counters
+// to an observability sink; NewObserved uses it after construction.
+type sinkSetter interface {
+	setSink(s obs.Sink)
+}
+
+// NewObserved is New with an observability sink attached: the evaluator
+// publishes tuple, node-allocation, garbage-collection, and peak-memory
+// events to s as it runs (the counters behind the paper's §6 cost model).
+// A nil s is equivalent to New.
+func NewObserved(spec Spec, f aggregate.Func, s obs.Sink) (Evaluator, error) {
+	ev, err := New(spec, f)
+	if err != nil || s == nil {
+		return ev, err
+	}
+	if ss, ok := ev.(sinkSetter); ok {
+		ss.setSink(s)
+	}
+	return ev, nil
+}
+
+// RunObserved is Run with an observability sink attached; see NewObserved.
+func RunObserved(spec Spec, f aggregate.Func, tuples []tuple.Tuple, s obs.Sink) (*Result, Stats, error) {
+	ev, err := NewObserved(spec, f, s)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	for _, t := range tuples {
+		if err := ev.Add(t); err != nil {
+			return nil, ev.Stats(), err
+		}
+	}
+	res, err := ev.Finish()
+	return res, ev.Stats(), err
+}

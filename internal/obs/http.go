@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+)
+
+// MetricsHandler serves the registry in the Prometheus text exposition
+// format at GET /metrics.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "metrics disabled", http.StatusNotFound)
+			return
+		}
+		// Render to a buffer first so an encoding failure can still become
+		// a clean 500 instead of a torn 200 body.
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return // client went away mid-scrape
+		}
+	})
+}
+
+// TracesHandler serves the ring of recent query traces as a JSON array at
+// GET /debug/traces, oldest first.
+func TracesHandler(b *TraceBuffer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if b == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		traces := b.Snapshot()
+		if traces == nil {
+			traces = []*QueryTrace{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(traces); err != nil {
+			return // client went away mid-reply
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package obs
+
+import "time"
+
+// Sink receives low-level evaluator events from internal/core. It is the
+// only observability type core depends on; everything else in this package
+// sits above the query layer. Implementations must be safe for concurrent
+// use — the server runs one evaluator set per connection.
+//
+// A nil Sink disables instrumentation: core checks the interface for nil
+// once per evaluator and keeps a nil EvalSink handle, so the per-tuple cost
+// of disabled observability is a single pointer comparison.
+type Sink interface {
+	// Evaluator returns the event handle for one evaluator run of the named
+	// algorithm (the core.Algorithm String form). Resolving the handle once
+	// per evaluator keeps label lookups out of the per-tuple path.
+	Evaluator(algorithm string) EvalSink
+	// Flush delivers any buffered events. Implementations that write
+	// asynchronously must report delivery failures here; callers must not
+	// drop the error (tempagglint's errdrop analyzer enforces this for all
+	// tempagg APIs, this one included).
+	Flush() error
+}
+
+// EvalSink receives the per-evaluator events behind the paper's §6 cost
+// model. Methods must be cheap: they sit on the Add hot path.
+type EvalSink interface {
+	// TuplesProcessed counts tuples absorbed (core.Stats.Tuples).
+	TuplesProcessed(n int)
+	// NodesAllocated counts structure nodes created, including the initial
+	// root/universe leaf (cumulative; core.Stats.LiveNodes + Collected).
+	NodesAllocated(n int)
+	// NodesCollected counts nodes reclaimed by garbage collection
+	// (core.Stats.Collected; k-ordered tree only).
+	NodesCollected(n int)
+	// PeakNodes reports a high-water mark of live nodes
+	// (core.Stats.PeakNodes); the sink keeps the maximum it has seen.
+	PeakNodes(n int)
+	// GCThreshold reports the latest garbage-collection watermark — the
+	// instant below which every constant interval has been emitted (§5.3).
+	GCThreshold(t int64)
+}
+
+// Metric names exported by Metrics. Each maps to a §6 cost-model quantity;
+// see the README's Observability section for the full table.
+const (
+	MetricTuplesProcessed = "tempagg_tuples_processed_total"
+	MetricNodesAllocated  = "tempagg_tree_nodes_allocated_total"
+	MetricNodesCollected  = "tempagg_tree_nodes_collected_total"
+	MetricPeakNodes       = "tempagg_tree_nodes_peak"
+	MetricGCThreshold     = "tempagg_gc_threshold_time"
+	MetricQueries         = "tempagg_queries_total"
+	MetricQueryDuration   = "tempagg_query_duration_seconds"
+	MetricSlowQueries     = "tempagg_slow_queries_total"
+	MetricSlowLogErrors   = "tempagg_slowlog_write_errors_total"
+)
+
+// DefaultDurationBuckets are the query-latency histogram bounds, in
+// seconds: wide enough for a 64K-tuple linked-list run (the paper's worst
+// case, ~minutes in 1995, ~seconds today) and fine enough for the tree
+// algorithms' sub-millisecond runs.
+var DefaultDurationBuckets = []float64{
+	1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 30,
+}
+
+// Metrics is the pipeline's metric set over a Registry. It implements Sink
+// for core evaluators and records query-level outcomes for the query layer.
+type Metrics struct {
+	reg *Registry
+
+	tuples      *CounterVec   // by algorithm
+	nodesAlloc  *CounterVec   // by algorithm
+	nodesColl   *CounterVec   // by algorithm
+	peakNodes   *GaugeVec     // by algorithm, max semantics
+	gcThreshold *GaugeVec     // by algorithm, last value
+	queries     *CounterVec   // by algorithm, status
+	duration    *HistogramVec // by algorithm
+	slow        *Counter
+	slowErrs    *Counter
+}
+
+var _ Sink = (*Metrics)(nil)
+
+// NewMetrics registers the tempagg metric families on reg and returns the
+// recording front-end.
+func NewMetrics(reg *Registry) *Metrics {
+	return &Metrics{
+		reg: reg,
+		tuples: reg.CounterVec(MetricTuplesProcessed,
+			"Tuples absorbed by evaluators (core.Stats.Tuples).", "algorithm"),
+		nodesAlloc: reg.CounterVec(MetricNodesAllocated,
+			"Structure nodes allocated, 16 bytes each per the paper's cost model (core.NodeBytes).", "algorithm"),
+		nodesColl: reg.CounterVec(MetricNodesCollected,
+			"Structure nodes reclaimed by garbage collection (k-ordered tree, paper Fig. 5).", "algorithm"),
+		peakNodes: reg.GaugeVec(MetricPeakNodes,
+			"High-water mark of live structure nodes across evaluator runs (paper Fig. 9).", "algorithm"),
+		gcThreshold: reg.GaugeVec(MetricGCThreshold,
+			"Latest garbage-collection watermark: instants below it are fully emitted (paper 5.3).", "algorithm"),
+		queries: reg.CounterVec(MetricQueries,
+			"Queries executed, by chosen algorithm and outcome.", "algorithm", "status"),
+		duration: reg.HistogramVec(MetricQueryDuration,
+			"End-to-end query latency in seconds, by chosen algorithm.",
+			DefaultDurationBuckets, "algorithm"),
+		slow: reg.Counter(MetricSlowQueries,
+			"Queries slower than the slow-query threshold."),
+		slowErrs: reg.Counter(MetricSlowLogErrors,
+			"Slow-query log lines that failed to write."),
+	}
+}
+
+// Registry returns the registry the metrics record into.
+func (m *Metrics) Registry() *Registry { return m.reg }
+
+// Evaluator returns the handle for one evaluator run; see Sink.
+func (m *Metrics) Evaluator(algorithm string) EvalSink {
+	return &evalSink{
+		tuples:      m.tuples.With(algorithm),
+		nodesAlloc:  m.nodesAlloc.With(algorithm),
+		nodesColl:   m.nodesColl.With(algorithm),
+		peakNodes:   m.peakNodes.With(algorithm),
+		gcThreshold: m.gcThreshold.With(algorithm),
+	}
+}
+
+// Flush implements Sink. Metrics records synchronously into atomics, so
+// there is never anything buffered.
+func (m *Metrics) Flush() error { return nil }
+
+// RecordQuery records one finished query: the per-algorithm count (status
+// "ok" or "error") and the latency histogram.
+func (m *Metrics) RecordQuery(algorithm string, d time.Duration, failed bool) {
+	if m == nil {
+		return
+	}
+	status := "ok"
+	if failed {
+		status = "error"
+	}
+	m.queries.With(algorithm, status).Inc()
+	m.duration.With(algorithm).Observe(d.Seconds())
+}
+
+// RecordSlow counts one slow query and, when the structured log write
+// failed, the write error — the error is surfaced as a counter rather than
+// failing the query that happened to trip the log.
+func (m *Metrics) RecordSlow(writeErr error) {
+	if m == nil {
+		return
+	}
+	m.slow.Inc()
+	if writeErr != nil {
+		m.slowErrs.Inc()
+	}
+}
+
+// evalSink is the resolved-series handle returned by Metrics.Evaluator.
+type evalSink struct {
+	tuples      *Counter
+	nodesAlloc  *Counter
+	nodesColl   *Counter
+	peakNodes   *Gauge
+	gcThreshold *Gauge
+}
+
+func (s *evalSink) TuplesProcessed(n int) { s.tuples.Add(int64(n)) }
+func (s *evalSink) NodesAllocated(n int)  { s.nodesAlloc.Add(int64(n)) }
+func (s *evalSink) NodesCollected(n int)  { s.nodesColl.Add(int64(n)) }
+func (s *evalSink) PeakNodes(n int)       { s.peakNodes.SetMax(int64(n)) }
+func (s *evalSink) GCThreshold(t int64)   { s.gcThreshold.Set(t) }

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EvalCounters is the trace-side snapshot of core.Stats (duplicated here
+// rather than imported so obs stays below core in the dependency order).
+// Sums are across every evaluator the query ran — one per attribute group
+// and select-list aggregate — except PeakNodes, which is the maximum.
+type EvalCounters struct {
+	Tuples    int `json:"tuples"`
+	LiveNodes int `json:"live_nodes"`
+	PeakNodes int `json:"peak_nodes"`
+	Collected int `json:"collected"`
+}
+
+// Span is one timed stage of a query: parse, plan, execute, or finish.
+type Span struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+
+	tr *QueryTrace
+}
+
+// End closes the span, recording its duration on the owning trace.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Duration = time.Since(s.Start)
+	s.tr.mu.Lock()
+	s.tr.Spans = append(s.tr.Spans, *s)
+	s.tr.mu.Unlock()
+}
+
+// QueryTrace is the per-query record: the text, the plan the optimizer
+// chose, timed stages, and the full evaluator-counter snapshot. A nil
+// *QueryTrace is the disabled state; every method no-ops on it, so the
+// query layer threads traces unconditionally.
+type QueryTrace struct {
+	ID        int64         `json:"id"`
+	Query     string        `json:"query"`
+	Start     time.Time     `json:"start"`
+	Duration  time.Duration `json:"duration_ns"`
+	Algorithm string        `json:"algorithm,omitempty"`
+	K         int           `json:"k,omitempty"`
+	Plan      string        `json:"plan,omitempty"`
+	Groups    int           `json:"groups,omitempty"`
+	Stats     EvalCounters  `json:"stats"`
+	Err       string        `json:"error,omitempty"`
+	Spans     []Span        `json:"spans,omitempty"`
+
+	mu   sync.Mutex
+	sink Sink
+}
+
+// StartSpan opens a named stage; close it with End.
+func (tr *QueryTrace) StartSpan(name string) *Span {
+	if tr == nil {
+		return nil
+	}
+	return &Span{Name: name, Start: time.Now(), tr: tr}
+}
+
+// SetPlan records the optimizer's choice.
+func (tr *QueryTrace) SetPlan(algorithm string, k int, plan string) {
+	if tr == nil {
+		return
+	}
+	tr.Algorithm, tr.K, tr.Plan = algorithm, k, plan
+}
+
+// AddStats folds one evaluator's final counters into the trace snapshot:
+// sums for tuples, live, and collected nodes; maximum for the peak.
+func (tr *QueryTrace) AddStats(tuples, liveNodes, peakNodes, collected int) {
+	if tr == nil {
+		return
+	}
+	tr.Stats.Tuples += tuples
+	tr.Stats.LiveNodes += liveNodes
+	tr.Stats.Collected += collected
+	if peakNodes > tr.Stats.PeakNodes {
+		tr.Stats.PeakNodes = peakNodes
+	}
+}
+
+// SetGroups records how many result groups the query produced.
+func (tr *QueryTrace) SetGroups(n int) {
+	if tr == nil {
+		return
+	}
+	tr.Groups = n
+}
+
+// Sink exposes the evaluator-event sink for the executing query, or nil
+// when tracing is disabled.
+func (tr *QueryTrace) Sink() Sink {
+	if tr == nil {
+		return nil
+	}
+	return tr.sink
+}
+
+// TraceBuffer is a fixed-capacity ring of the most recent query traces,
+// served by /debug/traces.
+type TraceBuffer struct {
+	mu   sync.Mutex
+	ring []*QueryTrace
+	next int
+	full bool
+}
+
+// NewTraceBuffer returns a ring keeping the last n traces (n < 1 keeps 1).
+func NewTraceBuffer(n int) *TraceBuffer {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceBuffer{ring: make([]*QueryTrace, n)}
+}
+
+// Push appends one finished trace, evicting the oldest when full.
+func (b *TraceBuffer) Push(tr *QueryTrace) {
+	if b == nil || tr == nil {
+		return
+	}
+	b.mu.Lock()
+	b.ring[b.next] = tr
+	b.next++
+	if b.next == len(b.ring) {
+		b.next, b.full = 0, true
+	}
+	b.mu.Unlock()
+}
+
+// Snapshot returns the buffered traces, oldest first.
+func (b *TraceBuffer) Snapshot() []*QueryTrace {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []*QueryTrace
+	if b.full {
+		out = append(out, b.ring[b.next:]...)
+	}
+	out = append(out, b.ring[:b.next]...)
+	return out
+}
+
+// Observer bundles the pipeline's observability surfaces: metrics, the
+// trace ring, and the slow-query log. A nil *Observer disables all three.
+type Observer struct {
+	Metrics *Metrics
+	Traces  *TraceBuffer
+	Slow    *SlowLog
+
+	nextID atomic.Int64
+}
+
+// NewObserver assembles an observer over a fresh registry with an n-entry
+// trace ring and the given slow-query log (nil for none).
+func NewObserver(traceCap int, slow *SlowLog) *Observer {
+	return &Observer{
+		Metrics: NewMetrics(NewRegistry()),
+		Traces:  NewTraceBuffer(traceCap),
+		Slow:    slow,
+	}
+}
+
+// Registry returns the metrics registry, or nil when disabled.
+func (o *Observer) Registry() *Registry {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	return o.Metrics.Registry()
+}
+
+// TraceBuffer returns the trace ring, or nil when disabled.
+func (o *Observer) TraceBuffer() *TraceBuffer {
+	if o == nil {
+		return nil
+	}
+	return o.Traces
+}
+
+// StartQuery opens a trace for one query. The returned trace (nil when o
+// is nil) is threaded through the query layer and closed by FinishQuery.
+func (o *Observer) StartQuery(sql string) *QueryTrace {
+	if o == nil {
+		return nil
+	}
+	tr := &QueryTrace{
+		ID:    o.nextID.Add(1),
+		Query: sql,
+		Start: time.Now(),
+	}
+	if o.Metrics != nil {
+		tr.sink = o.Metrics
+	}
+	return tr
+}
+
+// FinishQuery closes the trace: stamps the duration and error, records the
+// per-algorithm query counters and latency histogram, writes the slow-query
+// log entry when over threshold (write failures become a counter, not a
+// query failure), and pushes the trace onto the ring.
+func (o *Observer) FinishQuery(tr *QueryTrace, err error) {
+	if o == nil || tr == nil {
+		return
+	}
+	tr.Duration = time.Since(tr.Start)
+	if err != nil {
+		tr.Err = err.Error()
+	}
+	alg := tr.Algorithm
+	if alg == "" {
+		// Parse and resolution failures never reach the planner.
+		alg = "none"
+	}
+	o.Metrics.RecordQuery(alg, tr.Duration, err != nil)
+	if logged, werr := o.Slow.Record(tr); logged {
+		o.Metrics.RecordSlow(werr)
+	}
+	o.Traces.Push(tr)
+}

@@ -8,6 +8,7 @@ import (
 	"tempagg/internal/aggregate"
 	"tempagg/internal/core"
 	"tempagg/internal/interval"
+	"tempagg/internal/obs"
 	"tempagg/internal/relation"
 	"tempagg/internal/tuple"
 )
@@ -94,6 +95,14 @@ func cmpOrdered(sign int, op CompareOp) bool {
 // optimizer's metadata; pass nil to derive it from the relation itself
 // (cardinality and an order check).
 func Execute(q *Query, rel *relation.Relation, info *RelationInfo) (*QueryResult, error) {
+	return ExecuteTraced(q, rel, info, nil)
+}
+
+// ExecuteTraced is Execute with per-query observability: the planning and
+// evaluation stages are recorded as spans on tr, evaluators publish their
+// §6 counters through the trace's sink, and the final stats snapshot is
+// attached. A nil tr disables all of it at the cost of a nil check.
+func ExecuteTraced(q *Query, rel *relation.Relation, info *RelationInfo, tr *obs.QueryTrace) (*QueryResult, error) {
 	if q.Relation != rel.Name {
 		return nil, fmt.Errorf("query: relation %q not found (have %q)", q.Relation, rel.Name)
 	}
@@ -101,6 +110,7 @@ func Execute(q *Query, rel *relation.Relation, info *RelationInfo) (*QueryResult
 	if info != nil {
 		meta = *info
 	}
+	planSpan := tr.StartSpan("plan")
 	var plan Plan
 	if q.At != nil {
 		// Snapshot reduction: the value at one instant needs no constant
@@ -113,6 +123,10 @@ func Execute(q *Query, rel *relation.Relation, info *RelationInfo) (*QueryResult
 			return nil, err
 		}
 	}
+	planSpan.End()
+	tracePlan(tr, plan)
+	execSpan := tr.StartSpan("execute")
+	defer execSpan.End()
 
 	// VALID window and WHERE filter.
 	filtered := rel.Tuples
@@ -180,10 +194,11 @@ func Execute(q *Query, rel *relation.Relation, info *RelationInfo) (*QueryResult
 			case q.At != nil:
 				res = snapshotResult(f, input, *q.At)
 				stats = core.Stats{Tuples: len(input)}
+				sinkTuples(tr, "snapshot-scan", len(input))
 			case q.Temporal == BySpan:
 				res, err = executeSpan(q, f, input)
 			default:
-				res, stats, err = executeInstant(plan, meta, f, input)
+				res, stats, err = executeInstant(plan, meta, f, input, tr)
 				if err == nil && q.Window != nil {
 					res.Clip(*q.Window)
 				}
@@ -191,6 +206,7 @@ func Execute(q *Query, rel *relation.Relation, info *RelationInfo) (*QueryResult
 			if err != nil {
 				return nil, err
 			}
+			traceStats(tr, stats)
 			gr.Results = append(gr.Results, res)
 			gr.AllStats = append(gr.AllStats, stats)
 		}
@@ -198,7 +214,34 @@ func Execute(q *Query, rel *relation.Relation, info *RelationInfo) (*QueryResult
 		gr.Stats = gr.AllStats[0]
 		qr.Groups = append(qr.Groups, gr)
 	}
+	tr.SetGroups(len(qr.Groups))
 	return qr, nil
+}
+
+// tracePlan records the optimizer's decision on the trace.
+func tracePlan(tr *obs.QueryTrace, plan Plan) {
+	alg := plan.Spec.Algorithm.String()
+	switch {
+	case plan.Tuma:
+		alg = "tuma-two-pass"
+	case plan.Snapshot:
+		alg = "snapshot-scan"
+	}
+	tr.SetPlan(alg, plan.Spec.K, plan.String())
+}
+
+// traceStats folds one evaluator's final counters into the trace.
+func traceStats(tr *obs.QueryTrace, s core.Stats) {
+	tr.AddStats(s.Tuples, s.LiveNodes, s.PeakNodes, s.Collected)
+}
+
+// sinkTuples publishes tuple counts for the evaluator-less strategies
+// (snapshot scans and Tuma's two-pass baseline), which bypass core's own
+// sink instrumentation.
+func sinkTuples(tr *obs.QueryTrace, algorithm string, n int) {
+	if s := tr.Sink(); s != nil {
+		s.Evaluator(algorithm).TuplesProcessed(n)
+	}
 }
 
 // snapshotResult folds the tuples valid at the instant into a single-row
@@ -216,9 +259,10 @@ func snapshotResult(f aggregate.Func, ts []tuple.Tuple, at interval.Time) *core.
 	}}}
 }
 
-func executeInstant(plan Plan, meta RelationInfo, f aggregate.Func, ts []tuple.Tuple) (*core.Result, core.Stats, error) {
+func executeInstant(plan Plan, meta RelationInfo, f aggregate.Func, ts []tuple.Tuple, tr *obs.QueryTrace) (*core.Result, core.Stats, error) {
 	if plan.Tuma {
 		res, err := core.Tuma(core.NewSliceSource(ts), f)
+		sinkTuples(tr, "tuma-two-pass", 2*len(ts))
 		return res, core.Stats{Tuples: 2 * len(ts)}, err
 	}
 	input := ts
@@ -231,7 +275,7 @@ func executeInstant(plan Plan, meta RelationInfo, f aggregate.Func, ts []tuple.T
 		input = append([]tuple.Tuple(nil), ts...)
 		sort.SliceStable(input, func(i, j int) bool { return input[i].Less(input[j]) })
 	}
-	res, stats, err := core.Run(plan.Spec, f, input)
+	res, stats, err := core.RunObserved(plan.Spec, f, input, tr.Sink())
 	return res, stats, err
 }
 

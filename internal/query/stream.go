@@ -7,6 +7,7 @@ import (
 
 	"tempagg/internal/aggregate"
 	"tempagg/internal/core"
+	"tempagg/internal/obs"
 	"tempagg/internal/relation"
 	"tempagg/internal/tuple"
 )
@@ -22,6 +23,14 @@ import (
 // info may be nil; the file header then supplies the optimizer's metadata
 // (cardinality and the sorted flag).
 func ExecuteFile(q *Query, path string, info *RelationInfo, sopts relation.ScanOptions) (*QueryResult, error) {
+	return ExecuteFileTraced(q, path, info, sopts, nil)
+}
+
+// ExecuteFileTraced is ExecuteFile with per-query observability: planning
+// and evaluation stages become spans on tr, evaluators publish their §6
+// counters through the trace's sink, and the final stats snapshot is
+// attached. A nil tr disables all of it.
+func ExecuteFileTraced(q *Query, path string, info *RelationInfo, sopts relation.ScanOptions, tr *obs.QueryTrace) (*QueryResult, error) {
 	sc, err := relation.Open(path, sopts)
 	if err != nil {
 		return nil, err
@@ -35,10 +44,13 @@ func ExecuteFile(q *Query, path string, info *RelationInfo, sopts relation.ScanO
 	if info != nil {
 		meta = *info
 	}
+	planSpan := tr.StartSpan("plan")
 	plan, err := PlanQuery(q, meta)
+	planSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	tracePlan(tr, plan)
 
 	anyDistinct := false
 	for _, a := range q.Aggs {
@@ -57,7 +69,9 @@ func ExecuteFile(q *Query, path string, info *RelationInfo, sopts relation.ScanO
 		if err != nil {
 			return nil, err
 		}
-		return Execute(q, rel, &meta)
+		// The in-memory executor re-plans (it may choose the snapshot
+		// reduction) and records its own spans on the same trace.
+		return ExecuteTraced(q, rel, &meta, tr)
 	}
 	if plan.SortFirst || ktreeNeedsSort {
 		// The paper's sort-then-ktree strategy, out of core: external merge
@@ -72,21 +86,23 @@ func ExecuteFile(q *Query, path string, info *RelationInfo, sopts relation.ScanO
 		tmpPath := tmp.Name()
 		tmp.Close()
 		defer os.Remove(tmpPath)
+		sortSpan := tr.StartSpan("sort")
 		if err := relation.ExternalSort(path, tmpPath, 0); err != nil {
 			return nil, err
 		}
+		sortSpan.End()
 		sorted, err := relation.Open(tmpPath, relation.ScanOptions{})
 		if err != nil {
 			return nil, err
 		}
 		defer sorted.Close()
 		plan.SortFirst = false
-		return streamEvaluators(q, plan, sorted)
+		return streamEvaluators(q, plan, sorted, tr)
 	}
 	if plan.Tuma {
-		return streamTuma(q, plan, sc)
+		return streamTuma(q, plan, sc, tr)
 	}
-	return streamEvaluators(q, plan, sc)
+	return streamEvaluators(q, plan, sc, tr)
 }
 
 // scanAll materializes the scanner into a relation named for the query.
@@ -121,12 +137,12 @@ func (q *Query) accepts(t tuple.Tuple) bool {
 
 // streamEvaluators runs one evaluator per attribute group and select-list
 // aggregate, feeding tuples as they come off the scanner.
-func streamEvaluators(q *Query, plan Plan, sc *relation.Scanner) (*QueryResult, error) {
+func streamEvaluators(q *Query, plan Plan, sc *relation.Scanner, tr *obs.QueryTrace) (*QueryResult, error) {
 	evs := map[string][]core.Evaluator{}
 	newEvs := func() ([]core.Evaluator, error) {
 		out := make([]core.Evaluator, len(q.Aggs))
 		for i, a := range q.Aggs {
-			ev, err := core.New(plan.Spec, aggregate.For(a.Kind))
+			ev, err := core.NewObserved(plan.Spec, aggregate.For(a.Kind), tr.Sink())
 			if err != nil {
 				return nil, err
 			}
@@ -135,6 +151,7 @@ func streamEvaluators(q *Query, plan Plan, sc *relation.Scanner) (*QueryResult, 
 		return out, nil
 	}
 
+	execSpan := tr.StartSpan("execute")
 	for {
 		t, ok, err := sc.Next()
 		if err != nil {
@@ -173,7 +190,9 @@ func streamEvaluators(q *Query, plan Plan, sc *relation.Scanner) (*QueryResult, 
 		}
 		evs[""] = group
 	}
+	execSpan.End()
 
+	finishSpan := tr.StartSpan("finish")
 	keys := make([]string, 0, len(evs))
 	for k := range evs {
 		keys = append(keys, k)
@@ -192,11 +211,14 @@ func streamEvaluators(q *Query, plan Plan, sc *relation.Scanner) (*QueryResult, 
 			}
 			gr.Results = append(gr.Results, res)
 			gr.AllStats = append(gr.AllStats, ev.Stats())
+			traceStats(tr, ev.Stats())
 		}
 		gr.Result = gr.Results[0]
 		gr.Stats = gr.AllStats[0]
 		qr.Groups = append(qr.Groups, gr)
 	}
+	finishSpan.End()
+	tr.SetGroups(len(qr.Groups))
 	return qr, nil
 }
 
@@ -221,8 +243,10 @@ func (s *filteredSource) Next() (tuple.Tuple, bool, error) {
 
 func (s *filteredSource) Reset() error { return s.sc.Reset() }
 
-func streamTuma(q *Query, plan Plan, sc *relation.Scanner) (*QueryResult, error) {
+func streamTuma(q *Query, plan Plan, sc *relation.Scanner, tr *obs.QueryTrace) (*QueryResult, error) {
+	execSpan := tr.StartSpan("execute")
 	res, err := core.Tuma(&filteredSource{q: q, sc: sc}, aggregate.For(q.Aggs[0].Kind))
+	execSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -230,6 +254,9 @@ func streamTuma(q *Query, plan Plan, sc *relation.Scanner) (*QueryResult, error)
 		res.Clip(*q.Window)
 	}
 	stats := core.Stats{Tuples: 2 * sc.Count()}
+	sinkTuples(tr, "tuma-two-pass", stats.Tuples)
+	traceStats(tr, stats)
+	tr.SetGroups(1)
 	return &QueryResult{
 		Query: q,
 		Plan:  plan,

@@ -116,7 +116,7 @@ func TestExecuteFileTumaTwoScans(t *testing.T) {
 	}
 	defer sc.Close()
 	q := mustParse(t, "SELECT COUNT(Name) FROM Employed USING TUMA")
-	if _, err := streamTuma(q, Plan{Tuma: true}, sc); err != nil {
+	if _, err := streamTuma(q, Plan{Tuma: true}, sc, nil); err != nil {
 		t.Fatal(err)
 	}
 	if sc.Passes() != 2 {

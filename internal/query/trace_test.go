@@ -1,0 +1,112 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"tempagg/internal/obs"
+	"tempagg/internal/relation"
+)
+
+// traceQuery runs one traced query over the Employed fixture file and
+// returns the closed trace plus the observer for metric assertions.
+func traceQuery(t *testing.T, sql string) (*obs.QueryTrace, *obs.Observer, *QueryResult) {
+	t.Helper()
+	path := writeRelation(t, relation.Employed())
+	o := obs.NewObserver(8, nil)
+	tr := o.StartQuery(sql)
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := ExecuteFileTraced(q, path, nil, relation.ScanOptions{}, tr)
+	o.FinishQuery(tr, err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, o, qr
+}
+
+func TestExecuteFileTracedRecordsPlanSpansAndStats(t *testing.T) {
+	tr, o, qr := traceQuery(t, "SELECT COUNT(Name) FROM Employed")
+
+	if tr.Algorithm == "" || tr.Plan == "" {
+		t.Errorf("trace missing plan: %+v", tr)
+	}
+	spans := map[string]bool{}
+	for _, sp := range tr.Spans {
+		spans[sp.Name] = true
+	}
+	for _, want := range []string{"plan", "execute", "finish"} {
+		if !spans[want] {
+			t.Errorf("trace missing span %q (have %v)", want, tr.Spans)
+		}
+	}
+	if tr.Duration <= 0 || tr.Groups != 1 {
+		t.Errorf("trace = %+v", tr)
+	}
+
+	// The trace's stats snapshot must equal the stats the executor returned.
+	want := qr.Groups[0].Stats
+	if tr.Stats.Tuples != want.Tuples || tr.Stats.PeakNodes != want.PeakNodes ||
+		tr.Stats.LiveNodes != want.LiveNodes || tr.Stats.Collected != want.Collected {
+		t.Errorf("trace stats %+v, executor stats %+v", tr.Stats, want)
+	}
+
+	// And the sink counters must agree with the same run.
+	var b strings.Builder
+	if err := o.Registry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	alg := tr.Algorithm
+	reg := o.Registry()
+	tuples := reg.CounterVec(obs.MetricTuplesProcessed, "", "algorithm").With(alg).Value()
+	if tuples != int64(want.Tuples) {
+		t.Errorf("tuples metric = %d, stats = %d\n%s", tuples, want.Tuples, b.String())
+	}
+	alloc := reg.CounterVec(obs.MetricNodesAllocated, "", "algorithm").With(alg).Value()
+	if alloc != int64(want.LiveNodes+want.Collected) {
+		t.Errorf("alloc metric = %d, stats live+collected = %d", alloc, want.LiveNodes+want.Collected)
+	}
+}
+
+func TestTracedTumaCountsTwoPasses(t *testing.T) {
+	tr, o, _ := traceQuery(t, "SELECT COUNT(Name) FROM Employed USING TUMA")
+	if tr.Algorithm != "tuma-two-pass" {
+		t.Fatalf("algorithm = %q", tr.Algorithm)
+	}
+	n := relation.Employed().Len()
+	got := o.Registry().CounterVec(obs.MetricTuplesProcessed, "", "algorithm").
+		With("tuma-two-pass").Value()
+	if got != int64(2*n) {
+		t.Errorf("tuma tuples metric = %d, want %d (two scans)", got, 2*n)
+	}
+}
+
+func TestTracedMaterializedFallback(t *testing.T) {
+	// DISTINCT forces the materializing path through ExecuteTraced; the
+	// trace must still carry plan and stats.
+	tr, _, qr := traceQuery(t, "SELECT COUNT(DISTINCT Name) FROM Employed")
+	if tr.Algorithm == "" {
+		t.Errorf("fallback trace missing algorithm: %+v", tr)
+	}
+	if tr.Stats.Tuples != qr.Groups[0].Stats.Tuples {
+		t.Errorf("trace tuples = %d, executor = %d", tr.Stats.Tuples, qr.Groups[0].Stats.Tuples)
+	}
+}
+
+func TestNilTraceExecutesIdentically(t *testing.T) {
+	path := writeRelation(t, relation.Employed())
+	q := mustParse(t, "SELECT COUNT(Name) FROM Employed")
+	plain, err := ExecuteFile(q, path, nil, relation.ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := ExecuteFileTraced(q, path, nil, relation.ScanOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != traced.String() {
+		t.Errorf("results differ:\n%s\nvs\n%s", plain, traced)
+	}
+}

@@ -1,0 +1,33 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"tempagg/internal/obs"
+)
+
+// AdminMux builds the operator-facing HTTP surface for an observer:
+//
+//	/metrics        Prometheus text exposition of every pipeline counter
+//	/debug/traces   JSON ring buffer of the last N query traces
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// The pprof handlers are registered explicitly rather than importing
+// net/http/pprof for its DefaultServeMux side effect, so the daemon never
+// exposes profiling on a mux it did not ask for. A nil observer still
+// yields a working mux: pprof stays live while /metrics and /debug/traces
+// answer 404, which keeps the smoke test honest about what is wired.
+func AdminMux(o *obs.Observer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.MetricsHandler(o.Registry()))
+	mux.Handle("/debug/traces", obs.TracesHandler(o.TraceBuffer()))
+	// pprof.Index dispatches the named profiles (heap, goroutine, block,
+	// mutex, threadcreate, allocs) under /debug/pprof/<name>.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

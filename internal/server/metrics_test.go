@@ -1,0 +1,227 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tempagg/internal/catalog"
+	"tempagg/internal/obs"
+	"tempagg/internal/relation"
+)
+
+// startObservedServer is startServer with an observer attached, returning
+// the observer and an httptest server over its admin mux.
+func startObservedServer(t *testing.T) (*catalog.Catalog, *obs.Observer, string, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := relation.WriteFile(filepath.Join(dir, "Employed.rel"), relation.Employed()); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := catalog.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.NewObserver(16, nil)
+	srv := New(cat, WithObserver(o))
+	if srv.Observer() != o {
+		t.Fatal("Observer() lost the option")
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+	admin := httptest.NewServer(AdminMux(o))
+	t.Cleanup(func() {
+		admin.Close()
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return cat, o, lis.Addr().String(), admin
+}
+
+// scrape fetches one admin endpoint and returns the body.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// metricValue finds `name{labels} v` in a Prometheus exposition and returns
+// v, failing the test when the series is absent.
+func metricValue(t *testing.T, body, series string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("series %s: bad value %q", series, rest)
+			}
+			return int64(v)
+		}
+	}
+	t.Fatalf("series %s not found in scrape:\n%s", series, body)
+	return 0
+}
+
+func TestMetricsEndpointExactValues(t *testing.T) {
+	cat, _, addr, admin := startObservedServer(t)
+
+	const sql = "SELECT COUNT(Name) FROM Employed"
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Query(sql)
+	if err != nil || !resp.OK {
+		t.Fatalf("query failed: %+v, %v", resp, err)
+	}
+
+	// The expected counters come from the identical unobserved execution:
+	// same catalog, same file, same plan — so the scrape must match its
+	// core.Stats exactly.
+	qr, err := cat.Query(sql, relation.ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := qr.Groups[0].Stats
+	alg := qr.Plan.Spec.Algorithm.String()
+
+	body := scrape(t, admin.URL+"/metrics")
+	lbl := fmt.Sprintf(`{algorithm="%s"}`, alg)
+	if got := metricValue(t, body, obs.MetricTuplesProcessed+lbl); got != int64(want.Tuples) {
+		t.Errorf("tuples processed = %d, core.Stats says %d", got, want.Tuples)
+	}
+	// Cumulative allocations = nodes still live at Finish + nodes the
+	// k-ordered GC reclaimed along the way.
+	if got := metricValue(t, body, obs.MetricNodesAllocated+lbl); got != int64(want.LiveNodes+want.Collected) {
+		t.Errorf("nodes allocated = %d, core.Stats says %d", got, want.LiveNodes+want.Collected)
+	}
+	if got := metricValue(t, body, obs.MetricNodesCollected+lbl); got != int64(want.Collected) {
+		t.Errorf("nodes collected = %d, core.Stats says %d", got, want.Collected)
+	}
+	if got := metricValue(t, body, obs.MetricPeakNodes+lbl); got != int64(want.PeakNodes) {
+		t.Errorf("peak nodes = %d, core.Stats says %d", got, want.PeakNodes)
+	}
+	okLbl := fmt.Sprintf(`{algorithm="%s",status="ok"}`, alg)
+	if got := metricValue(t, body, obs.MetricQueries+okLbl); got != 1 {
+		t.Errorf("queries_total = %d, want 1", got)
+	}
+	if got := metricValue(t, body, obs.MetricQueryDuration+"_count"+lbl); got != 1 {
+		t.Errorf("duration histogram count = %d, want 1", got)
+	}
+	if !strings.Contains(body, obs.MetricQueryDuration+"_bucket{algorithm=") {
+		t.Errorf("duration histogram has no buckets:\n%s", body)
+	}
+}
+
+func TestMetricsCountsPerAlgorithmAndErrors(t *testing.T) {
+	_, _, addr, admin := startObservedServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Two USING LIST queries, one forced error.
+	for i := 0; i < 2; i++ {
+		if resp, err := c.Query("SELECT COUNT(Name) FROM Employed USING LIST"); err != nil || !resp.OK {
+			t.Fatalf("query failed: %+v, %v", resp, err)
+		}
+	}
+	if resp, err := c.Query("SELECT COUNT(Name) FROM Nope"); err != nil || resp.OK {
+		t.Fatalf("expected query error, got %+v, %v", resp, err)
+	}
+
+	body := scrape(t, admin.URL+"/metrics")
+	if got := metricValue(t, body, obs.MetricQueries+`{algorithm="linked-list",status="ok"}`); got != 2 {
+		t.Errorf("linked-list ok count = %d, want 2", got)
+	}
+	// Name resolution fails before planning, so the error lands on "none".
+	if got := metricValue(t, body, obs.MetricQueries+`{algorithm="none",status="error"}`); got != 1 {
+		t.Errorf("error count = %d, want 1", got)
+	}
+}
+
+func TestAdminTracesAndPprof(t *testing.T) {
+	_, o, addr, admin := startObservedServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const sql = "SELECT MAX(Salary) FROM Employed"
+	if resp, err := c.Query(sql); err != nil || !resp.OK {
+		t.Fatalf("query failed: %+v, %v", resp, err)
+	}
+
+	var traces []struct {
+		Query     string `json:"query"`
+		Algorithm string `json:"algorithm"`
+		Spans     []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(scrape(t, admin.URL+"/debug/traces")), &traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || traces[0].Query != sql || traces[0].Algorithm == "" {
+		t.Fatalf("traces = %+v", traces)
+	}
+	names := map[string]bool{}
+	for _, sp := range traces[0].Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"parse", "plan", "execute"} {
+		if !names[want] {
+			t.Errorf("trace missing %q span: %+v", want, traces[0].Spans)
+		}
+	}
+	if got := len(o.Traces.Snapshot()); got != 1 {
+		t.Errorf("ring holds %d traces, want 1", got)
+	}
+
+	if heap := scrape(t, admin.URL+"/debug/pprof/heap"); len(heap) == 0 {
+		t.Error("pprof heap profile is empty")
+	}
+}
+
+func TestAdminMuxNilObserver(t *testing.T) {
+	admin := httptest.NewServer(AdminMux(nil))
+	defer admin.Close()
+	for _, ep := range []string{"/metrics", "/debug/traces"} {
+		resp, err := http.Get(admin.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s with nil observer = %d, want 404", ep, resp.StatusCode)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"tempagg/internal/catalog"
+	"tempagg/internal/obs"
 	"tempagg/internal/query"
 	"tempagg/internal/relation"
 )
@@ -38,6 +39,7 @@ type Response struct {
 // Server serves queries against one catalog.
 type Server struct {
 	cat *catalog.Catalog
+	obs *obs.Observer
 
 	mu     sync.Mutex
 	lis    net.Listener
@@ -46,10 +48,26 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// New returns a server over the catalog.
-func New(cat *catalog.Catalog) *Server {
-	return &Server{cat: cat, conns: map[net.Conn]struct{}{}}
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithObserver attaches an observer: every query the server executes is
+// traced and counted on it, and AdminMux can expose it over HTTP.
+func WithObserver(o *obs.Observer) Option {
+	return func(s *Server) { s.obs = o }
 }
+
+// New returns a server over the catalog.
+func New(cat *catalog.Catalog, opts ...Option) *Server {
+	s := &Server{cat: cat, conns: map[net.Conn]struct{}{}}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Observer returns the attached observer, nil when none.
+func (s *Server) Observer() *obs.Observer { return s.obs }
 
 // Serve accepts connections on lis until Close. It returns nil after a
 // clean shutdown.
@@ -133,7 +151,7 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 func (s *Server) execute(sql string) Response {
-	qr, err := s.cat.Query(sql, relation.ScanOptions{})
+	qr, err := s.cat.QueryObserved(sql, relation.ScanOptions{}, s.obs)
 	if err != nil {
 		return Response{OK: false, Error: err.Error()}
 	}
