@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz-smoke obs-smoke
+.PHONY: all build vet lint test race fuzz-smoke obs-smoke bench-smoke
 
 all: build lint test
 
@@ -27,8 +27,18 @@ race:
 obs-smoke:
 	$(GO) test ./cmd/tempaggd -run TestObsSmoke -count=1 -v
 
-# A short fuzz pass over the query layer's corpus-seeded targets; long
-# campaigns use the same targets with a bigger FUZZTIME.
+# A short fuzz pass over the corpus-seeded targets (query layer plus the
+# core GC/arena invariants); long campaigns use the same targets with a
+# bigger FUZZTIME.
 fuzz-smoke:
 	$(GO) test ./internal/query -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/query -run '^$$' -fuzz FuzzExecute -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzKTreeGCThreshold -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzArenaReuse -fuzztime $(FUZZTIME)
+
+# A fast machine-readable run of the hot-path baseline experiment; the JSON
+# report is diffable against BENCH_PR4.json for before/after comparison and
+# uploaded as a CI artifact.
+bench-smoke:
+	$(GO) run ./cmd/benchharness -exp baseline -max-size 4096 -seeds 1 -json > bench-smoke.json
+	@head -c 400 bench-smoke.json; echo

@@ -13,10 +13,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"tempagg/internal/bench"
@@ -44,6 +46,17 @@ var experiments = []struct {
 	{"ablation-pages", "page-randomized reads of sorted files (future work §7)", bench.AblationPageRandomization},
 	{"ablation-partitioned", "limited-main-memory partitioned evaluation (§5.1/§7)", bench.AblationPartitioned},
 	{"ablation-span", "span grouping vs instant grouping (future work §7)", bench.AblationSpan},
+	{"baseline", "hot-path baseline for before/after comparison (see BENCH_PR4.json)", bench.Baseline},
+}
+
+// jsonReport is the machine-readable output of -json: enough run metadata to
+// make two reports comparable, plus the measured figures.
+type jsonReport struct {
+	Sizes       []int          `json:"sizes"`
+	Seeds       []int64        `json:"seeds"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	GoVersion   string         `json:"go_version"`
+	Experiments []bench.Figure `json:"experiments"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -57,6 +70,7 @@ func run(args []string, out io.Writer) error {
 		maxSize = fs.Int("max-size", 1<<16, "largest relation size in the sweep")
 		seeds   = fs.Int("seeds", 3, "random seeds per point (median reported)")
 		format  = fs.String("format", "table", "output format for figures: table or csv")
+		asJSON  = fs.Bool("json", false, "baseline mode: emit one JSON report of the selected figure experiments (table1/table2 are skipped); diffable across binaries for before/after comparison")
 		verify  = fs.Bool("verify", false, "re-measure the paper's qualitative claims and print PASS/FAIL verdicts")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -91,6 +105,30 @@ func run(args []string, out io.Writer) error {
 
 	all := *exp == "all"
 	ran := false
+	if *asJSON {
+		report := jsonReport{
+			Sizes:      opts.Sizes,
+			Seeds:      opts.Seeds,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+		}
+		for _, e := range experiments {
+			if !all && *exp != e.name {
+				continue
+			}
+			fig, err := e.run(opts)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+			report.Experiments = append(report.Experiments, fig)
+		}
+		if len(report.Experiments) == 0 {
+			return fmt.Errorf("-json: no figure experiment matches %q", *exp)
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
 	if all || *exp == "table1" {
 		s, err := bench.Table1()
 		if err != nil {

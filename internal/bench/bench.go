@@ -24,26 +24,26 @@ import (
 
 // Point is one measurement: the metric value at a relation size.
 type Point struct {
-	Size  int
-	Value float64
+	Size  int     `json:"size"`
+	Value float64 `json:"value"`
 }
 
 // Series is one curve of a figure.
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // Figure is a reproduced table or figure.
 type Figure struct {
 	// ID names the paper artifact, e.g. "figure-6".
-	ID string
+	ID string `json:"id"`
 	// Title describes the experiment.
-	Title string
+	Title string `json:"title"`
 	// Metric labels the values ("seconds", "bytes").
-	Metric string
+	Metric string `json:"metric"`
 	// Series are the curves.
-	Series []Series
+	Series []Series `json:"series"`
 }
 
 // String renders the figure as an aligned table, sizes across the top.

@@ -296,6 +296,51 @@ func AblationPartitioned(opts Options) (Figure, error) {
 	return fig, nil
 }
 
+// Baseline measures the production hot paths head to head over the Table 3
+// sweep: the evaluators the optimizer actually picks (aggregation tree on
+// random input, balanced tree on random input, sort-then-ktree on sorted
+// input) plus the partitioned parallel evaluation. It exists for
+// before/after performance comparison across PRs — run it with the
+// harness's -json flag and diff the medians (see BENCH_PR4.json).
+func Baseline(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	fig, err := buildFigure("baseline", "Hot-Path Baseline (Table 3 sweep)",
+		"seconds", opts, timeMetric, []seriesSpec{
+			{"aggregation-tree random", core.Spec{Algorithm: core.AggregationTree}, genRandom(0)},
+			{"balanced-tree random", core.Spec{Algorithm: core.BalancedTree}, genRandom(0)},
+			{"ktree sorted k=1", core.Spec{Algorithm: core.KOrderedTree, K: 1}, genSorted(0)},
+		})
+	if err != nil {
+		return Figure{}, err
+	}
+	f := aggregate.For(opts.Agg)
+	boundaries := core.UniformBoundaries(
+		interval.MustNew(0, workload.DefaultLifespan-1), 16)
+	s := Series{Name: "partitioned parallel=4 random"}
+	for _, size := range opts.Sizes {
+		var ms []measurement
+		for _, seed := range opts.Seeds {
+			rel, err := genRandom(0)(size, seed)
+			if err != nil {
+				return Figure{}, err
+			}
+			start := time.Now()
+			_, stats, err := core.EvaluatePartitionedTuples(f, rel.Tuples,
+				core.PartitionOptions{Boundaries: boundaries, Parallel: 4})
+			if err != nil {
+				return Figure{}, err
+			}
+			ms = append(ms, measurement{
+				seconds:   time.Since(start).Seconds(),
+				peakBytes: stats.PeakBytes(),
+			})
+		}
+		s.Points = append(s.Points, Point{Size: size, Value: timeMetric(median(ms))})
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
 // AblationSpan compares instant grouping against coarse span grouping
 // (§7: with far fewer buckets, even simple strategies are fast).
 func AblationSpan(opts Options) (Figure, error) {

@@ -1,0 +1,110 @@
+package core
+
+import "sync"
+
+// The evaluators' per-tuple hot paths split leaves by allocating structure
+// nodes — two per split, up to four per tuple. Allocating each node through
+// the garbage collector makes the sweep allocation-bound: a 64K-tuple
+// aggregation-tree run performs ~250K tiny heap allocations whose lifetime
+// is exactly the evaluation. The slab arena below replaces them with bump
+// allocation out of fixed-size slabs that are recycled through a shared
+// sync.Pool when the evaluator finishes, so steady-state query traffic
+// stops allocating node memory altogether.
+//
+// The arena deliberately changes nothing about the paper's §6.2 cost model:
+// live/peak node accounting still flows through statsCell at 16 bytes per
+// node (core.NodeBytes), and the k-ordered tree's garbage collection still
+// returns nodes — to the arena's free list, where the next split reuses
+// them, keeping the resident footprint proportional to the paper's
+// LiveNodes figure rather than to nodes-ever-allocated. Arena traffic
+// (slabs retained, nodes reused) is published through obs.EvalSink at
+// release time.
+
+// arenaSlabNodes is the number of nodes per slab. At core.NodeBytes of
+// model cost (48–56 real bytes per node type), a slab is a few tens of
+// kilobytes — big enough to amortize pool round-trips, small enough that an
+// almost-empty evaluator wastes little.
+const arenaSlabNodes = 1024
+
+// BatchPage is the page size of the batch-ingestion path: AddBatch callers
+// (relation scans, partition bucket drains, RunObserved) feed tuples in
+// pages of this many rather than one interface call per tuple.
+const BatchPage = 512
+
+// newSlabPool returns a shared pool of node slabs for one node type. Slabs
+// are pooled as *[]T so a Put does not allocate a slice header.
+func newSlabPool[T any]() *sync.Pool {
+	return &sync.Pool{New: func() any {
+		s := make([]T, arenaSlabNodes)
+		return &s
+	}}
+}
+
+// Shared slab pools, one per node type. Evaluators on any goroutine draw
+// from and return to these; the pool handles the synchronization.
+var (
+	treeSlabPool = newSlabPool[treeNode]()
+	bSlabPool    = newSlabPool[bNode]()
+	listSlabPool = newSlabPool[listNode]()
+)
+
+// arena is a single-owner slab allocator for one evaluator run. It is not
+// safe for concurrent use — like the evaluator that embeds it, it has one
+// writer (the Evaluator contract's Add goroutine). Nodes are zeroed at
+// allocation, never at recycling, so a slab fresh from the shared pool can
+// carry a previous query's bits without leaking them (FuzzArenaReuse pins
+// this).
+type arena[T any] struct {
+	pool  *sync.Pool
+	slabs []*[]T
+	used  int  // nodes handed out of the newest slab
+	free  []*T // nodes returned by garbage collection, ready for reuse
+	freed int  // nodes served from the free list over the run
+}
+
+// newArena returns an arena drawing slabs from the given shared pool.
+func newArena[T any](pool *sync.Pool) arena[T] {
+	return arena[T]{pool: pool}
+}
+
+// alloc returns a zeroed node, preferring the free list, then the newest
+// slab's bump pointer, then a (possibly recycled) slab from the pool.
+func (a *arena[T]) alloc() *T {
+	var zero T
+	if n := len(a.free); n > 0 {
+		p := a.free[n-1]
+		a.free = a.free[:n-1]
+		a.freed++
+		*p = zero
+		return p
+	}
+	if len(a.slabs) == 0 || a.used == arenaSlabNodes {
+		a.slabs = append(a.slabs, a.pool.Get().(*[]T))
+		a.used = 0
+	}
+	p := &(*a.slabs[len(a.slabs)-1])[a.used]
+	a.used++
+	*p = zero
+	return p
+}
+
+// recycle returns one garbage-collected node to the free list. The caller
+// must guarantee no live pointer to it remains (the k-ordered tree's GC
+// only ever removes already-emitted, unreachable prefixes).
+func (a *arena[T]) recycle(p *T) {
+	a.free = append(a.free, p)
+}
+
+// release returns every slab to the shared pool and resets the arena,
+// reporting the slab count and the number of free-list reuses for the
+// obs.EvalSink arena counters. The owning evaluator must have dropped all
+// node pointers first; release is the teardown half of Finish.
+func (a *arena[T]) release() (slabs, reused int) {
+	slabs, reused = len(a.slabs), a.freed
+	for _, s := range a.slabs {
+		a.pool.Put(s)
+	}
+	a.slabs, a.free = nil, nil
+	a.used, a.freed = 0, 0
+	return slabs, reused
+}

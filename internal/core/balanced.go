@@ -51,6 +51,7 @@ type BTree struct {
 	noCopy noCopy
 
 	f     aggregate.Func
+	ar    arena[bNode]
 	root  *bNode
 	es    obs.EvalSink
 	stats statsCell
@@ -60,7 +61,8 @@ var _ Evaluator = (*BTree)(nil)
 
 // NewBalancedTree returns a balanced aggregation-tree evaluator for f.
 func NewBalancedTree(f aggregate.Func) *BTree {
-	t := &BTree{f: f, root: &bNode{}}
+	t := &BTree{f: f, ar: newArena[bNode](bSlabPool)}
+	t.root = t.ar.alloc()
 	t.stats.init(1)
 	return t
 }
@@ -86,6 +88,28 @@ func (t *BTree) Add(tu tuple.Tuple) error {
 	return nil
 }
 
+// AddBatch absorbs one page of tuples; per-tuple stats updates match Add,
+// with one sink publication per page.
+func (t *BTree) AddBatch(ts []tuple.Tuple) error {
+	liveBefore := t.stats.liveNodes.Load()
+	added := 0
+	var err error
+	for i := range ts {
+		if err = ts[i].Valid.Validate(); err != nil {
+			break
+		}
+		t.root = t.insert(t.root, interval.Origin, interval.Forever,
+			ts[i].Valid.Start, ts[i].Valid.End, ts[i].Value)
+		t.stats.addTuple()
+		added++
+	}
+	if t.es != nil {
+		t.es.TuplesProcessed(added)
+		t.es.NodesAllocated(int(t.stats.liveNodes.Load() - liveBefore))
+	}
+	return err
+}
+
 // insert places [s, e] with value v into the subtree rooted at n covering
 // [lo, hi] and returns the (possibly rotated) subtree root.
 func (t *BTree) insert(n *bNode, lo, hi, s, e interval.Time, v int64) *bNode {
@@ -99,8 +123,8 @@ func (t *BTree) insert(n *bNode, lo, hi, s, e interval.Time, v int64) *bNode {
 		} else {
 			n.split = e
 		}
-		n.left = &bNode{}
-		n.right = &bNode{}
+		n.left = t.ar.alloc()
+		n.right = t.ar.alloc()
 		n.height = 1
 		t.stats.grow(2)
 	}
@@ -163,13 +187,17 @@ func (t *BTree) rebalance(n *bNode) *bNode {
 	return n
 }
 
-// Finish emits the constant intervals via depth-first traversal.
+// Finish emits the constant intervals via depth-first traversal, then
+// returns the arena's slabs to the shared pool.
 func (t *BTree) Finish() (*Result, error) {
-	res := &Result{Func: t.f}
+	leaves := (int(t.stats.liveNodes.Load()) + 1) / 2
+	res := &Result{Func: t.f, Rows: make([]Row, 0, leaves)}
 	t.emit(t.root, interval.Origin, interval.Forever, t.f.Zero(), res)
 	t.root = nil
+	slabs, reused := t.ar.release()
 	if t.es != nil {
 		t.es.PeakNodes(int(t.stats.peakNodes.Load()))
+		t.es.ArenaRelease(slabs, reused)
 	}
 	return res, nil
 }

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/tuple"
+)
+
+// kDisorder returns ts sorted by time and then disordered to a displacement
+// bound of at most k: the sorted slice is cut into consecutive blocks of
+// k+1 tuples and each block is shuffled in place. No tuple moves more than
+// k positions from its sorted slot, so the result is k-ordered by
+// construction (§5.3).
+func kDisorder(r *rand.Rand, ts []tuple.Tuple, k int) []tuple.Tuple {
+	out := append([]tuple.Tuple(nil), ts...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	for lo := 0; lo < len(out); lo += k + 1 {
+		hi := lo + k + 1
+		if hi > len(out) {
+			hi = len(out)
+		}
+		block := out[lo:hi]
+		r.Shuffle(len(block), func(i, j int) { block[i], block[j] = block[j], block[i] })
+	}
+	return out
+}
+
+// FuzzKTreeGCThreshold drives the k-ordered tree's garbage collector with
+// inputs that are k-ordered by construction and checks the §5.3 invariant
+// end to end: the gc-threshold (the evaluator's root low bound) must never
+// overtake a future tuple's start — KTree.Add reports exactly that
+// violation as an error — and the surviving tree plus the already-emitted
+// prefix must still reproduce the oracle's result.
+func FuzzKTreeGCThreshold(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(40))
+	f.Add(int64(2), uint8(1), uint8(120))
+	f.Add(int64(3), uint8(4), uint8(200))
+	f.Add(int64(4), uint8(8), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, kb, nb uint8) {
+		k := int(kb % 9)
+		n := int(nb)
+		r := rand.New(rand.NewSource(seed))
+		ts := kDisorder(r, randomTuples(r, n, 1000), k)
+		fn := aggregate.For(aggregate.Kinds()[int(seed%5+5)%5])
+
+		kt, err := NewKOrderedTree(fn, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tu := range ts {
+			if err := kt.Add(tu); err != nil {
+				t.Fatalf("k=%d input rejected (gc-threshold overtook a future start): %v", k, err)
+			}
+		}
+		res, err := kt.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equal(Reference(fn, ts)) {
+			t.Fatalf("k=%d n=%d: k-ordered tree differs from oracle", k, n)
+		}
+		stats := kt.Stats()
+		if stats.Tuples != n {
+			t.Fatalf("stats.Tuples = %d, want %d", stats.Tuples, n)
+		}
+		if stats.Collected < 0 || stats.LiveNodes < 0 || stats.PeakNodes < stats.LiveNodes {
+			t.Fatalf("inconsistent node accounting: %+v", stats)
+		}
+	})
+}
+
+// FuzzArenaReuse pins the arena's cross-query hygiene: a slab returned to
+// the shared pool carries the previous run's bits, and alloc must zero every
+// node it hands out — from the bump pointer and from the GC free list alike.
+// The fuzz body poisons the pools with one evaluation, then re-evaluates on
+// recycled slabs (aggregation tree) and on a GC-heavy k-ordered run (free-
+// list reuse) and diffs both against the oracle; stale state would surface
+// as a value or structure mismatch.
+func FuzzArenaReuse(f *testing.F) {
+	f.Add(int64(1), uint8(60))
+	f.Add(int64(2), uint8(180))
+	f.Add(int64(3), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, nb uint8) {
+		n := int(nb)
+		r := rand.New(rand.NewSource(seed))
+		fn := aggregate.For(aggregate.Sum)
+
+		// Poison pass: fill slabs with a real evaluation's nodes, then
+		// release them (dirty) back to the shared pools.
+		poison := randomTuples(r, n, 700)
+		if _, _, err := Run(Spec{Algorithm: AggregationTree}, fn, poison); err != nil {
+			t.Fatal(err)
+		}
+
+		// Bump-path reuse: a fresh evaluation drawing recycled slabs must
+		// match the oracle exactly.
+		ts := randomTuples(r, n, 700)
+		res, _, err := Run(Spec{Algorithm: AggregationTree}, fn, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equal(Reference(fn, ts)) {
+			t.Fatal("recycled-slab evaluation differs from oracle")
+		}
+
+		// Free-list reuse: a sorted k=1 run garbage-collects aggressively,
+		// so splits are served from recycled nodes mid-evaluation.
+		sorted := append([]tuple.Tuple(nil), ts...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+		kres, kstats, err := Run(Spec{Algorithm: KOrderedTree, K: 1}, fn, sorted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !kres.Equal(Reference(fn, sorted)) {
+			t.Fatal("free-list-reuse evaluation differs from oracle")
+		}
+		if n > 0 && kstats.Collected == 0 && kstats.PeakNodes > 64 {
+			t.Fatalf("sorted k=1 run collected nothing (peak %d): GC regressed", kstats.PeakNodes)
+		}
+
+		// Direct free-list check: a poisoned node recycled and re-allocated
+		// must come back zeroed.
+		ar := newArena[treeNode](treeSlabPool)
+		p := ar.alloc()
+		p.split = 123
+		p.state = fn.Add(fn.Zero(), 42)
+		p.left, p.right = p, p
+		ar.recycle(p)
+		q := ar.alloc()
+		if q != p {
+			t.Fatal("free list did not serve the recycled node")
+		}
+		if q.split != 0 || !q.state.Empty() || q.left != nil || q.right != nil {
+			t.Fatalf("recycled node not zeroed: %+v", *q)
+		}
+		if _, reused := ar.release(); reused != 1 {
+			t.Fatal("release must report one free-list reuse")
+		}
+	})
+}

@@ -29,6 +29,7 @@ type KTree struct {
 	f aggregate.Func
 	k int
 
+	ar     arena[treeNode]
 	root   *treeNode
 	rootLo interval.Time // earliest instant still represented in the tree
 
@@ -52,10 +53,11 @@ func NewKOrderedTree(f aggregate.Func, k int) (*KTree, error) {
 	t := &KTree{
 		f:      f,
 		k:      k,
-		root:   &treeNode{},
+		ar:     newArena[treeNode](treeSlabPool),
 		rootLo: interval.Origin,
 		window: make([]interval.Time, 0, 2*k+1),
 	}
+	t.root = t.ar.alloc()
 	t.stats.init(1)
 	return t, nil
 }
@@ -72,28 +74,60 @@ func (t *KTree) K() int { return t.k }
 // It returns an error if the input violates the declared k-orderedness —
 // i.e. the tuple overlaps a constant interval that was already emitted.
 func (t *KTree) Add(tu tuple.Tuple) error {
-	if err := tu.Valid.Validate(); err != nil {
+	grown, err := t.addOne(tu)
+	if err != nil {
 		return err
 	}
-	s, e := tu.Valid.Start, tu.Valid.End
-	if s < t.rootLo {
-		return fmt.Errorf(
-			"core: relation is not %d-ordered: tuple %v starts before already-emitted instant %s",
-			t.k, tu, interval.FormatTime(t.rootLo))
-	}
-	grown := treeInsert(t.f, t.root, t.rootLo, interval.Forever, s, e, tu.Value)
-	t.stats.grow(grown)
-	t.stats.addTuple()
 	if t.es != nil {
 		t.es.TuplesProcessed(1)
 		t.es.NodesAllocated(grown)
 	}
+	return nil
+}
+
+// AddBatch absorbs one page of tuples. Stats and garbage collection advance
+// tuple by tuple exactly as under Add (so peak-node accounting is identical);
+// only the sink's tuple/allocation counters are published once per page.
+func (t *KTree) AddBatch(ts []tuple.Tuple) error {
+	grown, added := 0, 0
+	var err error
+	for i := range ts {
+		var g int
+		if g, err = t.addOne(ts[i]); err != nil {
+			break
+		}
+		grown += g
+		added++
+	}
+	if t.es != nil {
+		t.es.TuplesProcessed(added)
+		t.es.NodesAllocated(grown)
+	}
+	return err
+}
+
+// addOne is the shared per-tuple path behind Add and AddBatch: insert,
+// update stats, slide the window, collect. It returns the node growth so
+// the caller can publish it to the sink at its own granularity.
+func (t *KTree) addOne(tu tuple.Tuple) (int, error) {
+	if err := tu.Valid.Validate(); err != nil {
+		return 0, err
+	}
+	s, e := tu.Valid.Start, tu.Valid.End
+	if s < t.rootLo {
+		return 0, fmt.Errorf(
+			"core: relation is not %d-ordered: tuple %v starts before already-emitted instant %s",
+			t.k, tu, interval.FormatTime(t.rootLo))
+	}
+	grown := treeInsert(t.f, &t.ar, t.root, t.rootLo, interval.Forever, s, e, tu.Value)
+	t.stats.grow(grown)
+	t.stats.addTuple()
 
 	// Slide the 2k+1 window; once it is full, the evicted start time is the
 	// gc-threshold (the start of the tuple 2k+1 positions back).
 	if len(t.window) < cap(t.window) {
 		t.window = append(t.window, s)
-		return nil
+		return grown, nil
 	}
 	threshold := t.window[t.wpos]
 	t.window[t.wpos] = s
@@ -102,7 +136,7 @@ func (t *KTree) Add(tu tuple.Tuple) error {
 		t.wpos = 0
 	}
 	t.collect(threshold)
-	return nil
+	return grown, nil
 }
 
 // collect reclaims every constant interval ending before threshold.
@@ -112,7 +146,9 @@ func (t *KTree) collect(threshold interval.Time) {
 	}
 	// Phase 1 (Figure 5.a): while the root's entire left half lies before
 	// the threshold, emit it, fold the root's contribution into the right
-	// child, and promote the right child.
+	// child, and promote the right child. The emitted subtree and the old
+	// root go back to the arena free list, so the next splits reuse them and
+	// the resident footprint tracks LiveNodes, not nodes-ever-allocated.
 	for !t.root.isLeaf() && t.root.split < threshold {
 		before := len(t.emitted)
 		sub := Result{Func: t.f}
@@ -121,9 +157,12 @@ func (t *KTree) collect(threshold interval.Time) {
 		leaves := len(t.emitted) - before
 		// A full binary subtree with L leaves has 2L-1 nodes; plus the root.
 		t.reclaim(2*leaves - 1 + 1)
-		t.root.right.state = t.f.Merge(t.root.right.state, t.root.state)
-		t.rootLo = t.root.split + 1
-		t.root = t.root.right
+		old := t.root
+		old.right.state = t.f.Merge(old.right.state, old.state)
+		t.rootLo = old.split + 1
+		t.root = old.right
+		t.recycleSubtree(old.left)
+		t.ar.recycle(old)
 	}
 	// Phase 2 (Figure 5.b): splice out leftmost leaves one at a time while
 	// they end before the threshold. When only the earlier of a node's two
@@ -149,6 +188,23 @@ func (t *KTree) collect(threshold interval.Time) {
 		*link = parent.right
 		t.rootLo = parent.split + 1
 		t.reclaim(2)
+		t.ar.recycle(parent.left)
+		t.ar.recycle(parent)
+	}
+}
+
+// recycleSubtree returns every node of the already-emitted subtree rooted at
+// n to the arena free list. Recursion on left children mirrors emitSubtree:
+// the right-spine chains that sorted input produces are walked iteratively.
+func (t *KTree) recycleSubtree(n *treeNode) {
+	for {
+		left, right := n.left, n.right
+		t.ar.recycle(n)
+		if left == nil {
+			return
+		}
+		t.recycleSubtree(left)
+		n = right
 	}
 }
 
@@ -166,8 +222,10 @@ func (t *KTree) Finish() (*Result, error) {
 	emitSubtree(t.f, t.root, t.rootLo, interval.Forever, t.f.Zero(), res)
 	t.root = nil
 	t.emitted = nil
+	slabs, reused := t.ar.release()
 	if t.es != nil {
 		t.es.PeakNodes(int(t.stats.peakNodes.Load()))
+		t.es.ArenaRelease(slabs, reused)
 	}
 	return res, nil
 }

@@ -27,6 +27,7 @@ type List struct {
 	noCopy noCopy
 
 	f     aggregate.Func
+	ar    arena[listNode]
 	head  *listNode
 	es    obs.EvalSink
 	stats statsCell
@@ -37,7 +38,9 @@ var _ Evaluator = (*List)(nil)
 // NewLinkedList returns a linked-list evaluator for the aggregate f. The
 // list starts as the single empty constant interval [0, ∞] (Figure 2.a).
 func NewLinkedList(f aggregate.Func) *List {
-	l := &List{f: f, head: &listNode{iv: interval.Universe()}}
+	l := &List{f: f, ar: newArena[listNode](listSlabPool)}
+	l.head = l.ar.alloc()
+	l.head.iv = interval.Universe()
 	l.stats.init(1)
 	return l
 }
@@ -51,11 +54,43 @@ func (l *List) setSink(s obs.Sink) {
 // are split at the tuple's start and end timestamps, then the tuple's value
 // is added to every overlapped interval's state.
 func (l *List) Add(t tuple.Tuple) error {
+	liveBefore := l.stats.liveNodes.Load()
+	if err := l.addOne(t); err != nil {
+		return err
+	}
+	if l.es != nil {
+		l.es.TuplesProcessed(1)
+		l.es.NodesAllocated(int(l.stats.liveNodes.Load() - liveBefore))
+	}
+	return nil
+}
+
+// AddBatch absorbs one page of tuples; per-tuple stats updates match Add,
+// with one sink publication per page.
+func (l *List) AddBatch(ts []tuple.Tuple) error {
+	liveBefore := l.stats.liveNodes.Load()
+	added := 0
+	var err error
+	for i := range ts {
+		if err = l.addOne(ts[i]); err != nil {
+			break
+		}
+		added++
+	}
+	if l.es != nil {
+		l.es.TuplesProcessed(added)
+		l.es.NodesAllocated(int(l.stats.liveNodes.Load() - liveBefore))
+	}
+	return err
+}
+
+// addOne is the shared per-tuple path behind Add and AddBatch: the sink
+// publication is left to the caller.
+func (l *List) addOne(t tuple.Tuple) error {
 	if err := t.Valid.Validate(); err != nil {
 		return err
 	}
 	s, e, v := t.Valid.Start, t.Valid.End, t.Value
-	liveBefore := l.stats.liveNodes.Load()
 
 	// Walk to the first node overlapping the tuple (always from the head —
 	// the naive algorithm keeps no positional state).
@@ -78,35 +113,34 @@ func (l *List) Add(t tuple.Tuple) error {
 		n = n.next
 	}
 	l.stats.addTuple()
-	if l.es != nil {
-		l.es.TuplesProcessed(1)
-		l.es.NodesAllocated(int(l.stats.liveNodes.Load() - liveBefore))
-	}
 	return nil
 }
 
 // split divides n into [n.Start, at] and [at+1, n.End]; both halves keep n's
 // state (the tuples counted so far overlapped the whole of n).
 func (l *List) split(n *listNode, at interval.Time) {
-	tail := &listNode{
-		iv:    interval.MustNew(at+1, n.iv.End),
-		state: n.state,
-		next:  n.next,
-	}
+	tail := l.ar.alloc()
+	tail.iv = interval.MustNew(at+1, n.iv.End)
+	tail.state = n.state
+	tail.next = n.next
 	n.iv.End = at
 	n.next = tail
 	l.stats.grow(1)
 }
 
-// Finish emits the constant intervals in time order.
+// Finish emits the constant intervals in time order, then returns the
+// arena's slabs to the shared pool.
 func (l *List) Finish() (*Result, error) {
-	res := &Result{Func: l.f}
+	// Every list node is one constant interval, so the live count is exact.
+	res := &Result{Func: l.f, Rows: make([]Row, 0, int(l.stats.liveNodes.Load()))}
 	for n := l.head; n != nil; n = n.next {
 		res.Rows = append(res.Rows, Row{Interval: n.iv, State: n.state})
 	}
 	l.head = nil
+	slabs, reused := l.ar.release()
 	if l.es != nil {
 		l.es.PeakNodes(int(l.stats.peakNodes.Load()))
+		l.es.ArenaRelease(slabs, reused)
 	}
 	return res, nil
 }

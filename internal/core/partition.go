@@ -8,6 +8,7 @@ import (
 
 	"tempagg/internal/aggregate"
 	"tempagg/internal/interval"
+	"tempagg/internal/obs"
 	"tempagg/internal/relation"
 	"tempagg/internal/tuple"
 )
@@ -35,8 +36,27 @@ type PartitionOptions struct {
 	// the out-of-core mode. The directory must exist.
 	SpillDir string
 	// Parallel is the number of partitions evaluated concurrently; values
-	// below 2 mean serial evaluation. Peak memory scales with Parallel.
+	// below 2 mean serial evaluation (a single worker). Peak memory scales
+	// with the worker count. See partitionWorkers for the exact resolution.
 	Parallel int
+	// Sink, when non-nil, receives each partition tree's evaluator events
+	// (tuple, allocation, and arena-release counters), so a partitioned or
+	// streaming evaluation can be scraped mid-flight like any other run.
+	Sink obs.Sink
+}
+
+// partitionWorkers resolves PartitionOptions.Parallel to a worker count.
+// Values below 2 mean serial evaluation — exactly one worker — and the
+// count never exceeds the number of partitions (extra workers would idle).
+func partitionWorkers(parallel, partitions int) int {
+	workers := 1
+	if parallel >= 2 {
+		workers = parallel
+	}
+	if workers > partitions {
+		workers = partitions
+	}
+	return workers
 }
 
 // UniformBoundaries cuts the given finite lifespan into n equal-width
@@ -78,30 +98,77 @@ func partitionSpans(boundaries []interval.Time) ([]interval.Interval, error) {
 	return spans, nil
 }
 
-// EvaluatePartitioned computes the instant-grouped temporal aggregate with
-// bounded memory: tuples are routed (clipped) to time partitions in one
-// scan, then each partition is evaluated by its own aggregation tree. The
-// returned Stats report the *largest single-partition* peak, which is the
-// resident-memory bound when Parallel <= 1.
-//
-// Constant intervals may be split at partition boundaries; Coalesce merges
-// them back when values agree. The result still satisfies Validate and is
-// value-equivalent (Equal) to the unpartitioned evaluation.
-func EvaluatePartitioned(f aggregate.Func, it TupleIterator, opts PartitionOptions) (*Result, Stats, error) {
+// StreamChunk is one partition's finished result: the partition's coalesced
+// constant intervals, in time order. Chunks arrive on the stream in
+// partition order (ascending Index), so concatenating Rows across chunks
+// yields the same partition-of-the-timeline a non-streaming evaluation
+// returns.
+type StreamChunk struct {
+	// Index is the partition's position, 0-based and dense.
+	Index int
+	// Span is the time range the partition covers.
+	Span interval.Interval
+	// Rows are the partition's coalesced constant intervals.
+	Rows []Row
+}
+
+// PartitionStream is a running partitioned evaluation delivering per-
+// partition results as they complete. Consume Chunks until it closes, then
+// call Wait for the run's statistics and first error. Cancel abandons the
+// evaluation early; Wait remains safe to call after it.
+type PartitionStream struct {
+	ch   chan StreamChunk
+	stop chan struct{}
+	once sync.Once
+	done chan struct{}
+
+	stats Stats
+	err   error
+}
+
+// Chunks returns the ordered chunk channel. It is closed when every
+// partition has been delivered, an evaluation error occurred, or the stream
+// was canceled.
+func (s *PartitionStream) Chunks() <-chan StreamChunk { return s.ch }
+
+// Cancel abandons the evaluation: workers stop after their current
+// partition and the chunk channel closes. Safe to call more than once and
+// concurrently with consumption.
+func (s *PartitionStream) Cancel() { s.once.Do(func() { close(s.stop) }) }
+
+// Wait blocks until the evaluation has fully shut down and returns the
+// run's statistics (total tuples routed, largest single-partition peak) and
+// the first evaluation error. It drains any undelivered chunks, so it is
+// safe to call with chunks outstanding.
+func (s *PartitionStream) Wait() (Stats, error) {
+	for range s.ch {
+		// Drain whatever the consumer did not read so the emitter can exit.
+	}
+	<-s.done
+	return s.stats, s.err
+}
+
+// EvaluatePartitionedStream computes the instant-grouped temporal aggregate
+// with bounded memory, delivering each partition's coalesced constant
+// intervals as soon as that partition finishes — there is no barrier
+// between partition evaluation and result delivery. The routing pass runs
+// synchronously (routing errors are returned here); the evaluation pass
+// runs on partitionWorkers(opts.Parallel, …) goroutines behind a bounded
+// channel, with a reorder buffer keeping delivery in partition order.
+func EvaluatePartitionedStream(f aggregate.Func, it TupleIterator, opts PartitionOptions) (*PartitionStream, error) {
 	spans, err := partitionSpans(opts.Boundaries)
 	if err != nil {
-		return nil, Stats{}, err
+		return nil, err
 	}
-	var buckets buckets
+	var bks buckets
 	if opts.SpillDir != "" {
-		buckets, err = newSpillBuckets(opts.SpillDir, len(spans))
+		bks, err = newSpillBuckets(opts.SpillDir, len(spans))
 	} else {
-		buckets = newMemoryBuckets(len(spans))
+		bks = newMemoryBuckets(len(spans))
 	}
 	if err != nil {
-		return nil, Stats{}, err
+		return nil, err
 	}
-	defer buckets.cleanup()
 
 	// Route pass: each tuple goes to every partition it overlaps. Partition
 	// starts are sorted, so the overlapped range is contiguous.
@@ -109,74 +176,141 @@ func EvaluatePartitioned(f aggregate.Func, it TupleIterator, opts PartitionOptio
 	for {
 		t, ok, err := it.Next()
 		if err != nil {
-			return nil, Stats{}, fmt.Errorf("core: partition routing: %w", err)
+			bks.cleanup()
+			return nil, fmt.Errorf("core: partition routing: %w", err)
 		}
 		if !ok {
 			break
 		}
 		if err := t.Valid.Validate(); err != nil {
-			return nil, Stats{}, err
+			bks.cleanup()
+			return nil, err
 		}
 		total++
 		for i := findSpan(spans, t.Valid.Start); i < len(spans) && spans[i].Start <= t.Valid.End; i++ {
-			if err := buckets.add(i, t); err != nil {
-				return nil, Stats{}, err
+			if err := bks.add(i, t); err != nil {
+				bks.cleanup()
+				return nil, err
 			}
 		}
 	}
-	if err := buckets.sealed(); err != nil {
-		return nil, Stats{}, err
+	if err := bks.sealed(); err != nil {
+		bks.cleanup()
+		return nil, err
 	}
 
-	// Evaluation pass: one tree per partition, optionally in parallel.
-	results := make([]*Result, len(spans))
-	peaks := make([]int, len(spans))
-	workers := opts.Parallel
-	if workers < 1 {
-		workers = 1
+	workers := partitionWorkers(opts.Parallel, len(spans))
+	st := &PartitionStream{
+		ch:   make(chan StreamChunk, workers),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
 	}
-	if workers > len(spans) {
-		workers = len(spans)
+	st.stats.Tuples = total
+
+	type partResult struct {
+		i    int
+		rows []Row
+		peak int
+		err  error
 	}
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
+	resCh := make(chan partResult, workers)
 	work := make(chan int)
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				res, peak, err := evaluateBucket(f, spans[i], buckets, i)
-				if err != nil {
-					errOnce.Do(func() { firstErr = err })
-					continue
+				res, peak, err := evaluateBucket(f, spans[i], bks, i, opts.Sink)
+				pr := partResult{i: i, peak: peak, err: err}
+				if err == nil {
+					pr.rows = res.Coalesce().Rows
 				}
-				results[i] = res
-				peaks[i] = peak
+				select {
+				case resCh <- pr:
+				case <-st.stop:
+					return
+				}
 			}
 		}()
 	}
-	for i := range spans {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, Stats{}, firstErr
-	}
-
-	out := &Result{Func: f}
-	stats := Stats{Tuples: total}
-	for i, res := range results {
-		out.Rows = append(out.Rows, res.Rows...)
-		if peaks[i] > stats.PeakNodes {
-			stats.PeakNodes = peaks[i]
+	go func() {
+		defer close(work)
+		for i := range spans {
+			select {
+			case work <- i:
+			case <-st.stop:
+				return
+			}
 		}
+	}()
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	// Emitter: reorder worker completions into partition order and deliver
+	// each chunk the moment its predecessors are out. A shard that finishes
+	// early is held only until the partitions before it are done — never
+	// until the whole evaluation is.
+	go func() {
+		pending := make(map[int][]Row, workers)
+		next := 0
+		for pr := range resCh {
+			if pr.err != nil {
+				if st.err == nil {
+					st.err = pr.err
+				}
+				st.Cancel()
+				continue
+			}
+			if pr.peak > st.stats.PeakNodes {
+				st.stats.PeakNodes = pr.peak
+			}
+			pending[pr.i] = pr.rows
+			for {
+				rows, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				select {
+				case st.ch <- StreamChunk{Index: next, Span: spans[next], Rows: rows}:
+				case <-st.stop:
+				}
+				next++
+			}
+		}
+		bks.cleanup()
+		close(st.ch)
+		close(st.done)
+	}()
+	return st, nil
+}
+
+// EvaluatePartitioned computes the instant-grouped temporal aggregate with
+// bounded memory: tuples are routed (clipped) to time partitions in one
+// scan, then each partition is evaluated by its own aggregation tree. It is
+// the materializing consumer of EvaluatePartitionedStream. The returned
+// Stats report the *largest single-partition* peak, which is the
+// resident-memory bound when evaluation is serial.
+//
+// Constant intervals may be split at partition boundaries; Coalesce merges
+// them back when values agree. The result still satisfies Validate and is
+// value-equivalent (Equal) to the unpartitioned evaluation.
+func EvaluatePartitioned(f aggregate.Func, it TupleIterator, opts PartitionOptions) (*Result, Stats, error) {
+	st, err := EvaluatePartitionedStream(f, it, opts)
+	if err != nil {
+		return nil, Stats{}, err
 	}
-	stats.LiveNodes = 0
+	out := &Result{Func: f}
+	for chunk := range st.Chunks() {
+		out.Rows = append(out.Rows, chunk.Rows...)
+	}
+	stats, err := st.Wait()
+	if err != nil {
+		return nil, Stats{}, err
+	}
 	return out, stats, nil
 }
 
@@ -199,9 +333,12 @@ func findSpan(spans []interval.Interval, t interval.Time) int {
 	return lo
 }
 
-func evaluateBucket(f aggregate.Func, span interval.Interval, b buckets, i int) (*Result, int, error) {
+func evaluateBucket(f aggregate.Func, span interval.Interval, b buckets, i int, sink obs.Sink) (*Result, int, error) {
 	tree := NewAggregationTreeRange(f, span)
-	if err := b.drain(i, func(t tuple.Tuple) error { return tree.Add(t) }); err != nil {
+	if sink != nil {
+		tree.setSink(sink)
+	}
+	if err := b.drain(i, tree.AddBatch); err != nil {
 		return nil, 0, err
 	}
 	res, err := tree.Finish()
@@ -216,9 +353,10 @@ type buckets interface {
 	add(i int, t tuple.Tuple) error
 	// sealed flips from the routing pass to the evaluation pass.
 	sealed() error
-	// drain replays partition i's tuples; safe to call concurrently for
-	// distinct i.
-	drain(i int, fn func(tuple.Tuple) error) error
+	// drain replays partition i's tuples in pages of at most BatchPage,
+	// feeding the evaluator's batch-ingestion path; safe to call
+	// concurrently for distinct i.
+	drain(i int, fn func([]tuple.Tuple) error) error
 	cleanup()
 }
 
@@ -237,9 +375,14 @@ func (b *memoryBuckets) add(i int, t tuple.Tuple) error {
 
 func (b *memoryBuckets) sealed() error { return nil }
 
-func (b *memoryBuckets) drain(i int, fn func(tuple.Tuple) error) error {
-	for _, t := range (*b)[i] {
-		if err := fn(t); err != nil {
+func (b *memoryBuckets) drain(i int, fn func([]tuple.Tuple) error) error {
+	ts := (*b)[i]
+	for lo := 0; lo < len(ts); lo += BatchPage {
+		hi := lo + BatchPage
+		if hi > len(ts) {
+			hi = len(ts)
+		}
+		if err := fn(ts[lo:hi]); err != nil {
 			return err
 		}
 	}
@@ -286,24 +429,33 @@ func (b *spillBuckets) sealed() error {
 	return nil
 }
 
-func (b *spillBuckets) drain(i int, fn func(tuple.Tuple) error) error {
+func (b *spillBuckets) drain(i int, fn func([]tuple.Tuple) error) error {
 	sc, err := relation.Open(b.paths[i], relation.ScanOptions{})
 	if err != nil {
 		return err
 	}
 	defer sc.Close()
+	page := make([]tuple.Tuple, 0, BatchPage)
 	for {
 		t, ok, err := sc.Next()
 		if err != nil {
 			return err
 		}
 		if !ok {
-			return nil
+			break
 		}
-		if err := fn(t); err != nil {
-			return err
+		page = append(page, t)
+		if len(page) == BatchPage {
+			if err := fn(page); err != nil {
+				return err
+			}
+			page = page[:0]
 		}
 	}
+	if len(page) > 0 {
+		return fn(page)
+	}
+	return nil
 }
 
 func (b *spillBuckets) cleanup() {

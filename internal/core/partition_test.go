@@ -36,6 +36,27 @@ func TestUniformBoundaries(t *testing.T) {
 	}
 }
 
+// TestPartitionWorkersSerialBelowTwo pins the documented Parallel contract:
+// values below 2 mean serial evaluation — exactly one worker — and the
+// worker count never exceeds the partition count.
+func TestPartitionWorkersSerialBelowTwo(t *testing.T) {
+	cases := []struct{ parallel, partitions, want int }{
+		{-3, 8, 1}, // nonsense values fall back to serial
+		{0, 8, 1},  // zero value: serial
+		{1, 8, 1},  // one is "below 2": still serial, per the doc
+		{2, 8, 2},  // the first genuinely parallel setting
+		{4, 8, 4},
+		{16, 8, 8}, // capped at the partition count
+		{4, 1, 1},
+	}
+	for _, c := range cases {
+		if got := partitionWorkers(c.parallel, c.partitions); got != c.want {
+			t.Errorf("partitionWorkers(%d, %d) = %d, want %d",
+				c.parallel, c.partitions, got, c.want)
+		}
+	}
+}
+
 func TestPartitionSpansValidation(t *testing.T) {
 	if _, err := partitionSpans([]interval.Time{10, 10}); err == nil {
 		t.Fatal("equal boundaries must fail")

@@ -84,13 +84,18 @@ func NewObserved(spec Spec, f aggregate.Func, s obs.Sink) (Evaluator, error) {
 }
 
 // RunObserved is Run with an observability sink attached; see NewObserved.
+// Tuples are fed through the batch-ingestion path in pages of BatchPage.
 func RunObserved(spec Spec, f aggregate.Func, tuples []tuple.Tuple, s obs.Sink) (*Result, Stats, error) {
 	ev, err := NewObserved(spec, f, s)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	for _, t := range tuples {
-		if err := ev.Add(t); err != nil {
+	for lo := 0; lo < len(tuples); lo += BatchPage {
+		hi := lo + BatchPage
+		if hi > len(tuples) {
+			hi = len(tuples)
+		}
+		if err := ev.AddBatch(tuples[lo:hi]); err != nil {
 			return nil, ev.Stats(), err
 		}
 	}

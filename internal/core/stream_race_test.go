@@ -1,0 +1,106 @@
+package core
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+	"tempagg/internal/obs"
+)
+
+// TestStreamingMergeConcurrentScrape is the -race regression for the
+// streaming ordered merge: shards evaluate and emit concurrently while a
+// scrape goroutine renders the metrics registry — the same surface the
+// daemon's /metrics handler reads mid-query. It extends the
+// TestStatsConcurrentSnapshot pattern from the single evaluator to the
+// partitioned worker pool: every per-partition tree publishes through the
+// shared sink as it runs, so a data race anywhere on the publish or
+// snapshot path surfaces here under -race.
+func TestStreamingMergeConcurrentScrape(t *testing.T) {
+	f := aggregate.For(aggregate.Sum)
+	ts := raceTuples(4000)
+	m := obs.NewMetrics(obs.NewRegistry())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Render the full exposition, as the /metrics handler would.
+			if err := m.Registry().WritePrometheus(io.Discard); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+		}
+	}()
+
+	for round := 0; round < 3; round++ {
+		st, err := EvaluatePartitionedStream(f, NewSliceSource(ts), PartitionOptions{
+			Boundaries: []interval.Time{500, 1000, 1500, 2000, 2500, 3000, 3500},
+			Parallel:   4,
+			Sink:       m,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := &Result{Func: f}
+		for chunk := range st.Chunks() {
+			got.Rows = append(got.Rows, chunk.Rows...)
+		}
+		stats, err := st.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Tuples != len(ts) {
+			t.Fatalf("round %d: stats.Tuples = %d, want %d", round, stats.Tuples, len(ts))
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The scrape saw the arena counters move: every partition tree released
+	// its slabs through the shared sink.
+	var b strings.Builder
+	if err := m.Registry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, metric := range []string{obs.MetricArenaSlabs, obs.MetricTuplesProcessed} {
+		if !strings.Contains(out, metric) {
+			t.Errorf("exposition missing %s after streamed runs", metric)
+		}
+	}
+}
+
+// TestStreamCancelStopsWorkers: canceling a stream mid-consumption must
+// shut the pipeline down (Wait returns) without deadlock, with workers
+// blocked on the bounded channel unblocked by the cancellation.
+func TestStreamCancelStopsWorkers(t *testing.T) {
+	f := aggregate.For(aggregate.Count)
+	ts := raceTuples(2000)
+	st, err := EvaluatePartitionedStream(f, NewSliceSource(ts), PartitionOptions{
+		Boundaries: []interval.Time{200, 400, 600, 800, 1000, 1200, 1400, 1600},
+		Parallel:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one chunk, then abandon the rest.
+	<-st.Chunks()
+	st.Cancel()
+	if _, err := st.Wait(); err != nil {
+		t.Fatalf("canceled stream must not report an error, got %v", err)
+	}
+}

@@ -26,8 +26,8 @@ import (
 func NewFinishOnce(strictStats bool) *Analyzer {
 	return &Analyzer{
 		Name: "finishonce",
-		Doc: "flag Add (and with -strict-stats, Stats) calls on a core.Evaluator " +
-			"after Finish in the same function, and double Finish",
+		Doc: "flag Add/AddBatch (and with -strict-stats, Stats) calls on a " +
+			"core.Evaluator after Finish in the same function, and double Finish",
 		Run: func(pass *Pass) error { return runFinishOnce(pass, strictStats) },
 	}
 }
@@ -121,7 +121,7 @@ func checkFinishOnceBody(pass *Pass, iface *types.Interface, body *ast.BlockStmt
 				return true
 			}
 			method := sel.Sel.Name
-			if method != "Add" && method != "Finish" && method != "Stats" {
+			if method != "Add" && method != "AddBatch" && method != "Finish" && method != "Stats" {
 				return true
 			}
 			tv, ok := pass.TypesInfo.Types[sel.X]
@@ -155,10 +155,10 @@ func checkFinishOnceBody(pass *Pass, iface *types.Interface, body *ast.BlockStmt
 						"(evaluator must not be reused after Finish)", e.expr)
 				}
 				finished = true
-			case "Add":
+			case "Add", "AddBatch":
 				if finished {
-					pass.Reportf(e.pos, "Add called on %s after Finish "+
-						"(evaluator must not be reused after Finish)", e.expr)
+					pass.Reportf(e.pos, "%s called on %s after Finish "+
+						"(evaluator must not be reused after Finish)", e.method, e.expr)
 				}
 			case "Stats":
 				if finished && strictStats {

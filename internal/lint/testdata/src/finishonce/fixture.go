@@ -24,6 +24,16 @@ func doubleFinish(ev core.Evaluator) {
 	_, _ = ev.Finish() // want `Finish called twice on ev`
 }
 
+func batchAfterFinish(ev core.Evaluator, ts []tuple.Tuple) error {
+	if err := ev.AddBatch(ts); err != nil { // ok: AddBatch before Finish
+		return err
+	}
+	if _, err := ev.Finish(); err != nil {
+		return err
+	}
+	return ev.AddBatch(ts) // want `AddBatch called on ev after Finish`
+}
+
 func statsAfterFinish(ev core.Evaluator) core.Stats {
 	_, _ = ev.Finish()
 	return ev.Stats() // ok by default: the contract allows Stats "at any point"

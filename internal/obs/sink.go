@@ -39,6 +39,10 @@ type EvalSink interface {
 	// GCThreshold reports the latest garbage-collection watermark — the
 	// instant below which every constant interval has been emitted (§5.3).
 	GCThreshold(t int64)
+	// ArenaRelease reports one evaluator teardown of the slab arena
+	// (internal/core/arena.go): slabs returned to the shared pool and nodes
+	// that were served from the arena free list over the run.
+	ArenaRelease(slabs, reusedNodes int)
 }
 
 // Metric names exported by Metrics. Each maps to a §6 cost-model quantity;
@@ -49,6 +53,8 @@ const (
 	MetricNodesCollected  = "tempagg_tree_nodes_collected_total"
 	MetricPeakNodes       = "tempagg_tree_nodes_peak"
 	MetricGCThreshold     = "tempagg_gc_threshold_time"
+	MetricArenaSlabs      = "tempagg_arena_slabs_recycled_total"
+	MetricArenaReused     = "tempagg_arena_nodes_reused_total"
 	MetricQueries         = "tempagg_queries_total"
 	MetricQueryDuration   = "tempagg_query_duration_seconds"
 	MetricSlowQueries     = "tempagg_slow_queries_total"
@@ -73,6 +79,8 @@ type Metrics struct {
 	nodesColl   *CounterVec   // by algorithm
 	peakNodes   *GaugeVec     // by algorithm, max semantics
 	gcThreshold *GaugeVec     // by algorithm, last value
+	arenaSlabs  *CounterVec   // by algorithm
+	arenaReused *CounterVec   // by algorithm
 	queries     *CounterVec   // by algorithm, status
 	duration    *HistogramVec // by algorithm
 	slow        *Counter
@@ -96,6 +104,10 @@ func NewMetrics(reg *Registry) *Metrics {
 			"High-water mark of live structure nodes across evaluator runs (paper Fig. 9).", "algorithm"),
 		gcThreshold: reg.GaugeVec(MetricGCThreshold,
 			"Latest garbage-collection watermark: instants below it are fully emitted (paper 5.3).", "algorithm"),
+		arenaSlabs: reg.CounterVec(MetricArenaSlabs,
+			"Node slabs returned to the shared arena pool at evaluator teardown (S32).", "algorithm"),
+		arenaReused: reg.CounterVec(MetricArenaReused,
+			"Nodes served from the arena free list instead of fresh slab space (k-ordered GC reuse).", "algorithm"),
 		queries: reg.CounterVec(MetricQueries,
 			"Queries executed, by chosen algorithm and outcome.", "algorithm", "status"),
 		duration: reg.HistogramVec(MetricQueryDuration,
@@ -119,6 +131,8 @@ func (m *Metrics) Evaluator(algorithm string) EvalSink {
 		nodesColl:   m.nodesColl.With(algorithm),
 		peakNodes:   m.peakNodes.With(algorithm),
 		gcThreshold: m.gcThreshold.With(algorithm),
+		arenaSlabs:  m.arenaSlabs.With(algorithm),
+		arenaReused: m.arenaReused.With(algorithm),
 	}
 }
 
@@ -160,6 +174,8 @@ type evalSink struct {
 	nodesColl   *Counter
 	peakNodes   *Gauge
 	gcThreshold *Gauge
+	arenaSlabs  *Counter
+	arenaReused *Counter
 }
 
 func (s *evalSink) TuplesProcessed(n int) { s.tuples.Add(int64(n)) }
@@ -167,3 +183,7 @@ func (s *evalSink) NodesAllocated(n int)  { s.nodesAlloc.Add(int64(n)) }
 func (s *evalSink) NodesCollected(n int)  { s.nodesColl.Add(int64(n)) }
 func (s *evalSink) PeakNodes(n int)       { s.peakNodes.SetMax(int64(n)) }
 func (s *evalSink) GCThreshold(t int64)   { s.gcThreshold.Set(t) }
+func (s *evalSink) ArenaRelease(slabs, reusedNodes int) {
+	s.arenaSlabs.Add(int64(slabs))
+	s.arenaReused.Add(int64(reusedNodes))
+}

@@ -226,6 +226,8 @@ func tracePlan(tr *obs.QueryTrace, plan Plan) {
 		alg = "tuma-two-pass"
 	case plan.Snapshot:
 		alg = "snapshot-scan"
+	case plan.Partitioned:
+		alg = "partitioned"
 	}
 	tr.SetPlan(alg, plan.Spec.K, plan.String())
 }
@@ -265,6 +267,9 @@ func executeInstant(plan Plan, meta RelationInfo, f aggregate.Func, ts []tuple.T
 		sinkTuples(tr, "tuma-two-pass", 2*len(ts))
 		return res, core.Stats{Tuples: 2 * len(ts)}, err
 	}
+	if plan.Partitioned {
+		return executePartitioned(plan, f, ts, tr)
+	}
 	input := ts
 	needSorted := plan.SortFirst ||
 		(plan.Spec.Algorithm == core.KOrderedTree && meta.KBound < 0 && plan.Spec.K <= 1)
@@ -277,6 +282,58 @@ func executeInstant(plan Plan, meta RelationInfo, f aggregate.Func, ts []tuple.T
 	}
 	res, stats, err := core.RunObserved(plan.Spec, f, input, tr.Sink())
 	return res, stats, err
+}
+
+// executePartitioned runs the limited-main-memory evaluation and consumes
+// the streaming ordered merge: each partition's coalesced rows are appended
+// to the result the moment that shard (and its predecessors) finish, so the
+// query path never waits on a whole-evaluation barrier.
+func executePartitioned(plan Plan, f aggregate.Func, ts []tuple.Tuple, tr *obs.QueryTrace) (*core.Result, core.Stats, error) {
+	opts := core.PartitionOptions{
+		Boundaries: partitionBoundaries(ts, plan.Partitions),
+		Parallel:   plan.Partitions,
+		Sink:       tr.Sink(),
+	}
+	st, err := core.EvaluatePartitionedStream(f, core.NewSliceSource(ts), opts)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	res := &core.Result{Func: f}
+	for chunk := range st.Chunks() {
+		res.Rows = append(res.Rows, chunk.Rows...)
+	}
+	stats, err := st.Wait()
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	return res, stats, nil
+}
+
+// partitionBoundaries derives uniform cut points from the tuples' finite
+// lifespan. Open-ended tuples do not extend it — they are clipped into the
+// final [last boundary, ∞] partition; with no finite spread there is a
+// single partition.
+func partitionBoundaries(ts []tuple.Tuple, n int) []interval.Time {
+	if len(ts) == 0 {
+		return nil
+	}
+	lo, hi := ts[0].Valid.Start, interval.Time(0)
+	for _, t := range ts {
+		if t.Valid.Start < lo {
+			lo = t.Valid.Start
+		}
+		end := t.Valid.End
+		if end == interval.Forever {
+			end = t.Valid.Start
+		}
+		if end > hi {
+			hi = end
+		}
+	}
+	if hi <= lo {
+		return nil
+	}
+	return core.UniformBoundaries(interval.MustNew(lo, hi), n)
 }
 
 func executeSpan(q *Query, f aggregate.Func, ts []tuple.Tuple) (*core.Result, error) {

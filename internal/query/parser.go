@@ -363,7 +363,7 @@ func (q *Query) check() error {
 		}
 	}
 	if q.Using != "" {
-		if _, _, err := resolveUsing(q); err != nil {
+		if _, err := resolveUsing(q); err != nil {
 			return err
 		}
 	}

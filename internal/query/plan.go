@@ -44,7 +44,15 @@ type Plan struct {
 	// Snapshot marks an AT-instant query: a direct aggregation pass with no
 	// constant-interval structure at all.
 	Snapshot bool
-	// Spec is the evaluator to run (ignored when Tuma is set).
+	// Partitioned selects the limited-main-memory partitioned evaluation
+	// (§5.1/§7): the timeline is cut into Partitions uniform regions and each
+	// is evaluated by its own aggregation tree, with results consumed from
+	// the streaming ordered merge as shards finish. Only via an explicit
+	// USING PARTITIONED [K=n].
+	Partitioned bool
+	// Partitions is the region count for Partitioned plans.
+	Partitions int
+	// Spec is the evaluator to run (ignored when Tuma or Partitioned is set).
 	Spec core.Spec
 	// Reason explains the choice, for EXPLAIN-style output.
 	Reason string
@@ -59,7 +67,10 @@ func (p Plan) String() string {
 	if p.Snapshot {
 		alg = "snapshot-scan"
 	}
-	if p.Spec.Algorithm == core.KOrderedTree && !p.Tuma {
+	if p.Partitioned {
+		alg = fmt.Sprintf("partitioned(n=%d)", p.Partitions)
+	}
+	if p.Spec.Algorithm == core.KOrderedTree && !p.Tuma && !p.Partitioned {
 		alg = fmt.Sprintf("%s(k=%d)", alg, p.Spec.K)
 	}
 	if p.SortFirst {
@@ -68,28 +79,43 @@ func (p Plan) String() string {
 	return fmt.Sprintf("%s — %s", alg, p.Reason)
 }
 
-// resolveUsing maps a USING clause to a plan component.
-func resolveUsing(q *Query) (core.Spec, bool, error) {
+// resolveUsing maps a USING clause to a plan.
+func resolveUsing(q *Query) (Plan, error) {
 	switch q.Using {
 	case "LIST", "LINKEDLIST":
-		return core.Spec{Algorithm: core.LinkedList}, false, nil
+		return Plan{Spec: core.Spec{Algorithm: core.LinkedList}}, nil
 	case "TREE", "AGGTREE":
-		return core.Spec{Algorithm: core.AggregationTree}, false, nil
+		return Plan{Spec: core.Spec{Algorithm: core.AggregationTree}}, nil
 	case "BTREE", "BALANCED":
-		return core.Spec{Algorithm: core.BalancedTree}, false, nil
+		return Plan{Spec: core.Spec{Algorithm: core.BalancedTree}}, nil
 	case "KTREE":
 		k := 1
 		if q.HasUsingK {
 			k = q.UsingK
 		}
 		if k < 0 {
-			return core.Spec{}, false, fmt.Errorf("query: USING KTREE requires K >= 0, got %d", k)
+			return Plan{}, fmt.Errorf("query: USING KTREE requires K >= 0, got %d", k)
 		}
-		return core.Spec{Algorithm: core.KOrderedTree, K: k}, false, nil
+		return Plan{Spec: core.Spec{Algorithm: core.KOrderedTree, K: k}}, nil
+	case "PARTITIONED":
+		// The K argument is reused as the partition count; the evaluator is
+		// always the aggregation tree, one per region.
+		n := 8
+		if q.HasUsingK {
+			n = q.UsingK
+		}
+		if n < 1 {
+			return Plan{}, fmt.Errorf("query: USING PARTITIONED requires K >= 1 partitions, got %d", n)
+		}
+		return Plan{
+			Partitioned: true,
+			Partitions:  n,
+			Spec:        core.Spec{Algorithm: core.AggregationTree},
+		}, nil
 	case "TUMA":
-		return core.Spec{}, true, nil
+		return Plan{Tuma: true}, nil
 	}
-	return core.Spec{}, false, fmt.Errorf("query: unknown algorithm %q in USING clause", q.Using)
+	return Plan{}, fmt.Errorf("query: unknown algorithm %q in USING clause", q.Using)
 }
 
 // PlanQuery chooses the evaluation strategy for an instant-grouped query,
@@ -106,11 +132,12 @@ func resolveUsing(q *Query) (core.Spec, bool, error) {
 //     the k-ordered tree with k=1 (memory is then dearer than the sort).
 func PlanQuery(q *Query, info RelationInfo) (Plan, error) {
 	if q.Using != "" {
-		spec, tuma, err := resolveUsing(q)
+		plan, err := resolveUsing(q)
 		if err != nil {
 			return Plan{}, err
 		}
-		return Plan{Spec: spec, Tuma: tuma, Reason: "forced by USING clause"}, nil
+		plan.Reason = "forced by USING clause"
+		return plan, nil
 	}
 	if info.Cost.Enabled() {
 		return PlanQueryCosted(q, info, info.Cost)

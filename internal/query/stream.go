@@ -61,8 +61,11 @@ func ExecuteFileTraced(q *Query, path string, info *RelationInfo, sopts relation
 	// which requires materializing.
 	ktreeNeedsSort := plan.Spec.Algorithm == core.KOrderedTree && !plan.Tuma &&
 		meta.KBound < plan.Spec.K && plan.Spec.K < meta.Tuples && !meta.Sorted
+	// Partitioned plans materialize: the routing pass needs the relation's
+	// lifespan for boundary placement, which a single forward scan cannot
+	// supply up front.
 	streamable := q.Temporal == ByInstant && q.At == nil &&
-		!anyDistinct && !(ktreeNeedsSort && !plan.SortFirst) &&
+		!anyDistinct && !plan.Partitioned && !(ktreeNeedsSort && !plan.SortFirst) &&
 		(!plan.Tuma || (q.GroupAttr == nil && len(q.Aggs) == 1))
 	if !streamable {
 		rel, err := scanAll(sc, q.Relation)
@@ -151,6 +154,24 @@ func streamEvaluators(q *Query, plan Plan, sc *relation.Scanner, tr *obs.QueryTr
 		return out, nil
 	}
 
+	// Tuples are buffered per group into pages of core.BatchPage and fed
+	// through the evaluators' batch-ingestion path, amortizing the per-tuple
+	// interface and sink costs over each page.
+	pages := map[string][]tuple.Tuple{}
+	flush := func(key string) error {
+		page := pages[key]
+		if len(page) == 0 {
+			return nil
+		}
+		for _, ev := range evs[key] {
+			if err := ev.AddBatch(page); err != nil {
+				return fmt.Errorf("query: streaming %s: %w", plan.Spec.Algorithm, err)
+			}
+		}
+		pages[key] = page[:0]
+		return nil
+	}
+
 	execSpan := tr.StartSpan("execute")
 	for {
 		t, ok, err := sc.Next()
@@ -167,18 +188,23 @@ func streamEvaluators(q *Query, plan Plan, sc *relation.Scanner, tr *obs.QueryTr
 		if q.GroupAttr != nil {
 			key = t.Name
 		}
-		group, exists := evs[key]
-		if !exists {
-			group, err = newEvs()
+		if _, exists := evs[key]; !exists {
+			group, err := newEvs()
 			if err != nil {
 				return nil, err
 			}
 			evs[key] = group
 		}
-		for _, ev := range group {
-			if err := ev.Add(t); err != nil {
-				return nil, fmt.Errorf("query: streaming %s: %w", plan.Spec.Algorithm, err)
+		pages[key] = append(pages[key], t)
+		if len(pages[key]) >= core.BatchPage {
+			if err := flush(key); err != nil {
+				return nil, err
 			}
+		}
+	}
+	for key := range evs {
+		if err := flush(key); err != nil {
+			return nil, err
 		}
 	}
 	if q.GroupAttr == nil && len(evs) == 0 {

@@ -87,6 +87,11 @@ type (
 	WorkloadConfig = workload.Config
 	// PartitionOptions configures bounded-memory partitioned evaluation.
 	PartitionOptions = core.PartitionOptions
+	// PartitionStream is a running partitioned evaluation delivering each
+	// partition's result as it completes.
+	PartitionStream = core.PartitionStream
+	// StreamChunk is one partition's coalesced result on a PartitionStream.
+	StreamChunk = core.StreamChunk
 	// ScanOptions configures on-disk relation scans.
 	ScanOptions = relation.ScanOptions
 	// Scanner reads a relation file one page at a time.
@@ -231,6 +236,14 @@ func CoalesceTuples(ts []Tuple) []Tuple { return relation.CoalesceTuples(ts) }
 // parallel evaluation.
 func ComputePartitioned(rel *Relation, kind AggregateKind, opts PartitionOptions) (*Result, Stats, error) {
 	return core.EvaluatePartitionedTuples(aggregate.For(kind), rel.Tuples, opts)
+}
+
+// ComputePartitionedStream is ComputePartitioned without the materializing
+// barrier: each partition's coalesced constant intervals arrive on the
+// stream's channel as soon as that shard finishes. Consume Chunks, then
+// call Wait for statistics and the first error.
+func ComputePartitionedStream(rel *Relation, kind AggregateKind, opts PartitionOptions) (*PartitionStream, error) {
+	return core.EvaluatePartitionedStream(aggregate.For(kind), core.NewSliceSource(rel.Tuples), opts)
 }
 
 // UniformBoundaries cuts a finite lifespan into n equal-width partitions
