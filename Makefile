@@ -35,10 +35,12 @@ fuzz-smoke:
 	$(GO) test ./internal/query -run '^$$' -fuzz FuzzExecute -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzKTreeGCThreshold -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzArenaReuse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzSweepVsReference -fuzztime $(FUZZTIME)
 
-# A fast machine-readable run of the hot-path baseline experiment; the JSON
-# report is diffable against BENCH_PR4.json for before/after comparison and
-# uploaded as a CI artifact.
+# A fast machine-readable run of the hot-path baseline experiment, gated
+# against the checked-in BENCH_PR4.json: the target fails when any series'
+# median slowdown over the shared points exceeds 25%. The JSON report is
+# uploaded as a CI artifact for before/after comparison.
 bench-smoke:
-	$(GO) run ./cmd/benchharness -exp baseline -max-size 4096 -seeds 1 -json > bench-smoke.json
+	$(GO) run ./cmd/benchharness -exp baseline -max-size 4096 -seeds 3 -json -baseline BENCH_PR4.json > bench-smoke.json
 	@head -c 400 bench-smoke.json; echo

@@ -47,6 +47,7 @@ var experiments = []struct {
 	{"ablation-partitioned", "limited-main-memory partitioned evaluation (§5.1/§7)", bench.AblationPartitioned},
 	{"ablation-span", "span grouping vs instant grouping (future work §7)", bench.AblationSpan},
 	{"baseline", "hot-path baseline for before/after comparison (see BENCH_PR4.json)", bench.Baseline},
+	{"sweep", "columnar event sweep vs aggregation tree (see BENCH_PR5.json)", bench.SweepFigure},
 }
 
 // jsonReport is the machine-readable output of -json: enough run metadata to
@@ -70,8 +71,10 @@ func run(args []string, out io.Writer) error {
 		maxSize = fs.Int("max-size", 1<<16, "largest relation size in the sweep")
 		seeds   = fs.Int("seeds", 3, "random seeds per point (median reported)")
 		format  = fs.String("format", "table", "output format for figures: table or csv")
-		asJSON  = fs.Bool("json", false, "baseline mode: emit one JSON report of the selected figure experiments (table1/table2 are skipped); diffable across binaries for before/after comparison")
-		verify  = fs.Bool("verify", false, "re-measure the paper's qualitative claims and print PASS/FAIL verdicts")
+		asJSON   = fs.Bool("json", false, "baseline mode: emit one JSON report of the selected figure experiments (table1/table2 are skipped); diffable across binaries for before/after comparison")
+		verify   = fs.Bool("verify", false, "re-measure the paper's qualitative claims and print PASS/FAIL verdicts")
+		baseline = fs.String("baseline", "", "regression gate: compare the selected figure experiments against this checked-in JSON report (e.g. BENCH_PR4.json) and fail on a median slowdown beyond -tolerance")
+		tol      = fs.Float64("tolerance", 0.25, "allowed fractional slowdown per series for -baseline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,7 +130,10 @@ func run(args []string, out io.Writer) error {
 		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(report)
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+		return gateAgainst(*baseline, *tol, report.Experiments)
 	}
 	if all || *exp == "table1" {
 		s, err := bench.Table1()
@@ -145,6 +151,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, s)
 		ran = true
 	}
+	var measured []bench.Figure
 	for _, e := range experiments {
 		if !all && *exp != e.name {
 			continue
@@ -161,10 +168,35 @@ func run(args []string, out io.Writer) error {
 		default:
 			return fmt.Errorf("unknown -format %q (want table or csv)", *format)
 		}
+		measured = append(measured, fig)
 		ran = true
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return gateAgainst(*baseline, *tol, measured)
+}
+
+// gateAgainst applies the bench regression gate when a baseline report was
+// named. The per-series verdicts go to stderr so -json output stays pure.
+func gateAgainst(path string, tolerance float64, figures []bench.Figure) error {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-baseline: %w", err)
+	}
+	res, err := bench.RegressionGate(data, figures, tolerance)
+	if err != nil {
+		return err
+	}
+	for _, line := range res.Lines {
+		fmt.Fprintln(os.Stderr, "baseline:", line)
+	}
+	if len(res.Regressions) > 0 {
+		return fmt.Errorf("bench regression vs %s:\n  %s",
+			path, strings.Join(res.Regressions, "\n  "))
 	}
 	return nil
 }

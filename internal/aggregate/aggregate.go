@@ -38,6 +38,15 @@ func Kinds() []Kind {
 	return []Kind{Count, Sum, Avg, Min, Max}
 }
 
+// Decomposable reports whether the aggregate can be maintained under
+// retraction from a running (count, sum) pair alone: COUNT, SUM, and AVG.
+// These are the aggregates the columnar event sweep evaluates with signed
+// deltas; MIN and MAX lose information on retraction and need the wedge (or
+// tree) machinery instead.
+func (k Kind) Decomposable() bool {
+	return k == Count || k == Sum || k == Avg
+}
+
 // ParseKind maps a (case-sensitive, upper-case) SQL aggregate name to a Kind.
 func ParseKind(name string) (Kind, error) {
 	switch name {
@@ -118,6 +127,21 @@ func (f Func) Add(s State, v int64) State {
 		}
 	}
 	return s
+}
+
+// FromCounters reconstitutes a partial state from externally maintained
+// counters: count tuples absorbed, their value sum, and the running extremum
+// (meaningful for MIN/MAX only; ignored by the other kinds' finalizers).
+// It exists for evaluators like the columnar sweep that track the aggregate
+// as scalar counters instead of chaining Add calls; the result is
+// indistinguishable from count Add calls absorbing values that sum to sum
+// with extremum ext. count = 0 yields the Zero state regardless of the
+// other arguments.
+func (f Func) FromCounters(count, sum, ext int64) State {
+	if count <= 0 {
+		return State{}
+	}
+	return State{count: count, sum: sum, ext: ext}
 }
 
 // Merge combines two partial states. It is commutative and associative, with

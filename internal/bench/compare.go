@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// This file is the bench regression gate: it diffs a fresh harness run
+// against a checked-in baseline report (BENCH_PR4.json and successors) and
+// fails when a hot path got slower. Two on-disk shapes are accepted:
+//
+//   - the harness's own -json output: {"experiments": [{"id", "series":
+//     [{"name", "points": [{"size", "value"}]}]}]}
+//   - the hand-annotated BENCH_PR<N>.json before/after files: {"experiment",
+//     "series": [{"name", "points": [{"size", "after_seconds", ...}]}]},
+//     where after_seconds is the measurement of the code as checked in.
+//
+// Points are matched on (experiment, series, size); only the overlap is
+// judged, so a smoke run capped at -max-size 4096 still gates against a
+// full-sweep baseline.
+
+// pointKey identifies one measurement across reports.
+type pointKey struct {
+	Experiment string
+	Series     string
+	Size       int
+}
+
+// baselinePoint carries both shapes' value fields; exactly one is set.
+type baselinePoint struct {
+	Size         int     `json:"size"`
+	Value        float64 `json:"value"`
+	AfterSeconds float64 `json:"after_seconds"`
+}
+
+type baselineSeries struct {
+	Name   string          `json:"name"`
+	Points []baselinePoint `json:"points"`
+}
+
+// baselineFile is the union of the two report shapes.
+type baselineFile struct {
+	Experiment  string           `json:"experiment"`
+	Series      []baselineSeries `json:"series"`
+	Experiments []struct {
+		ID     string           `json:"id"`
+		Series []baselineSeries `json:"series"`
+	} `json:"experiments"`
+}
+
+// ParseBaseline reads either report shape into a point map in seconds.
+func ParseBaseline(data []byte) (map[pointKey]float64, error) {
+	var f baselineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bench: baseline: %w", err)
+	}
+	points := map[pointKey]float64{}
+	put := func(experiment string, series []baselineSeries) {
+		for _, s := range series {
+			for _, p := range s.Points {
+				v := p.Value
+				if v == 0 {
+					v = p.AfterSeconds
+				}
+				if v > 0 {
+					points[pointKey{experiment, s.Name, p.Size}] = v
+				}
+			}
+		}
+	}
+	put(f.Experiment, f.Series)
+	for _, e := range f.Experiments {
+		put(e.ID, e.Series)
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("bench: baseline carries no usable points (neither report shape matched)")
+	}
+	return points, nil
+}
+
+// GateResult is the verdict of one regression comparison.
+type GateResult struct {
+	// Lines describes every compared series, one line each.
+	Lines []string
+	// Regressions lists the series whose median ratio breached the gate.
+	Regressions []string
+}
+
+// RegressionGate compares measured figures against a baseline report. For
+// each series sharing points with the baseline it computes the median ratio
+// of current to baseline seconds across the overlapping sizes — the median
+// shrugs off one noisy point, matching how the reports themselves take
+// medians across seeds — and flags the series as a regression when that
+// median exceeds 1+tolerance. Figures without timing semantics (metric not
+// "seconds") and series with no overlap are skipped, not failed.
+func RegressionGate(baseline []byte, figures []Figure, tolerance float64) (GateResult, error) {
+	base, err := ParseBaseline(baseline)
+	if err != nil {
+		return GateResult{}, err
+	}
+	var res GateResult
+	for _, fig := range figures {
+		if fig.Metric != "seconds" {
+			continue
+		}
+		for _, s := range fig.Series {
+			var ratios []float64
+			for _, p := range s.Points {
+				b, ok := base[pointKey{fig.ID, s.Name, p.Size}]
+				if !ok || b <= 0 || p.Value <= 0 {
+					continue
+				}
+				ratios = append(ratios, p.Value/b)
+			}
+			if len(ratios) == 0 {
+				continue
+			}
+			sort.Float64s(ratios)
+			med := ratios[len(ratios)/2]
+			line := fmt.Sprintf("%s/%s: median ratio %.2f over %d shared point(s)",
+				fig.ID, s.Name, med, len(ratios))
+			res.Lines = append(res.Lines, line)
+			if med > 1+tolerance {
+				res.Regressions = append(res.Regressions,
+					fmt.Sprintf("%s (limit %.2f)", line, 1+tolerance))
+			}
+		}
+	}
+	if len(res.Lines) == 0 {
+		return GateResult{}, fmt.Errorf("bench: no series overlaps the baseline (wrong experiment selected?)")
+	}
+	return res, nil
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// handBaseline is a BENCH_PR<N>.json-shaped report: before/after points,
+// where after_seconds is the checked-in measurement.
+const handBaseline = `{
+  "pr": 4,
+  "experiment": "baseline",
+  "acceptance": {"criterion": "x", "speedup": 1.68, "pass": true},
+  "series": [
+    {"name": "aggregation-tree random", "points": [
+      {"size": 1024, "before_seconds": 0.002, "after_seconds": 0.001, "speedup": 2.0},
+      {"size": 2048, "before_seconds": 0.004, "after_seconds": 0.002, "speedup": 2.0},
+      {"size": 4096, "before_seconds": 0.008, "after_seconds": 0.004, "speedup": 2.0}
+    ]},
+    {"name": "ktree sorted k=1", "points": [
+      {"size": 1024, "before_seconds": 0.001, "after_seconds": 0.001, "speedup": 1.0}
+    ]}
+  ]
+}`
+
+// harnessBaseline is the harness's own -json report shape (value points).
+const harnessBaseline = `{
+  "sizes": [1024],
+  "experiments": [
+    {"id": "baseline", "title": "t", "metric": "seconds", "series": [
+      {"name": "aggregation-tree random", "points": [{"size": 1024, "value": 0.001}]}
+    ]}
+  ]
+}`
+
+func measuredFigure(name string, sizeToSeconds map[int]float64) Figure {
+	s := Series{Name: name}
+	for size, v := range sizeToSeconds {
+		s.Points = append(s.Points, Point{Size: size, Value: v})
+	}
+	return Figure{ID: "baseline", Metric: "seconds", Series: []Series{s}}
+}
+
+func TestParseBaselineBothShapes(t *testing.T) {
+	hand, err := ParseBaseline([]byte(handBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := hand[pointKey{"baseline", "aggregation-tree random", 2048}]; v != 0.002 {
+		t.Fatalf("hand shape: after_seconds not picked up, got %g", v)
+	}
+	harness, err := ParseBaseline([]byte(harnessBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := harness[pointKey{"baseline", "aggregation-tree random", 1024}]; v != 0.001 {
+		t.Fatalf("harness shape: value not picked up, got %g", v)
+	}
+	if _, err := ParseBaseline([]byte(`{"pr": 9}`)); err == nil {
+		t.Fatal("a report with no points must be rejected")
+	}
+	if _, err := ParseBaseline([]byte(`nonsense`)); err == nil {
+		t.Fatal("invalid JSON must be rejected")
+	}
+}
+
+func TestRegressionGatePassesWithinTolerance(t *testing.T) {
+	// 20% slower than the baseline at every size: inside the 25% gate.
+	fig := measuredFigure("aggregation-tree random",
+		map[int]float64{1024: 0.0012, 2048: 0.0024, 4096: 0.0048})
+	res, err := RegressionGate([]byte(handBaseline), []Figure{fig}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 0 {
+		t.Fatalf("unexpected regressions: %v", res.Regressions)
+	}
+	if len(res.Lines) != 1 || !strings.Contains(res.Lines[0], "3 shared point(s)") {
+		t.Fatalf("lines = %v", res.Lines)
+	}
+}
+
+func TestRegressionGateFailsBeyondTolerance(t *testing.T) {
+	fig := measuredFigure("aggregation-tree random",
+		map[int]float64{1024: 0.002, 2048: 0.004, 4096: 0.008}) // 2× the baseline
+	res, err := RegressionGate([]byte(handBaseline), []Figure{fig}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 1 {
+		t.Fatalf("regressions = %v", res.Regressions)
+	}
+	if !strings.Contains(res.Regressions[0], "aggregation-tree random") {
+		t.Fatalf("regression line lacks the series: %q", res.Regressions[0])
+	}
+}
+
+func TestRegressionGateMedianShrugsOffOneNoisyPoint(t *testing.T) {
+	// One wild point among three, the others matched: median ratio stays 1.
+	fig := measuredFigure("aggregation-tree random",
+		map[int]float64{1024: 0.01, 2048: 0.002, 4096: 0.004})
+	res, err := RegressionGate([]byte(handBaseline), []Figure{fig}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 0 {
+		t.Fatalf("median gate tripped on a single noisy point: %v", res.Regressions)
+	}
+}
+
+func TestRegressionGateSkipsNonOverlapAndNonSeconds(t *testing.T) {
+	figs := []Figure{
+		// Unknown series and unknown size: no overlap, skipped.
+		measuredFigure("no-such-series", map[int]float64{1024: 9}),
+		// Memory figures are not timing-gated.
+		{ID: "baseline", Metric: "bytes", Series: []Series{
+			{Name: "aggregation-tree random", Points: []Point{{Size: 1024, Value: 1e9}}},
+		}},
+		measuredFigure("ktree sorted k=1", map[int]float64{1024: 0.001}),
+	}
+	res, err := RegressionGate([]byte(handBaseline), figs, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Lines) != 1 || len(res.Regressions) != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+
+	// Nothing overlapping at all is an error, not a silent pass.
+	if _, err := RegressionGate([]byte(handBaseline),
+		[]Figure{measuredFigure("no-such-series", map[int]float64{1: 1})}, 0.25); err == nil {
+		t.Fatal("no overlap must be an error")
+	}
+}
+
+// TestSweepFigureShape pins the PR 5 experiment: the sweep must beat the
+// aggregation tree on random input at every measured size (the acceptance
+// criterion of BENCH_PR5.json, scaled down).
+func TestSweepFigureShape(t *testing.T) {
+	fig, err := SweepFigure(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("%d series", len(fig.Series))
+	}
+	tree := fig.Series[0]
+	sweep := fig.Series[1]
+	for i := range tree.Points {
+		if sweep.Points[i].Value >= tree.Points[i].Value {
+			t.Errorf("size %d: sweep %.4gs not faster than tree %.4gs",
+				tree.Points[i].Size, sweep.Points[i].Value, tree.Points[i].Value)
+		}
+	}
+}

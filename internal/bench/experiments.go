@@ -341,6 +341,22 @@ func Baseline(opts Options) (Figure, error) {
 	return fig, nil
 }
 
+// SweepFigure measures the PR 5 tentpole: the columnar event sweep against
+// the aggregation tree on random-order input — the regime the planner now
+// hands to the sweep for decomposable aggregates — plus the sweep's sorted
+// fast path (arrival sort skipped) and its long-lived behaviour. The
+// acceptance bar recorded in BENCH_PR5.json is a ≥3× median speedup over
+// the tree at 64K random-order COUNT with GOMAXPROCS=1.
+func SweepFigure(opts Options) (Figure, error) {
+	return buildFigure("sweep", "Columnar Event Sweep vs Aggregation Tree",
+		"seconds", opts, timeMetric, []seriesSpec{
+			{"aggregation-tree random", core.Spec{Algorithm: core.AggregationTree}, genRandom(0)},
+			{"sweep random", core.Spec{Algorithm: core.SweepEval}, genRandom(0)},
+			{"sweep random ll=80%", core.Spec{Algorithm: core.SweepEval}, genRandom(80)},
+			{"sweep sorted", core.Spec{Algorithm: core.SweepEval}, genSorted(0)},
+		})
+}
+
 // AblationSpan compares instant grouping against coarse span grouping
 // (§7: with far fewer buckets, even simple strategies are fast).
 func AblationSpan(opts Options) (Figure, error) {

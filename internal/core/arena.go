@@ -108,3 +108,85 @@ func (a *arena[T]) release() (slabs, reused int) {
 	a.used, a.freed = 0, 0
 	return slabs, reused
 }
+
+// The sweep evaluator (sweep.go) keeps struct-of-arrays buffers — event
+// timestamps, deltas, tuple columns — that the radix sort scatters by
+// absolute index, so unlike tree nodes they must be *contiguous*: whole
+// []int64 slices are pooled and regrown geometrically rather than chunked
+// into slabs. The same recycling contract applies: buffers come back from
+// the shared pool carrying a previous run's bits, and owners only ever read
+// indices they wrote (FuzzSweepVsReference exercises reuse).
+
+// colMinCap is the smallest column capacity handed out; below it the pool
+// round-trip costs more than the allocation it saves.
+const colMinCap = 1024
+
+// colPool is the shared pool of int64 columns. It has no New function:
+// a Get miss returns nil and the colArena allocates fresh, which is how
+// pool reuse stays countable for the obs arena counters.
+var colPool sync.Pool
+
+// colArena hands out pooled contiguous int64 columns for one evaluator run.
+// Like arena, it is single-owner: one writer, no locking. It counts columns
+// acquired and pool hits for ArenaRelease reporting at Finish.
+type colArena struct {
+	acquired int // columns handed out over the run
+	reused   int // of those, recycled from the shared pool
+}
+
+// acquire returns an empty column with at least the given capacity,
+// preferring a recycled buffer from the shared pool. A pooled buffer too
+// small for the request is dropped on the floor — the next release replaces
+// it with a bigger one, so the pool's sizes track the workload.
+func (a *colArena) acquire(capacity int) []int64 {
+	if capacity < colMinCap {
+		capacity = colMinCap
+	}
+	a.acquired++
+	if p, _ := colPool.Get().(*[]int64); p != nil && cap(*p) >= capacity {
+		a.reused++
+		return (*p)[:0]
+	}
+	return make([]int64, 0, capacity)
+}
+
+// grow returns col with capacity for at least capacity elements, preserving
+// its contents; if a new buffer is needed the old one is recycled. Doubling
+// keeps appends amortized O(1).
+func (a *colArena) grow(col []int64, capacity int) []int64 {
+	if cap(col) >= capacity {
+		return col
+	}
+	if c := 2 * cap(col); c > capacity {
+		capacity = c
+	}
+	next := a.acquire(capacity)[:len(col)]
+	copy(next, col)
+	a.release(col)
+	return next
+}
+
+// push appends v to col, growing through the pool instead of the garbage
+// collector when full. This is the sweep's per-event hot path.
+func (a *colArena) push(col []int64, v int64) []int64 {
+	if len(col) == cap(col) {
+		col = a.grow(col, len(col)+1)
+	}
+	return append(col, v)
+}
+
+// release returns col's backing store to the shared pool. The caller must
+// drop its own reference; release is the teardown half of Finish.
+func (a *colArena) release(col []int64) {
+	if cap(col) == 0 {
+		return
+	}
+	s := col[:0]
+	colPool.Put(&s)
+}
+
+// counters reports columns acquired and pool reuses over the run, the
+// quantities published through obs.EvalSink.ArenaRelease.
+func (a *colArena) counters() (cols, reused int) {
+	return a.acquired, a.reused
+}

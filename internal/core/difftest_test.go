@@ -58,9 +58,26 @@ func diffStrategies(boundaries []interval.Time) []diffStrategy {
 			res, _, err := Run(Spec{Algorithm: KOrderedTree, K: k}, f, ts)
 			return res, err
 		}},
+		{"sweep", runSpec(Spec{Algorithm: SweepEval})},
+		// WedgeBound 1 forces the MIN/MAX wedge into the aggregation-tree
+		// fallback on any overlap, so the escape hatch is diffed against the
+		// oracle as thoroughly as the sweep itself (decomposable aggregates
+		// never consult the bound and run the normal event path).
+		{"sweep-forced-fallback", func(_ *testing.T, f aggregate.Func, ts []tuple.Tuple, _ int) (*Result, error) {
+			ev := NewSweep(f)
+			ev.WedgeBound = 1
+			for lo := 0; lo < len(ts); lo += BatchPage {
+				hi := min(lo+BatchPage, len(ts))
+				if err := ev.AddBatch(ts[lo:hi]); err != nil {
+					return nil, err
+				}
+			}
+			return ev.Finish()
+		}},
 		{"partitioned-serial", runPartitioned(PartitionOptions{Boundaries: boundaries})},
 		{"partitioned-parallel", runPartitioned(PartitionOptions{Boundaries: boundaries, Parallel: 4})},
 		{"partitioned-spill", runPartitioned(PartitionOptions{Boundaries: boundaries, SpillDir: "spill", Parallel: 2})},
+		{"partitioned-sweep", runPartitioned(PartitionOptions{Boundaries: boundaries, Parallel: 2, Sweep: true})},
 	}
 }
 
@@ -149,6 +166,7 @@ func TestMetamorphicTimeShift(t *testing.T) {
 		{Algorithm: LinkedList},
 		{Algorithm: AggregationTree},
 		{Algorithm: BalancedTree},
+		{Algorithm: SweepEval},
 	} {
 		for _, kind := range aggregate.Kinds() {
 			f := aggregate.For(kind)
@@ -243,6 +261,7 @@ func TestMetamorphicOrderInsensitivity(t *testing.T) {
 		{Algorithm: LinkedList},
 		{Algorithm: AggregationTree},
 		{Algorithm: BalancedTree},
+		{Algorithm: SweepEval},
 	} {
 		for _, kind := range aggregate.Kinds() {
 			f := aggregate.For(kind)

@@ -82,6 +82,11 @@ const (
 	KOrderedTree
 	// BalancedTree is the future-work self-balancing variant (§7).
 	BalancedTree
+	// SweepEval is the columnar event-sweep evaluator: tuples become
+	// timestamped deltas, the event column is radix-sorted, and the constant
+	// intervals fall out of one prefix scan (see sweep.go). Exact for all
+	// five aggregates; fastest for the decomposable ones (COUNT/SUM/AVG).
+	SweepEval
 )
 
 // String returns the algorithm's name as used in the paper's figures.
@@ -95,6 +100,8 @@ func (a Algorithm) String() string {
 		return "k-ordered-tree"
 	case BalancedTree:
 		return "balanced-tree"
+	case SweepEval:
+		return "sweep"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
@@ -119,6 +126,8 @@ func New(spec Spec, f aggregate.Func) (Evaluator, error) {
 		return NewKOrderedTree(f, spec.K)
 	case BalancedTree:
 		return NewBalancedTree(f), nil
+	case SweepEval:
+		return NewSweep(f), nil
 	}
 	return nil, fmt.Errorf("core: unknown algorithm %v", spec.Algorithm)
 }

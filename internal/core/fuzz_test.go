@@ -75,6 +75,53 @@ func FuzzKTreeGCThreshold(f *testing.F) {
 	})
 }
 
+// FuzzSweepVsReference drives the columnar sweep across every aggregate,
+// every input order (sorted, k-ordered, random as generated), and both
+// MIN/MAX regimes (wedge and forced tree fallback), diffing each run against
+// the oracle. It also exercises column-pool reuse: the first evaluation
+// poisons the shared column pool, so later runs sweep over recycled buffers
+// whose stale bits must never surface.
+func FuzzSweepVsReference(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(40), uint8(0))
+	f.Add(int64(2), uint8(3), uint8(120), uint8(1))
+	f.Add(int64(3), uint8(7), uint8(255), uint8(4))
+	f.Fuzz(func(t *testing.T, seed int64, kindB, nb, orderB uint8) {
+		r := rand.New(rand.NewSource(seed))
+		fn := aggregate.For(aggregate.Kinds()[int(kindB)%5])
+		n := int(nb)
+		ts := randomTuples(r, n, 1000)
+		switch orderB % 3 {
+		case 1:
+			sort.SliceStable(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+		case 2:
+			ts = kDisorder(r, ts, int(orderB%9))
+		}
+		want := Reference(fn, ts)
+		for _, bound := range []int{0, 1} {
+			ev := NewSweep(fn)
+			ev.WedgeBound = bound
+			for _, tu := range ts {
+				if err := ev.Add(tu); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, err := ev.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Validate(); err != nil {
+				t.Fatalf("bound=%d: %v", bound, err)
+			}
+			if !res.Equal(want) {
+				t.Fatalf("bound=%d n=%d %v: sweep differs from oracle", bound, n, fn.Kind())
+			}
+			if stats := ev.Stats(); stats.Tuples != n {
+				t.Fatalf("stats.Tuples = %d, want %d", stats.Tuples, n)
+			}
+		}
+	})
+}
+
 // FuzzArenaReuse pins the arena's cross-query hygiene: a slab returned to
 // the shared pool carries the previous run's bits, and alloc must zero every
 // node it hands out — from the bump pointer and from the GC free list alike.

@@ -43,6 +43,11 @@ type PartitionOptions struct {
 	// (tuple, allocation, and arena-release counters), so a partitioned or
 	// streaming evaluation can be scraped mid-flight like any other run.
 	Sink obs.Sink
+	// Sweep evaluates each partition with the columnar event sweep
+	// (NewSweepRange) instead of an aggregation tree. The planner sets it
+	// for decomposable aggregates (COUNT/SUM/AVG); for MIN/MAX the shard
+	// sweeps through the wedge and keeps its tree fallback.
+	Sweep bool
 }
 
 // partitionWorkers resolves PartitionOptions.Parallel to a worker count.
@@ -221,7 +226,7 @@ func EvaluatePartitionedStream(f aggregate.Func, it TupleIterator, opts Partitio
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				res, peak, err := evaluateBucket(f, spans[i], bks, i, opts.Sink)
+				res, peak, err := evaluateBucket(f, spans[i], bks, i, opts)
 				pr := partResult{i: i, peak: peak, err: err}
 				if err == nil {
 					pr.rows = res.Coalesce().Rows
@@ -333,19 +338,24 @@ func findSpan(spans []interval.Interval, t interval.Time) int {
 	return lo
 }
 
-func evaluateBucket(f aggregate.Func, span interval.Interval, b buckets, i int, sink obs.Sink) (*Result, int, error) {
-	tree := NewAggregationTreeRange(f, span)
-	if sink != nil {
-		tree.setSink(sink)
+func evaluateBucket(f aggregate.Func, span interval.Interval, b buckets, i int, opts PartitionOptions) (*Result, int, error) {
+	var ev Evaluator
+	if opts.Sweep {
+		ev = NewSweepRange(f, span)
+	} else {
+		ev = NewAggregationTreeRange(f, span)
 	}
-	if err := b.drain(i, tree.AddBatch); err != nil {
+	if opts.Sink != nil {
+		ev.(sinkSetter).setSink(opts.Sink)
+	}
+	if err := b.drain(i, ev.AddBatch); err != nil {
 		return nil, 0, err
 	}
-	res, err := tree.Finish()
+	res, err := ev.Finish()
 	if err != nil {
 		return nil, 0, err
 	}
-	return res, tree.Stats().PeakNodes, nil
+	return res, ev.Stats().PeakNodes, nil
 }
 
 // buckets abstracts the per-partition tuple buffers.

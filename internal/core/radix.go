@@ -1,0 +1,122 @@
+package core
+
+import "sort"
+
+// The sweep evaluator's event sort. Keys are timestamps — non-negative
+// int64s (interval.Time values in [0, Forever]) — so an unsigned LSD radix
+// sort over 8-bit digits is exact without sign-bit flipping. The sort is
+// stable, which the sweep does not strictly need (events sharing a
+// timestamp commute) but costs nothing here.
+
+// radixMinSize is the input size below which the histogram pre-pass costs
+// more than it saves and the standard library's pattern-defeating quicksort
+// (sort.Sort since Go 1.19) takes over.
+const radixMinSize = 256
+
+// radixSortInt64 sorts keys ascending, applying the identical permutation
+// to every payload column (each the same length as keys). Scratch ping-pong
+// buffers come from the column arena and are recycled before returning. It
+// reports the number of scatter passes performed: all eight digit
+// histograms are built in one read of the keys, passes whose digit is
+// constant across the input are skipped entirely, and the quicksort
+// fallback reports zero.
+func radixSortInt64(ar *colArena, keys []int64, payloads ...[]int64) int {
+	n := len(keys)
+	if n < radixMinSize {
+		if n > 1 {
+			sort.Sort(&colSort{keys: keys, payloads: payloads})
+		}
+		return 0
+	}
+
+	var hist [8][256]int
+	for _, k := range keys {
+		u := uint64(k)
+		hist[0][u&0xff]++
+		hist[1][(u>>8)&0xff]++
+		hist[2][(u>>16)&0xff]++
+		hist[3][(u>>24)&0xff]++
+		hist[4][(u>>32)&0xff]++
+		hist[5][(u>>40)&0xff]++
+		hist[6][(u>>48)&0xff]++
+		hist[7][(u>>56)&0xff]++
+	}
+
+	// Ping-pong scatter: src starts in the caller's columns, dst in arena
+	// scratch of equal length; each non-trivial pass swaps them.
+	scratchK := ar.acquire(n)[:n]
+	scratchP := make([][]int64, len(payloads))
+	for i := range scratchP {
+		scratchP[i] = ar.acquire(n)[:n]
+	}
+	srcK, dstK := keys, scratchK
+	srcP, dstP := payloads, scratchP
+
+	passes := 0
+	for d := 0; d < 8; d++ {
+		shift := uint(8 * d)
+		// A digit every key shares sorts to the identity: skip the pass.
+		if hist[d][(uint64(srcK[0])>>shift)&0xff] == n {
+			continue
+		}
+		var offs [256]int
+		sum := 0
+		for b := 0; b < 256; b++ {
+			offs[b] = sum
+			sum += hist[d][b]
+		}
+		for i, k := range srcK {
+			b := (uint64(k) >> shift) & 0xff
+			j := offs[b]
+			offs[b]++
+			dstK[j] = k
+			for p := range srcP {
+				dstP[p][j] = srcP[p][i]
+			}
+		}
+		srcK, dstK = dstK, srcK
+		srcP, dstP = dstP, srcP
+		passes++
+	}
+
+	// An odd pass count leaves the sorted data in the scratch buffers; copy
+	// it home before recycling them.
+	if passes%2 == 1 {
+		copy(keys, scratchK)
+		for p := range payloads {
+			copy(payloads[p], scratchP[p])
+		}
+	}
+	ar.release(scratchK)
+	for _, p := range scratchP {
+		ar.release(p)
+	}
+	return passes
+}
+
+// colSort adapts a key column plus payload columns to sort.Interface for
+// the small-input fallback.
+type colSort struct {
+	keys     []int64
+	payloads [][]int64
+}
+
+func (c *colSort) Len() int           { return len(c.keys) }
+func (c *colSort) Less(i, j int) bool { return c.keys[i] < c.keys[j] }
+func (c *colSort) Swap(i, j int) {
+	c.keys[i], c.keys[j] = c.keys[j], c.keys[i]
+	for _, p := range c.payloads {
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// sortedInt64 reports whether keys are already in ascending order — the
+// sweep's O(n) pre-sorted fast path, checked before paying for any sort.
+func sortedInt64(keys []int64) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return false
+		}
+	}
+	return true
+}

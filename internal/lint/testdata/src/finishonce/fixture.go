@@ -50,6 +50,18 @@ func concreteEvaluator(f aggregate.Func, t tuple.Tuple) error {
 	return kt.Add(t) // want `Add called on kt after Finish`
 }
 
+func sweepEvaluator(f aggregate.Func, t tuple.Tuple) error {
+	sw := core.NewSweep(f)
+	if err := sw.Add(t); err != nil { // ok: Add before Finish
+		return err
+	}
+	if _, err := sw.Finish(); err != nil {
+		return err
+	}
+	_ = sw.Stats()   // ok: Stats is allowed after Finish
+	return sw.Add(t) // want `Add called on sw after Finish`
+}
+
 func reassigned(f aggregate.Func, t tuple.Tuple) error {
 	ev := core.Evaluator(core.NewLinkedList(f))
 	if _, err := ev.Finish(); err != nil {

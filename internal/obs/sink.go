@@ -43,6 +43,11 @@ type EvalSink interface {
 	// (internal/core/arena.go): slabs returned to the shared pool and nodes
 	// that were served from the arena free list over the run.
 	ArenaRelease(slabs, reusedNodes int)
+	// Sweep reports one columnar-sweep run (internal/core/sweep.go): delta
+	// events materialized, non-trivial radix scatter passes, and tree
+	// fallbacks taken by the MIN/MAX wedge (0 or 1 per run). Called once at
+	// Finish, off the per-tuple path.
+	Sweep(events, radixPasses, fallbacks int)
 }
 
 // Metric names exported by Metrics. Each maps to a §6 cost-model quantity;
@@ -55,6 +60,9 @@ const (
 	MetricGCThreshold     = "tempagg_gc_threshold_time"
 	MetricArenaSlabs      = "tempagg_arena_slabs_recycled_total"
 	MetricArenaReused     = "tempagg_arena_nodes_reused_total"
+	MetricSweepEvents     = "tempagg_sweep_events_total"
+	MetricSweepRadix      = "tempagg_sweep_radix_passes_total"
+	MetricSweepFallbacks  = "tempagg_sweep_fallbacks_total"
 	MetricQueries         = "tempagg_queries_total"
 	MetricQueryDuration   = "tempagg_query_duration_seconds"
 	MetricSlowQueries     = "tempagg_slow_queries_total"
@@ -81,6 +89,9 @@ type Metrics struct {
 	gcThreshold *GaugeVec     // by algorithm, last value
 	arenaSlabs  *CounterVec   // by algorithm
 	arenaReused *CounterVec   // by algorithm
+	sweepEvents *CounterVec   // by algorithm
+	sweepRadix  *CounterVec   // by algorithm
+	sweepFalls  *CounterVec   // by algorithm
 	queries     *CounterVec   // by algorithm, status
 	duration    *HistogramVec // by algorithm
 	slow        *Counter
@@ -108,6 +119,12 @@ func NewMetrics(reg *Registry) *Metrics {
 			"Node slabs returned to the shared arena pool at evaluator teardown (S32).", "algorithm"),
 		arenaReused: reg.CounterVec(MetricArenaReused,
 			"Nodes served from the arena free list instead of fresh slab space (k-ordered GC reuse).", "algorithm"),
+		sweepEvents: reg.CounterVec(MetricSweepEvents,
+			"Delta events materialized by the columnar sweep evaluator (S33).", "algorithm"),
+		sweepRadix: reg.CounterVec(MetricSweepRadix,
+			"Non-trivial LSD radix scatter passes performed by the sweep's event sort.", "algorithm"),
+		sweepFalls: reg.CounterVec(MetricSweepFallbacks,
+			"Sweep runs that fell back to the aggregation tree (MIN/MAX wedge overflow).", "algorithm"),
 		queries: reg.CounterVec(MetricQueries,
 			"Queries executed, by chosen algorithm and outcome.", "algorithm", "status"),
 		duration: reg.HistogramVec(MetricQueryDuration,
@@ -133,6 +150,9 @@ func (m *Metrics) Evaluator(algorithm string) EvalSink {
 		gcThreshold: m.gcThreshold.With(algorithm),
 		arenaSlabs:  m.arenaSlabs.With(algorithm),
 		arenaReused: m.arenaReused.With(algorithm),
+		sweepEvents: m.sweepEvents.With(algorithm),
+		sweepRadix:  m.sweepRadix.With(algorithm),
+		sweepFalls:  m.sweepFalls.With(algorithm),
 	}
 }
 
@@ -176,6 +196,9 @@ type evalSink struct {
 	gcThreshold *Gauge
 	arenaSlabs  *Counter
 	arenaReused *Counter
+	sweepEvents *Counter
+	sweepRadix  *Counter
+	sweepFalls  *Counter
 }
 
 func (s *evalSink) TuplesProcessed(n int) { s.tuples.Add(int64(n)) }
@@ -186,4 +209,9 @@ func (s *evalSink) GCThreshold(t int64)   { s.gcThreshold.Set(t) }
 func (s *evalSink) ArenaRelease(slabs, reusedNodes int) {
 	s.arenaSlabs.Add(int64(slabs))
 	s.arenaReused.Add(int64(reusedNodes))
+}
+func (s *evalSink) Sweep(events, radixPasses, fallbacks int) {
+	s.sweepEvents.Add(int64(events))
+	s.sweepRadix.Add(int64(radixPasses))
+	s.sweepFalls.Add(int64(fallbacks))
 }

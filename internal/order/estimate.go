@@ -1,0 +1,80 @@
+package order
+
+import (
+	"math/rand"
+
+	"tempagg/internal/tuple"
+)
+
+// DefaultEstimateAnchors is the reservoir size EstimateKOrderedness uses
+// when the caller passes anchors <= 0: enough probes to witness the
+// disorder of the Table 2 constructions with high probability, cheap enough
+// to run at plan time on every unsorted relation.
+const DefaultEstimateAnchors = 512
+
+// EstimateKOrderedness estimates a relation's k-orderedness bound (§5.2,
+// the maximum displacement from time-sorted position) without sorting it,
+// for the planner to use when no KBound was declared.
+//
+// It draws up to `anchors` positions by one-pass reservoir sampling, then
+// probes each anchor against positions a geometric gap ladder away (1, 2,
+// 4, … n/2). An inverted pair at gap g — the later tuple sorting strictly
+// before the earlier — witnesses a displacement of at least g/2, so the
+// estimate is twice the largest witnessed gap: at most 4× the true bound,
+// and at least the bound for the swap-at-distance-d constructions of
+// Table 2, whose inversions are witnessed at the ladder rung just below d.
+//
+// It returns 0 when no inversion is witnessed, which is what a sorted
+// relation produces (and all a sample can ever certify). The estimate errs
+// high by design: an overestimate only costs the k-ordered tree some
+// garbage-collection laziness, while an evaluator trusting an underestimate
+// rejects its input mid-run (the executor then falls back to sorting).
+// Deterministic for a given seed.
+func EstimateKOrderedness(ts []tuple.Tuple, anchors int, seed int64) int {
+	n := len(ts)
+	if n < 2 {
+		return 0
+	}
+	if anchors <= 0 {
+		anchors = DefaultEstimateAnchors
+	}
+	if anchors > n {
+		anchors = n
+	}
+
+	// Reservoir pass over the index stream.
+	r := rand.New(rand.NewSource(seed))
+	res := make([]int, anchors)
+	for i := 0; i < anchors; i++ {
+		res[i] = i
+	}
+	for i := anchors; i < n; i++ {
+		if j := r.Intn(i + 1); j < anchors {
+			res[j] = i
+		}
+	}
+
+	// Probe each anchor up and down the gap ladder.
+	maxGap := 0
+	for _, i := range res {
+		for g := 1; g < n; g *= 2 {
+			if g <= maxGap {
+				continue // a larger inversion is already witnessed
+			}
+			if j := i + g; j < n && ts[j].Less(ts[i]) {
+				maxGap = g
+			}
+			if j := i - g; j >= 0 && ts[i].Less(ts[j]) {
+				maxGap = g
+			}
+		}
+	}
+	if maxGap == 0 {
+		return 0
+	}
+	k := 2 * maxGap
+	if k > n-1 {
+		k = n - 1
+	}
+	return k
+}

@@ -1,0 +1,91 @@
+package order
+
+import (
+	"testing"
+)
+
+// TestEstimateSorted: a sorted relation witnesses no inversion at any gap.
+func TestEstimateSorted(t *testing.T) {
+	ts := sortedTuples(4096)
+	if k := EstimateKOrderedness(ts, 0, 1); k != 0 {
+		t.Fatalf("sorted relation estimated k=%d, want 0", k)
+	}
+	if k := EstimateKOrderedness(nil, 0, 1); k != 0 {
+		t.Fatalf("empty relation estimated k=%d, want 0", k)
+	}
+}
+
+// TestEstimateSwapPairs: for the Table 2 swap-at-distance constructions the
+// estimate must cover the true bound (never underestimate with full anchor
+// coverage) while staying within the documented 4× ceiling.
+func TestEstimateSwapPairs(t *testing.T) {
+	const n = 4096
+	base := sortedTuples(n)
+	for _, d := range []int{1, 4, 16, 100, 500} {
+		ts, err := SwapPairs(base, 8, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trueK := KOrderedness(ts)
+		if trueK != d {
+			t.Fatalf("construction broken: SwapPairs distance %d gave k=%d", d, trueK)
+		}
+		got := EstimateKOrderedness(ts, n, 1) // full anchor coverage: deterministic
+		if got < trueK || got > 4*trueK {
+			t.Fatalf("distance %d: estimate %d outside [k, 4k] = [%d, %d]",
+				d, got, trueK, 4*trueK)
+		}
+	}
+}
+
+// TestEstimateStaircase: the Table 2 staircase (10 tuples displaced by each
+// of 1..100 positions) is bounded by its largest step.
+func TestEstimateStaircase(t *testing.T) {
+	const n = 8192
+	ts, err := Staircase(sortedTuples(n), 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueK := KOrderedness(ts)
+	if trueK != 100 {
+		t.Fatalf("construction broken: staircase gave k=%d", trueK)
+	}
+	got := EstimateKOrderedness(ts, n, 1)
+	if got < trueK || got > 4*trueK {
+		t.Fatalf("staircase: estimate %d outside [%d, %d]", got, trueK, 4*trueK)
+	}
+}
+
+// TestEstimateShuffleLooksRandom: a full shuffle must estimate a bound deep
+// into the relation — the planner then prices the k-ordered tree out, as it
+// should for random input.
+func TestEstimateShuffleLooksRandom(t *testing.T) {
+	const n = 4096
+	ts := Shuffle(sortedTuples(n), 7)
+	got := EstimateKOrderedness(ts, 0, 1)
+	if got < n/8 {
+		t.Fatalf("shuffled relation estimated k=%d, want ≥ %d", got, n/8)
+	}
+	if got > n-1 {
+		t.Fatalf("estimate %d exceeds the n-1 clamp", got)
+	}
+}
+
+// TestEstimateSampledCoverage: the default reservoir (not full coverage)
+// still covers the true bound for a construction with enough displaced
+// tuples to sample, and is deterministic per seed.
+func TestEstimateSampledCoverage(t *testing.T) {
+	const n = 8192
+	ts, err := SwapPairs(sortedTuples(n), 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := EstimateKOrderedness(ts, 0, 42)
+	b := EstimateKOrderedness(ts, 0, 42)
+	if a != b {
+		t.Fatalf("same seed gave %d then %d", a, b)
+	}
+	if truek := KOrderedness(ts); a < truek {
+		t.Fatalf("sampled estimate %d below true bound %d", a, truek)
+	}
+}

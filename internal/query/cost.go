@@ -48,11 +48,20 @@ type alternative struct {
 //   - sort + ktree(1): sorting costs two extra passes over the relation
 //     (read + write, external merge sort at these scales is one extra
 //     round trip), then one scan with a tiny resident tree;
-//   - ktree(k): applicable without sorting only when a k bound is declared;
-//     resident state grows with k;
+//   - ktree(k): applicable without sorting only when a k bound is declared
+//     — or sampled at plan time (RelationInfo.SampledK), in which case the
+//     plan is marked for the executor's sort-and-retry escape; resident
+//     state grows with k;
+//   - columnar event sweep: the same single relation scan, then two
+//     sequential passes over the ~2n events plus a few radix scatters —
+//     about six column touches per tuple against the tree's log-depth
+//     insert, priced at 6/16 of a tuple's CPU. Resident state (event
+//     columns, radix scratch, emitted rows) is ~6 nodes per tuple. Only
+//     decomposable aggregates qualify, and only unsorted input (sorted
+//     input already has a cheaper plan);
 //   - linked list: one scan, list resident (≈2n nodes), CPU-bound quadratic
 //     walking — priced with a quadratic CPU term.
-func costAlternatives(info RelationInfo, m CostModel) []alternative {
+func costAlternatives(info RelationInfo, m CostModel, decomposable bool) []alternative {
 	n := info.Tuples
 	scan := m.PageIO * pages(n)
 	cpu := m.CPUTuple * float64(n)
@@ -92,6 +101,31 @@ func costAlternatives(info RelationInfo, m CostModel) []alternative {
 		})
 	}
 
+	if info.KBound < 0 && !info.Sorted && info.SampledK > 0 {
+		// A sampled disorder bound prices like a declared one — no sort I/O,
+		// resident state scaling with k — at the risk of rejection. The plan
+		// is marked SampledK so the executor sorts and retries if the
+		// estimate proves low (the estimator deliberately errs high).
+		kBytes := float64(8*info.SampledK+64) * core.NodeBytes
+		alts = append(alts, alternative{
+			plan: Plan{
+				SampledK: true,
+				Spec:     core.Spec{Algorithm: core.KOrderedTree, K: info.SampledK},
+				Reason:   fmt.Sprintf("cost-based: k-ordered tree (sampled k=%d), no sort", info.SampledK),
+			},
+			cost: scan + cpu + m.MemoryByte*kBytes,
+		})
+	}
+
+	if decomposable && !info.Sorted {
+		sweepBytes := float64(6*n+1) * core.NodeBytes
+		alts = append(alts, alternative{
+			plan: Plan{Spec: core.Spec{Algorithm: core.SweepEval},
+				Reason: "cost-based: columnar event sweep"},
+			cost: scan + cpu*6/16 + m.MemoryByte*sweepBytes,
+		})
+	}
+
 	// The linked list walks half the live list per tuple on average; its
 	// list has about 2n elements, so the CPU term is quadratic. With few
 	// expected constant intervals the walk — and the memory — shrink to
@@ -118,7 +152,7 @@ func PlanQueryCosted(q *Query, info RelationInfo, m CostModel) (Plan, error) {
 	if q.Using != "" || !m.Enabled() {
 		return PlanQuery(q, info)
 	}
-	alts := costAlternatives(info, m)
+	alts := costAlternatives(info, m, decomposableAggs(q))
 	best := alts[0]
 	for _, a := range alts[1:] {
 		if a.cost < best.cost {

@@ -17,17 +17,31 @@ func costPlan(t *testing.T, info RelationInfo, m CostModel) Plan {
 	return p
 }
 
-// TestCostModelMemoryVsIO encodes §6.3's tradeoff: cheap memory picks the
-// aggregation tree; dear memory (relative to disk I/O) picks sort+ktree.
+// TestCostModelMemoryVsIO encodes §6.3's tradeoff: cheap memory keeps the
+// evaluation resident — the columnar sweep for decomposable aggregates, the
+// aggregation tree for MIN/MAX — while dear memory (relative to disk I/O)
+// picks sort+ktree.
 func TestCostModelMemoryVsIO(t *testing.T) {
 	info := RelationInfo{Tuples: 1 << 16, KBound: -1}
 
 	// CPU is always priced: the linked list's quadratic walk must not look
-	// free.
+	// free. With memory nearly free the sweep's smaller CPU term wins over
+	// the aggregation tree for COUNT.
 	cheapMemory := CostModel{MemoryByte: 1e-9, PageIO: 1, CPUTuple: 1e-6}
 	p := costPlan(t, info, cheapMemory)
-	if p.Spec.Algorithm != core.AggregationTree {
+	if p.Spec.Algorithm != core.SweepEval {
 		t.Fatalf("cheap memory: %v", p)
+	}
+
+	// MIN is not decomposable, so the sweep alternative is absent and the
+	// aggregation tree remains the resident choice.
+	q := mustParse(t, "SELECT MIN(Salary) FROM R")
+	pMin, err := PlanQueryCosted(q, info, cheapMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pMin.Spec.Algorithm != core.AggregationTree {
+		t.Fatalf("cheap memory, MIN: %v", pMin)
 	}
 
 	dearMemory := CostModel{MemoryByte: 1, PageIO: 1e-9, CPUTuple: 1e-6}
@@ -59,6 +73,26 @@ func TestCostModelDeclaredKAvoidsSort(t *testing.T) {
 	p := costPlan(t, info, m)
 	if p.SortFirst || p.Spec.Algorithm != core.KOrderedTree || p.Spec.K != 16 {
 		t.Fatalf("declared k: %v", p)
+	}
+}
+
+// TestCostModelSampledKAvoidsSort: when the estimator supplied a small
+// sampled bound and I/O is dear, the planner gambles on the no-sort
+// k-ordered tree and marks the plan for the executor's sort-and-retry.
+func TestCostModelSampledKAvoidsSort(t *testing.T) {
+	info := RelationInfo{Tuples: 1 << 16, KBound: -1, SampledK: 16}
+	m := CostModel{MemoryByte: 1e-6, PageIO: 1000, CPUTuple: 0}
+	p := costPlan(t, info, m)
+	if p.SortFirst || p.Spec.Algorithm != core.KOrderedTree || p.Spec.K != 16 || !p.SampledK {
+		t.Fatalf("sampled k: %v", p)
+	}
+
+	// A declared bound is authoritative: with one present the sampled
+	// alternative is not generated and the plan carries no retry marker.
+	info = RelationInfo{Tuples: 1 << 16, KBound: 8, SampledK: 16}
+	p = costPlan(t, info, m)
+	if p.Spec.K != 8 || p.SampledK {
+		t.Fatalf("declared k must shadow sampled k: %v", p)
 	}
 }
 

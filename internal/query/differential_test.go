@@ -35,6 +35,9 @@ var queryCorpus = []string{
 	"SELECT COUNT(Name) FROM R USING KTREE 1",
 	"SELECT COUNT(Name) FROM R USING KTREE 4096",
 	"SELECT COUNT(Name) FROM R USING TUMA",
+	"SELECT SUM(Salary) FROM R USING SWEEP",
+	"SELECT MIN(Salary) FROM R USING SWEEP",
+	"SELECT Name, AVG(Salary) FROM R GROUP BY Name USING SWEEP",
 	"SELECT Name, AVG(Salary) FROM R WHERE Salary > 30000 GROUP BY Name USING LIST",
 }
 

@@ -51,7 +51,7 @@ func ExamplePlanQuery() {
 	// Output:
 	// k-ordered-tree false
 	// k-ordered-tree false
-	// aggregation-tree false
+	// sweep false
 	// k-ordered-tree true
 }
 

@@ -9,6 +9,7 @@ import (
 	"tempagg/internal/core"
 	"tempagg/internal/interval"
 	"tempagg/internal/obs"
+	"tempagg/internal/order"
 	"tempagg/internal/relation"
 	"tempagg/internal/tuple"
 )
@@ -117,6 +118,13 @@ func ExecuteTraced(q *Query, rel *relation.Relation, info *RelationInfo, tr *obs
 		// intervals — a single aggregation pass over the qualifying tuples.
 		plan = Plan{Snapshot: true, Reason: fmt.Sprintf("snapshot at %d: direct aggregation, no constant intervals", *q.At)}
 	} else {
+		// With cost-based planning on an unsorted relation of undeclared
+		// disorder, sample a k-orderedness estimate first so the planner can
+		// price the no-sort k-ordered tree — §6.3's retroactively-bounded
+		// case, discovered rather than declared.
+		if meta.Cost.Enabled() && !meta.Sorted && meta.KBound < 0 && meta.SampledK <= 0 {
+			meta.SampledK = order.EstimateKOrderedness(rel.Tuples, 0, estimateSeed)
+		}
 		var err error
 		plan, err = PlanQuery(q, meta)
 		if err != nil {
@@ -281,8 +289,20 @@ func executeInstant(plan Plan, meta RelationInfo, f aggregate.Func, ts []tuple.T
 		sort.SliceStable(input, func(i, j int) bool { return input[i].Less(input[j]) })
 	}
 	res, stats, err := core.RunObserved(plan.Spec, f, input, tr.Sink())
+	if err != nil && plan.SampledK {
+		// The sampled disorder bound proved too low and the k-ordered tree
+		// rejected a tuple. Pay the sort the estimate tried to avoid and
+		// rerun at k=1.
+		input = append([]tuple.Tuple(nil), ts...)
+		sort.SliceStable(input, func(i, j int) bool { return input[i].Less(input[j]) })
+		res, stats, err = core.RunObserved(core.Spec{Algorithm: core.KOrderedTree, K: 1}, f, input, tr.Sink())
+	}
 	return res, stats, err
 }
+
+// estimateSeed makes plan-time k-orderedness sampling deterministic, so the
+// same query over the same relation always gets the same plan.
+const estimateSeed = 0x5eed
 
 // executePartitioned runs the limited-main-memory evaluation and consumes
 // the streaming ordered merge: each partition's coalesced rows are appended
@@ -293,6 +313,9 @@ func executePartitioned(plan Plan, f aggregate.Func, ts []tuple.Tuple, tr *obs.Q
 		Boundaries: partitionBoundaries(ts, plan.Partitions),
 		Parallel:   plan.Partitions,
 		Sink:       tr.Sink(),
+		// Decomposable aggregates sweep each shard; MIN/MAX keeps the
+		// aggregation tree, whose cost does not depend on overlap depth.
+		Sweep: f.Kind().Decomposable(),
 	}
 	st, err := core.EvaluatePartitionedStream(f, core.NewSliceSource(ts), opts)
 	if err != nil {

@@ -19,6 +19,12 @@ type RelationInfo struct {
 	// bound — the database administrator's "retroactively bounded"
 	// declaration (§6.3). Negative means unknown.
 	KBound int
+	// SampledK, when positive, is a plan-time k-orderedness estimate
+	// obtained by sampling (order.EstimateKOrderedness) rather than declared
+	// by the administrator. The cost-based planner may gamble on it to skip
+	// the sort: the k-ordered tree rejects its input if the estimate proves
+	// low, and the executor then sorts and retries. Zero means not sampled.
+	SampledK int
 	// MemoryBudget bounds evaluation-structure memory in bytes; 0 means
 	// unlimited.
 	MemoryBudget int64
@@ -52,6 +58,11 @@ type Plan struct {
 	Partitioned bool
 	// Partitions is the region count for Partitioned plans.
 	Partitions int
+	// SampledK marks a plan whose k-ordered tree trusts a sampled (not
+	// declared) disorder bound. The executor treats evaluator rejection as
+	// an estimation miss — it sorts the relation and retries with k=1 —
+	// instead of failing the query.
+	SampledK bool
 	// Spec is the evaluator to run (ignored when Tuma or Partitioned is set).
 	Spec core.Spec
 	// Reason explains the choice, for EXPLAIN-style output.
@@ -112,6 +123,8 @@ func resolveUsing(q *Query) (Plan, error) {
 			Partitions:  n,
 			Spec:        core.Spec{Algorithm: core.AggregationTree},
 		}, nil
+	case "SWEEP":
+		return Plan{Spec: core.Spec{Algorithm: core.SweepEval}}, nil
 	case "TUMA":
 		return Plan{Tuma: true}, nil
 	}
@@ -127,6 +140,10 @@ func resolveUsing(q *Query) (Plan, error) {
 //   - A sorted relation takes the k-ordered tree with k=1.
 //   - A relation declared retroactively bounded (k-ordered) takes the
 //     k-ordered tree with that k, with no sorting required.
+//   - An unsorted, unbounded relation whose aggregates are all decomposable
+//     (COUNT/SUM/AVG) takes the columnar event sweep: two cache-friendly
+//     passes and a few radix scatters instead of n·log n pointer-chasing
+//     inserts, at a slightly larger working set than the tree.
 //   - Otherwise the aggregation tree is best — unless its memory need
 //     exceeds the budget, in which case the executor sorts first and runs
 //     the k-ordered tree with k=1 (memory is then dearer than the sort).
@@ -160,8 +177,18 @@ func PlanQuery(q *Query, info RelationInfo) (Plan, error) {
 			Reason: fmt.Sprintf("relation declared retroactively bounded (k=%d): k-ordered tree without sorting (§6.3)", info.KBound),
 		}, nil
 	}
-	// Unsorted, unbounded. Estimate the aggregation tree's memory: each
-	// tuple adds at most 4 nodes (two leaf splits), 16 bytes each.
+	// Unsorted, unbounded. The sweep's working set — event columns, radix
+	// scratch, emitted rows — is ~6 nodes per tuple, a constant factor above
+	// the aggregation tree's 4, so it needs a slightly roomier budget.
+	sweepEst := int64(6*info.Tuples+1) * core.NodeBytes
+	if decomposableAggs(q) && (info.MemoryBudget == 0 || sweepEst <= info.MemoryBudget) {
+		return Plan{
+			Spec:   core.Spec{Algorithm: core.SweepEval},
+			Reason: fmt.Sprintf("unsorted relation, decomposable aggregates: columnar event sweep (≤%d B)", sweepEst),
+		}, nil
+	}
+	// Estimate the aggregation tree's memory: each tuple adds at most 4
+	// nodes (two leaf splits), 16 bytes each.
 	est := int64(4*info.Tuples+1) * core.NodeBytes
 	if info.MemoryBudget == 0 || est <= info.MemoryBudget {
 		return Plan{
@@ -175,4 +202,18 @@ func PlanQuery(q *Query, info RelationInfo) (Plan, error) {
 		Reason: fmt.Sprintf("aggregation tree would need ~%d B > budget %d B: sort then k-ordered tree with k=1 (§6.3)",
 			est, info.MemoryBudget),
 	}, nil
+}
+
+// decomposableAggs reports whether every aggregate in the select list is
+// maintainable from a running (count, sum) pair — the precondition for the
+// columnar event sweep. The plan is chosen once per query and shared by all
+// its aggregates, so one MIN/MAX in the list disqualifies the sweep for the
+// whole query.
+func decomposableAggs(q *Query) bool {
+	for _, a := range q.Aggs {
+		if !a.Kind.Decomposable() {
+			return false
+		}
+	}
+	return len(q.Aggs) > 0
 }

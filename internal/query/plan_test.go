@@ -36,10 +36,21 @@ func TestOptimizerStrategies(t *testing.T) {
 		t.Fatalf("k-bounded: %v", p)
 	}
 
-	// Unsorted with plentiful memory → aggregation tree.
+	// Unsorted with plentiful memory → the columnar sweep for decomposable
+	// aggregates, the aggregation tree for MIN/MAX.
 	p = planFor(t, planSQL, RelationInfo{Tuples: 100000, KBound: -1})
+	if p.Spec.Algorithm != core.SweepEval {
+		t.Fatalf("unsorted, unlimited memory, COUNT: %v", p)
+	}
+	p = planFor(t, "SELECT MIN(Salary) FROM R", RelationInfo{Tuples: 100000, KBound: -1})
 	if p.Spec.Algorithm != core.AggregationTree {
-		t.Fatalf("unsorted, unlimited memory: %v", p)
+		t.Fatalf("unsorted, unlimited memory, MIN: %v", p)
+	}
+	// One non-decomposable aggregate in the list disqualifies the sweep for
+	// the whole query (the plan is shared).
+	p = planFor(t, "SELECT COUNT(Name), MAX(Salary) FROM R", RelationInfo{Tuples: 100000, KBound: -1})
+	if p.Spec.Algorithm != core.AggregationTree {
+		t.Fatalf("unsorted, mixed aggregates: %v", p)
 	}
 
 	// Unsorted with tight memory → sort first, then ktree(1).
@@ -67,6 +78,12 @@ func TestOptimizerUsingOverridesEverything(t *testing.T) {
 	p = planFor(t, planSQL+" USING KTREE", RelationInfo{Tuples: 10, KBound: -1})
 	if p.Spec.Algorithm != core.KOrderedTree || p.Spec.K != 1 {
 		t.Fatalf("USING KTREE default k: %v", p)
+	}
+	// USING SWEEP forces the sweep even where the planner would never pick
+	// it (sorted input, non-decomposable aggregate — the wedge handles it).
+	p = planFor(t, "SELECT MIN(Salary) FROM R USING SWEEP", RelationInfo{Tuples: 10, Sorted: true, KBound: -1})
+	if p.Spec.Algorithm != core.SweepEval {
+		t.Fatalf("USING SWEEP ignored: %v", p)
 	}
 }
 

@@ -8,7 +8,7 @@
 // the set of overlapping tuples, and hence the value, does not change —
 // each paired with its aggregate value.
 //
-// Four evaluation strategies are provided:
+// Five evaluation strategies are provided:
 //
 //   - LinkedList — the naive single-scan list of constant intervals (§4.2).
 //   - AggregationTree — an unbalanced binary tree of constant intervals,
@@ -17,6 +17,10 @@
 //     k-ordered relations; with k=1 over a sorted relation it is the
 //     paper's recommended strategy in both time and space (§5.3, §7).
 //   - BalancedTree — the paper's future-work self-balancing variant (§7).
+//   - SweepEval — a columnar event sweep: tuples become signed delta
+//     events, radix-sorted and merged in one linear scan. The fastest
+//     strategy for COUNT/SUM/AVG on unsorted input; MIN/MAX runs through a
+//     value-ordered wedge with an aggregation-tree fallback.
 //
 // plus Tuma's two-pass baseline (§4.1) for comparison, a TSQL2-flavoured
 // query language with a §6.3-style optimizer, sortedness metrics
@@ -150,6 +154,7 @@ const (
 	AggregationTree = core.AggregationTree
 	KOrderedTree    = core.KOrderedTree
 	BalancedTree    = core.BalancedTree
+	SweepEval       = core.SweepEval
 )
 
 // Workload orders for Generate (Table 3).
