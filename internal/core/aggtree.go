@@ -130,6 +130,9 @@ func NewAggregationTreeRange(f aggregate.Func, span interval.Interval) *Tree {
 }
 
 func (t *Tree) setSink(s obs.Sink) {
+	if s == nil {
+		return // nil Sink: instrumentation disabled (obs.Sink contract)
+	}
 	t.es = s.Evaluator(AggregationTree.String())
 	t.es.NodesAllocated(1) // the initial universe leaf
 }

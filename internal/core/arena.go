@@ -147,6 +147,7 @@ func (a *colArena) acquire(capacity int) []int64 {
 		a.reused++
 		return (*p)[:0]
 	}
+	//tempagglint:ignore poolbalance an undersized pooled buffer is dropped on purpose so pooled capacities track the workload (see function comment)
 	return make([]int64, 0, capacity)
 }
 

@@ -68,6 +68,9 @@ func NewBalancedTree(f aggregate.Func) *BTree {
 }
 
 func (t *BTree) setSink(s obs.Sink) {
+	if s == nil {
+		return // nil Sink: instrumentation disabled (obs.Sink contract)
+	}
 	t.es = s.Evaluator(BalancedTree.String())
 	t.es.NodesAllocated(1) // the initial universe leaf
 }

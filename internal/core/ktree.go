@@ -63,6 +63,9 @@ func NewKOrderedTree(f aggregate.Func, k int) (*KTree, error) {
 }
 
 func (t *KTree) setSink(s obs.Sink) {
+	if s == nil {
+		return // nil Sink: instrumentation disabled (obs.Sink contract)
+	}
 	t.es = s.Evaluator(KOrderedTree.String())
 	t.es.NodesAllocated(1) // the initial universe leaf
 }

@@ -46,6 +46,9 @@ func NewLinkedList(f aggregate.Func) *List {
 }
 
 func (l *List) setSink(s obs.Sink) {
+	if s == nil {
+		return // nil Sink: instrumentation disabled (obs.Sink contract)
+	}
 	l.es = s.Evaluator(LinkedList.String())
 	l.es.NodesAllocated(1) // the initial universe node
 }

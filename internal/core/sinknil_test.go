@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+)
+
+// TestSetSinkNilSafe locks in the obs.Sink contract at the evaluator
+// boundary: a nil Sink means "instrumentation disabled", so setSink(nil)
+// must be a no-op rather than a nil-interface panic, and a full
+// Add/Finish cycle must run with observability off. Regression test for
+// the sinknil findings on every evaluator's setSink (the guards used to
+// live only in the callers).
+func TestSetSinkNilSafe(t *testing.T) {
+	f := aggregate.For(aggregate.Sum)
+	kt, err := NewKOrderedTree(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evaluators := map[string]Evaluator{
+		"linked-list":      NewLinkedList(f),
+		"aggregation-tree": NewAggregationTree(f),
+		"balanced-tree":    NewBalancedTree(f),
+		"k-ordered-tree":   kt,
+		"sweep":            NewSweep(f),
+	}
+	for name, ev := range evaluators {
+		ss, ok := ev.(sinkSetter)
+		if !ok {
+			t.Errorf("%s: evaluator does not implement sinkSetter", name)
+			continue
+		}
+		ss.setSink(nil) // must not panic and must leave the sink disabled
+		for i := int64(0); i < 4; i++ {
+			if err := ev.Add(mustTuple(t, "x", 1, interval.Time(i), interval.Time(i+10))); err != nil {
+				t.Fatalf("%s: Add with nil sink: %v", name, err)
+			}
+		}
+		if _, err := ev.Finish(); err != nil {
+			t.Fatalf("%s: Finish with nil sink: %v", name, err)
+		}
+	}
+}

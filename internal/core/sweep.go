@@ -100,6 +100,9 @@ func NewSweepRange(f aggregate.Func, span interval.Interval) *Sweep {
 
 func (s *Sweep) setSink(snk obs.Sink) {
 	s.sink = snk
+	if snk == nil {
+		return // nil Sink: instrumentation disabled (obs.Sink contract)
+	}
 	s.es = snk.Evaluator(SweepEval.String())
 }
 

@@ -1,0 +1,444 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ArenaEscape flags arena-allocated values used after the arena released
+// them, or stored where they outlive the owning evaluator.
+//
+// Hazard class: internal/core's slab arena (arena[T]) and column arena
+// (colArena) hand out memory that returns to *shared* sync.Pools at
+// Finish. A node pointer or column slice that survives release — stored
+// in a package-level variable, sent on a channel, or simply read after
+// the release call — aliases memory the next evaluator on any goroutine
+// is already writing: use-after-recycle, the defining bug class of
+// recycled-memory designs (ROADMAP open item 2 makes it concurrent).
+//
+// The analyzer recognizes the arena contract structurally, so fixtures
+// and future arena variants are covered without a hard dependency on the
+// core package: a receiver type with an allocation method (alloc or
+// acquire) and a release method is an arena; these method names are
+// unexported, so every call site resolves within the defining package
+// and stdlib types can never match.
+//
+// Tracked values and transitions, per binding, powerset-joined:
+//
+//	x.alloc()/x.acquire(...)  → bind result: live, owned by arena key(x)
+//	r = x.push(col, v)        → derived rebind, still owned by x
+//	r = x.grow(col, n)        → derived rebind, still owned by x
+//	x.release()               → every binding owned by x is released
+//	x.release(col)/recycle(p) → that binding is released
+//	deferred release          → runs at exit: no effect on in-flow uses
+//
+// Reports: any use of a released binding (use-after-recycle); a tracked
+// value assigned to a package-level variable or sent on a channel (the
+// store outlives every release).
+var ArenaEscape = &Analyzer{
+	Name: "arenaescape",
+	Doc: "flag arena-allocated nodes/columns used after arena release or " +
+		"stored into locations that outlive the evaluator (use-after-recycle)",
+	Run: runArenaEscape,
+}
+
+const (
+	arLive     uint8 = 1 << iota // allocated, arena not yet released
+	arReleased                   // the arena took it back
+)
+
+type arenaFlow struct {
+	pass      *Pass
+	reporting bool
+	owner     map[string]string    // binding key → arena key
+	bindExpr  map[string]string    // binding key → rendered variable
+	relSite   map[string]token.Pos // binding key → release position
+}
+
+func runArenaEscape(pass *Pass) error {
+	funcBodies(pass.Files, func(body *ast.BlockStmt) {
+		g := BuildCFG(body)
+		fl := &arenaFlow{
+			pass:     pass,
+			owner:    map[string]string{},
+			bindExpr: map[string]string{},
+			relSite:  map[string]token.Pos{},
+		}
+		in := Forward[maskFact](g, fl)
+		fl.reporting = true
+		WalkFacts[maskFact](g, fl, in, func(ast.Node, maskFact) {})
+	})
+	return nil
+}
+
+func (fl *arenaFlow) Entry() maskFact                                { return maskFact{} }
+func (fl *arenaFlow) Join(a, b maskFact) maskFact                    { return joinMasks(a, b) }
+func (fl *arenaFlow) Equal(a, b maskFact) bool                       { return equalMasks(a, b) }
+func (fl *arenaFlow) Branch(_ ast.Expr, _ bool, f maskFact) maskFact { return f }
+
+func (fl *arenaFlow) Transfer(n ast.Node, f maskFact) maskFact {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return fl.assign(n, f)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+			if out, handled := fl.arenaCall(call, f); handled {
+				return out
+			}
+		}
+		return fl.checkUses(n.X, f)
+	case *ast.DeferStmt:
+		// A deferred release (direct or in a closure) runs at function
+		// exit: it never invalidates uses inside this flow, so it is a
+		// no-op here — but the deferred expressions are not "stores".
+		return f
+	case *ast.SendStmt:
+		f = fl.checkUses(n.Chan, f)
+		f = fl.checkUses(n.Value, f)
+		fl.reportOutlives(n.Value, f, "sent on a channel")
+		return f
+	case *ast.GoStmt:
+		return fl.checkUses(n.Call, f)
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			f = fl.checkUses(res, f)
+		}
+		return f
+	case *ast.RangeStmt:
+		return fl.checkUses(n.X, f)
+	case *ast.IncDecStmt:
+		return fl.checkUses(n.X, f)
+	case ast.Expr:
+		return fl.checkUses(n, f)
+	}
+	return f
+}
+
+// assign handles arena bindings, derived rebinds, release-by-overwrite,
+// and stores into outliving locations.
+func (fl *arenaFlow) assign(a *ast.AssignStmt, f maskFact) maskFact {
+	rhsFor := func(i int) ast.Expr {
+		if len(a.Lhs) == len(a.Rhs) {
+			return a.Rhs[i]
+		}
+		if len(a.Rhs) == 1 && i == 0 {
+			return a.Rhs[0]
+		}
+		return nil
+	}
+	// Uses on the RHS first.
+	for _, rhs := range a.Rhs {
+		f = fl.checkUses(rhs, f)
+	}
+	for i, lhs := range a.Lhs {
+		rhs := rhsFor(i)
+		if rhs == nil {
+			continue
+		}
+		arenaKey, kind := fl.arenaAllocCall(rhs, f)
+		key, isVar := receiverKey(fl.pass, lhs)
+		if kind != "" {
+			// Binding an arena allocation.
+			if !isVar {
+				continue
+			}
+			if isPackageLevel(fl.pass, lhs) {
+				fl.reportOutlives(lhs, maskFact{key: arLive}, "stored in a package-level variable")
+			}
+			out := f.clone()
+			out[key] = arLive
+			if !fl.reporting {
+				fl.owner[key] = arenaKey
+				fl.bindExpr[key] = exprString(lhs)
+			}
+			f = out
+			continue
+		}
+		// Storing a tracked value into a global: the store outlives release.
+		if isPackageLevel(fl.pass, lhs) || isPackageLevelSelector(fl.pass, lhs) {
+			fl.reportOutlives(rhs, f, "stored in a package-level variable")
+		}
+		if !isVar {
+			continue
+		}
+		if rootKey, ok := fl.trackedRootKey(rhs, f); ok {
+			// Derived rebind (col = ar.push(col, v) is handled above as an
+			// alloc; col2 := col[:n] keeps ownership here).
+			out := f.clone()
+			out[key] = out[rootKey]
+			if !fl.reporting {
+				fl.owner[key] = fl.owner[rootKey]
+				fl.bindExpr[key] = exprString(lhs)
+				fl.relSite[key] = fl.relSite[rootKey]
+			}
+			f = out
+			continue
+		}
+		if _, tracked := f[key]; tracked {
+			out := f.clone()
+			delete(out, key) // rebound to an unrelated value
+			f = out
+		}
+	}
+	return f
+}
+
+// arenaCall applies release/recycle effects; handled is false when the
+// call is not an arena operation.
+func (fl *arenaFlow) arenaCall(call *ast.CallExpr, f maskFact) (maskFact, bool) {
+	arenaKey, name, ok := fl.arenaMethod(call)
+	if !ok {
+		return f, false
+	}
+	switch name {
+	case "release":
+		if len(call.Args) == 0 {
+			// Arena-wide release: every binding it owns is now recycled.
+			out := f.clone()
+			for key := range out {
+				if fl.owner[key] == arenaKey {
+					out[key] = out[key]&^arLive | arReleased
+					if !fl.reporting {
+						fl.relSite[key] = call.Pos()
+					}
+				}
+			}
+			return out, true
+		}
+		// Per-value release: release(col).
+		out := f
+		for _, arg := range call.Args {
+			if key, ok := fl.trackedRootKey(arg, out); ok {
+				out = out.clone()
+				out[key] = out[key]&^arLive | arReleased
+				if !fl.reporting {
+					fl.relSite[key] = call.Pos()
+				}
+			}
+		}
+		return out, true
+	case "recycle":
+		out := f
+		for _, arg := range call.Args {
+			if key, ok := fl.trackedRootKey(arg, out); ok {
+				out = out.clone()
+				out[key] = out[key]&^arLive | arReleased
+				if !fl.reporting {
+					fl.relSite[key] = call.Pos()
+				}
+			}
+		}
+		return out, true
+	}
+	return f, false
+}
+
+// checkUses reports reads of released bindings inside expr.
+func (fl *arenaFlow) checkUses(expr ast.Node, f maskFact) maskFact {
+	if expr == nil || !fl.reporting {
+		return f
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true
+		}
+		key, ok := receiverKey(fl.pass, e)
+		if !ok {
+			return true
+		}
+		if s, tracked := f[key]; tracked && s&arReleased != 0 {
+			rel := fl.pass.Fset.Position(fl.relSite[key])
+			fl.pass.Reportf(e.Pos(),
+				"%s is used after its arena released it at line %d "+
+					"(the backing memory may already be recycled by another evaluator)",
+				fl.bindExpr[key], rel.Line)
+		}
+		return true
+	})
+	return f
+}
+
+// reportOutlives flags tracked, still-live values inside expr escaping to
+// a location that outlives the arena's release.
+func (fl *arenaFlow) reportOutlives(expr ast.Expr, f maskFact, how string) {
+	if !fl.reporting || expr == nil {
+		return
+	}
+	var keys []string
+	seen := map[string]bool{}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true
+		}
+		if key, ok := receiverKey(fl.pass, e); ok && !seen[key] {
+			if _, tracked := f[key]; tracked {
+				seen[key] = true
+				keys = append(keys, key)
+			}
+		}
+		return true
+	})
+	sort.Strings(keys)
+	for _, key := range keys {
+		fl.pass.Reportf(expr.Pos(),
+			"arena-allocated %s is %s, which outlives the arena's release "+
+				"(use-after-recycle once the slab returns to the shared pool)",
+			fl.bindExpr[key], how)
+	}
+}
+
+// arenaAllocCall reports whether expr is an allocation call on an
+// arena-like receiver: alloc(), acquire(n), or the derived push/grow
+// forms. Returns the arena key and the method name ("" when not one).
+func (fl *arenaFlow) arenaAllocCall(expr ast.Expr, f maskFact) (arenaKey, kind string) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	key, name, ok := fl.arenaMethod(call)
+	if !ok {
+		return "", ""
+	}
+	switch name {
+	case "alloc", "acquire", "push", "grow":
+		return key, name
+	}
+	return "", ""
+}
+
+// arenaMethod resolves call as a method on an arena-like type: a named
+// (possibly generic) type whose method set includes an unexported
+// allocation method (alloc or acquire) and an unexported release method.
+func (fl *arenaFlow) arenaMethod(call *ast.CallExpr) (arenaKey, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn := calleeFunc(fl.pass.TypesInfo, call)
+	if fn == nil {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "alloc", "acquire", "release", "recycle", "push", "grow":
+	default:
+		return "", "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", "", false
+	}
+	named := namedType(sig.Recv().Type())
+	if named == nil || !isArenaLike(named) {
+		return "", "", false
+	}
+	key, ok := receiverKey(fl.pass, sel.X)
+	if !ok {
+		return "", "", false
+	}
+	return key, fn.Name(), true
+}
+
+// isArenaLike reports whether a named type carries the arena contract:
+// both an allocation method (alloc or acquire) and a release method, all
+// unexported — the shape of core's arena[T] and colArena.
+func isArenaLike(named *types.Named) bool {
+	if named.Obj().Pkg() == nil {
+		return false // stdlib/universe types never qualify
+	}
+	var hasAlloc, hasRelease bool
+	// Walk the origin's declared methods (generic instances share them).
+	origin := named.Origin()
+	for i := 0; i < origin.NumMethods(); i++ {
+		switch origin.Method(i).Name() {
+		case "alloc", "acquire":
+			hasAlloc = true
+		case "release":
+			hasRelease = true
+		}
+	}
+	return hasAlloc && hasRelease
+}
+
+// trackedRootKey unwraps derived *views* (slices, derefs, address-of,
+// parens) to a tracked binding. Indexing is deliberately not unwrapped:
+// col[0] copies an element out, so the copy does not alias the arena.
+func (fl *arenaFlow) trackedRootKey(expr ast.Expr, f maskFact) (string, bool) {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			if e.Op != token.AND {
+				return "", false
+			}
+			expr = e.X
+		case *ast.CallExpr:
+			// append(col, v) and len/cap derive from their first argument.
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+				expr = e.Args[0]
+				continue
+			}
+			return "", false
+		case *ast.Ident, *ast.SelectorExpr:
+			key, ok := receiverKey(fl.pass, e)
+			if !ok {
+				return "", false
+			}
+			_, tracked := f[key]
+			return key, tracked
+		default:
+			return "", false
+		}
+	}
+}
+
+// isPackageLevel reports whether expr is an identifier naming a
+// package-scope variable.
+func isPackageLevel(pass *Pass, expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}
+
+// isPackageLevelSelector reports whether expr is a selector rooted at a
+// package-scope variable (global.field = ...).
+func isPackageLevelSelector(pass *Pass, expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	for {
+		if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+			sel = inner
+			continue
+		}
+		break
+	}
+	return isPackageLevel(pass, sel.X)
+}

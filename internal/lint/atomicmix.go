@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags struct fields accessed both through sync/atomic
+// function calls and through plain loads or stores.
+//
+// Hazard class: the statsCell pattern — counters mutated by the
+// evaluator's goroutine and snapshotted concurrently by the /metrics
+// scrape path — is only sound if *every* access goes through the atomic
+// API. One plain `c.n++` or `x := c.n` next to atomic.AddInt64(&c.n, 1)
+// is a data race the compiler accepts silently and -race only reports
+// when the interleaving actually happens under the test schedule. (The
+// typed atomic.Int64 wrappers statsCell itself uses make the mix
+// inexpressible; this analyzer covers the raw-function style that typed
+// wrappers cannot reach, e.g. code ported from older Go.)
+//
+// Mechanics: the analyzer aggregates over the whole package — first
+// collecting every field reached via atomic.AddT/LoadT/StoreT/SwapT/
+// CompareAndSwapT(&x.field, ...), then reporting every plain selector
+// access to those same fields. Accesses where the struct value is still
+// function-local and unshared (a composite literal or new(T) bound to a
+// local variable whose address has not escaped through the access path)
+// are exempt: initializing before publication is the documented idiom.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "flag struct fields accessed both via sync/atomic functions and " +
+		"via plain loads/stores (mixed access is a data race)",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	// Phase 1: fields accessed atomically, and the position of one such
+	// access for the diagnostic.
+	atomicFields := map[*types.Var]token.Pos{}
+	// Selector expressions consumed by an atomic call (their &x.field
+	// argument must not be double-reported as a plain access).
+	inAtomicCall := map[ast.Expr]bool{}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if !isAtomicFunc(fn) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := fieldVar(pass, sel)
+			if field == nil {
+				return true
+			}
+			if _, seen := atomicFields[field]; !seen {
+				atomicFields[field] = call.Pos()
+			}
+			inAtomicCall[sel] = true
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Phase 2: plain accesses to those fields.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicCall[sel] {
+				return true
+			}
+			field := fieldVar(pass, sel)
+			if field == nil {
+				return true
+			}
+			atomicAt, mixed := atomicFields[field]
+			if !mixed {
+				return true
+			}
+			if isUnpublished(pass, sel.X) {
+				return true // pre-publication initialization is fine
+			}
+			pos := pass.Fset.Position(atomicAt)
+			pass.Reportf(sel.Pos(),
+				"field %s is accessed atomically (e.g. line %d) but read or "+
+					"written plainly here; mixed access is a data race — use "+
+					"sync/atomic for every access or a typed atomic wrapper",
+				field.Name(), pos.Line)
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicFunc reports whether fn is a sync/atomic package-level
+// function operating on a pointer to a plain word (AddInt64, LoadUint32,
+// StoreInt32, SwapPointer, CompareAndSwapInt64, ...).
+func isAtomicFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() != nil {
+		return false // methods on atomic.Int64 etc. are the safe form
+	}
+	return true
+}
+
+// fieldVar resolves sel to the struct field it selects, nil otherwise.
+func fieldVar(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// isUnpublished reports whether base is a function-local variable whose
+// value was freshly created in the same function (composite literal,
+// new(T), or declared var) and whose address is not taken anywhere in
+// that function other than field accesses — i.e. the struct has not been
+// shared yet, so plain initialization cannot race.
+func isUnpublished(pass *Pass, base ast.Expr) bool {
+	id, ok := ast.Unparen(base).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+		return false
+	}
+	// Parameters and results are shared by the caller; only variables
+	// born inside the function body qualify. Distinguish by declaration
+	// position: a local's Parent scope is a block scope, and we require
+	// the defining statement to be a fresh-value form.
+	decl := declaringForm(pass, v)
+	switch decl := decl.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		return decl.Op == token.AND // &T{...}
+	case *ast.CallExpr:
+		if fun, ok := ast.Unparen(decl.Fun).(*ast.Ident); ok {
+			return fun.Name == "new"
+		}
+	case *ast.ValueSpec:
+		return len(decl.Values) == 0 // var x T: zero value, unshared
+	}
+	return false
+}
+
+// declaringForm finds the expression (or ValueSpec) that gave v its
+// value at its defining identifier, searching the file containing v.
+func declaringForm(pass *Pass, v *types.Var) ast.Node {
+	for _, f := range pass.Files {
+		if f.FileStart <= v.Pos() && v.Pos() < f.FileEnd {
+			var form ast.Node
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for i, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok && id.Pos() == v.Pos() &&
+							len(n.Lhs) == len(n.Rhs) {
+							form = ast.Unparen(n.Rhs[i])
+							if ue, ok := form.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+								if _, lit := ast.Unparen(ue.X).(*ast.CompositeLit); lit {
+									form = ue
+								}
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					for _, name := range n.Names {
+						if name.Pos() == v.Pos() {
+							if len(n.Values) == 0 {
+								form = n
+							} else if len(n.Values) == len(n.Names) {
+								for i, nm := range n.Names {
+									if nm.Pos() == v.Pos() {
+										form = ast.Unparen(n.Values[i])
+									}
+								}
+							}
+						}
+					}
+				}
+				return true
+			})
+			return form
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tempagg/internal/lint"
+	"tempagg/internal/lint/linttest"
+)
+
+func TestAtomicMix(t *testing.T) {
+	linttest.Run(t, lint.AtomicMix, "atomicmix")
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// A Baseline is the checked-in findings budget: the set of diagnostics
+// the tree is allowed to carry and the number of //tempagglint:ignore
+// directives it may contain. `tempagglint -baseline lint_baseline.json`
+// fails on any finding not in the set and on any growth in the ignore
+// count, so new hazards cannot land while pre-existing debt is paid
+// down incrementally. Entries deliberately omit line numbers — a
+// finding that merely moves with unrelated edits stays baselined.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Ignores  int             `json:"ignores"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// A BaselineEntry identifies one tolerated finding. File is
+// module-relative (slash-separated) so the baseline is stable across
+// checkouts.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// baselineVersion is the current schema version.
+const baselineVersion = 1
+
+func (e BaselineEntry) String() string {
+	return fmt.Sprintf("%s: %s: %s", e.File, e.Analyzer, e.Message)
+}
+
+func (e BaselineEntry) key() string {
+	return e.File + "\x00" + e.Analyzer + "\x00" + e.Message
+}
+
+// EntryFor converts one diagnostic to its baseline identity,
+// relativizing the file name against the module root. The driver also
+// uses it for -json output so artifact paths match the baseline's.
+func EntryFor(d Diagnostic, moduleDir string) BaselineEntry {
+	file := d.Pos.Filename
+	if moduleDir != "" {
+		if rel, err := filepath.Rel(moduleDir, file); err == nil {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return BaselineEntry{File: file, Analyzer: d.Analyzer, Message: d.Message}
+}
+
+// NewBaseline captures the current findings and ignore count as a
+// baseline, with entries sorted for a stable serialization.
+func NewBaseline(diags []Diagnostic, ignores int, moduleDir string) *Baseline {
+	b := &Baseline{Version: baselineVersion, Ignores: ignores, Findings: []BaselineEntry{}}
+	for _, d := range diags {
+		b.Findings = append(b.Findings, EntryFor(d, moduleDir))
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		return b.Findings[i].key() < b.Findings[j].key()
+	})
+	return b
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: read baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parse baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("lint: baseline %s has version %d, want %d", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// Write serializes the baseline to path with a trailing newline.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BaselineDelta is the result of comparing a run against a baseline.
+type BaselineDelta struct {
+	// New are current diagnostics with no budget left in the baseline
+	// (multiset semantics: two identical findings need two entries).
+	New []Diagnostic
+	// Resolved counts baselined findings that no longer occur; the
+	// baseline can be tightened with -write-baseline.
+	Resolved int
+	// Ignores and BaselineIgnores are the current and budgeted counts
+	// of //tempagglint:ignore directives.
+	Ignores, BaselineIgnores int
+}
+
+// Fails reports whether the delta violates the budget: any new finding,
+// or more ignore directives than the baseline allows.
+func (d *BaselineDelta) Fails() bool {
+	return len(d.New) > 0 || d.Ignores > d.BaselineIgnores
+}
+
+// Compare diffs the current run against the baseline.
+func (b *Baseline) Compare(diags []Diagnostic, ignores int, moduleDir string) *BaselineDelta {
+	budget := map[string]int{}
+	for _, e := range b.Findings {
+		budget[e.key()]++
+	}
+	delta := &BaselineDelta{Ignores: ignores, BaselineIgnores: b.Ignores}
+	for _, d := range diags {
+		k := EntryFor(d, moduleDir).key()
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		delta.New = append(delta.New, d)
+	}
+	for _, left := range budget {
+		delta.Resolved += left
+	}
+	return delta
+}

@@ -1,0 +1,321 @@
+package lint_test
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"strings"
+	"testing"
+
+	"tempagg/internal/lint"
+)
+
+// buildCFG parses src as a function body and lowers it.
+func buildCFG(t *testing.T, body string) (*lint.CFG, *token.FileSet) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return lint.BuildCFG(fn.Body), fset
+}
+
+// cfgString renders a CFG deterministically: one line per block, nodes as
+// compressed source text, successors with T/F labels on two-way branches.
+func cfgString(fset *token.FileSet, g *lint.CFG) string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d:", b.Index)
+		for _, n := range b.Nodes {
+			sb.WriteString(" [" + nodeText(fset, n) + "]")
+		}
+		if len(b.Succs) > 0 {
+			sb.WriteString(" =>")
+			for i, s := range b.Succs {
+				label := ""
+				if b.Cond != nil && len(b.Succs) == 2 {
+					label = [2]string{"T", "F"}[i]
+				}
+				fmt.Fprintf(&sb, " %sb%d", label, s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func nodeText(fset *token.FileSet, n ast.Node) string {
+	if _, ok := n.(*lint.ImplicitReturn); ok {
+		return "end"
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return "?"
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// TestBuildCFG pins the lowering of each control-flow shape the dataflow
+// analyzers rely on: edge labels, loop back edges, fallthrough chaining,
+// terminator cuts, and labeled branches.
+func TestBuildCFG(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+		want string
+	}{
+		{
+			name: "straight line",
+			body: "x := 1\nreturn",
+			want: "b0: [x := 1] [return]\n",
+		},
+		{
+			name: "if without else",
+			body: "x := 1\nif x > 0 {\nx = 2\n}\nx = 3",
+			want: "b0: [x := 1] [x > 0] => Tb1 Fb2\n" +
+				"b1: [x = 2] => b2\n" +
+				"b2: [x = 3] [end]\n",
+		},
+		{
+			name: "if else",
+			body: "if c() {\na()\n} else {\nb()\n}\nd()",
+			want: "b0: [c()] => Tb1 Fb2\n" +
+				"b1: [a()] => b3\n" +
+				"b2: [b()] => b3\n" +
+				"b3: [d()] [end]\n",
+		},
+		{
+			name: "for with cond post break continue",
+			body: "for i := 0; i < 9; i++ {\nif i == 3 {\ncontinue\n}\nif i == 5 {\nbreak\n}\nuse(i)\n}\ndone()",
+			want: "b0: [i := 0] => b1\n" +
+				"b1: [i < 9] => Tb3 Fb2\n" +
+				"b2: [done()] [end]\n" +
+				"b3: [i == 3] => Tb5 Fb6\n" +
+				"b4: [i++] => b1\n" +
+				"b5: [continue] => b4\n" +
+				"b6: [i == 5] => Tb7 Fb8\n" +
+				"b7: [break] => b2\n" +
+				"b8: [use(i)] => b4\n",
+		},
+		{
+			name: "infinite for with break",
+			body: "for {\nif done() {\nbreak\n}\n}\nafter()",
+			want: "b0: => b1\n" +
+				"b1: => b3\n" +
+				"b2: [after()] [end]\n" +
+				"b3: [done()] => Tb4 Fb5\n" +
+				"b4: [break] => b2\n" +
+				"b5: => b1\n",
+		},
+		{
+			name: "range",
+			body: "for _, v := range xs {\nuse(v)\n}\ndone()",
+			want: "b0: => b1\n" +
+				"b1: [for _, v := range xs { use(v) }] => b3 b2\n" +
+				"b2: [done()] [end]\n" +
+				"b3: [use(v)] => b1\n",
+		},
+		{
+			name: "switch with fallthrough and default",
+			body: "switch x() {\ncase 1:\na()\nfallthrough\ncase 2:\nb()\ndefault:\nc()\n}\nd()",
+			want: "b0: [x()] => b2 b3 b4\n" +
+				"b1: [d()] [end]\n" +
+				"b2: [1] [a()] [fallthrough] => b3\n" +
+				"b3: [2] [b()] => b1\n" +
+				"b4: [c()] => b1\n",
+		},
+		{
+			name: "switch without default exits past cases",
+			body: "switch x {\ncase 1:\na()\n}\nd()",
+			want: "b0: [x] => b2 b1\n" +
+				"b1: [d()] [end]\n" +
+				"b2: [1] [a()] => b1\n",
+		},
+		{
+			name: "type switch",
+			body: "switch v := x.(type) {\ncase int:\na(v)\ndefault:\nb(v)\n}\nd()",
+			want: "b0: [v := x.(type)] => b2 b3\n" +
+				"b1: [d()] [end]\n" +
+				"b2: [a(v)] => b1\n" +
+				"b3: [b(v)] => b1\n",
+		},
+		{
+			name: "select",
+			body: "select {\ncase v := <-ch:\na(v)\ncase out <- 1:\nb()\n}\nd()",
+			want: "b0: => b2 b3\n" +
+				"b1: [d()] [end]\n" +
+				"b2: [v := <-ch] [a(v)] => b1\n" +
+				"b3: [out <- 1] [b()] => b1\n",
+		},
+		{
+			name: "panic terminates block and strands dead code",
+			body: "a()\npanic(\"boom\")\nb()",
+			want: "b0: [a()] [panic(\"boom\")]\n" +
+				"b1: [b()] [end]\n",
+		},
+		{
+			name: "os.Exit and t.Fatal terminate",
+			body: "if bad {\nt.Fatal(\"no\")\n}\nos.Exit(0)",
+			want: "b0: [bad] => Tb1 Fb2\n" +
+				"b1: [t.Fatal(\"no\")]\n" +
+				"b2: [os.Exit(0)]\n",
+		},
+		{
+			name: "labeled break and continue",
+			body: "outer:\nfor {\nfor {\nif a() {\ncontinue outer\n}\nif b() {\nbreak outer\n}\n}\n}\ndone()",
+			want: "b0: => b1\n" + // label target
+				"b1: => b2\n" + // outer loop entry
+				"b2: => b4\n" + // outer head → outer body
+				"b3: [done()] [end]\n" + // outer after
+				"b4: => b5\n" + // outer body → inner head
+				"b5: => b7\n" + // inner head → inner body
+				"b6: => b2\n" + // inner after → outer head (back edge)
+				"b7: [a()] => Tb8 Fb9\n" +
+				"b8: [continue outer] => b2\n" +
+				"b9: [b()] => Tb10 Fb11\n" +
+				"b10: [break outer] => b3\n" +
+				"b11: => b5\n", // inner body end → inner head
+		},
+		{
+			name: "goto backward",
+			body: "again:\nx()\nif retry() {\ngoto again\n}\ndone()",
+			want: "b0: => b1\n" +
+				"b1: [x()] [retry()] => Tb2 Fb3\n" +
+				"b2: [goto again] => b1\n" +
+				"b3: [done()] [end]\n",
+		},
+		{
+			name: "defer and go are straight-line nodes",
+			body: "defer mu.Unlock()\ngo work()\nx := 1\n_ = x",
+			want: "b0: [defer mu.Unlock()] [go work()] [x := 1] [_ = x] [end]\n",
+		},
+		{
+			name: "func lit body is opaque",
+			body: "f := func() {\nif x {\nreturn\n}\n}\nf()",
+			want: "b0: [f := func() { if x { return } }] [f()] [end]\n",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, fset := buildCFG(t, tt.body)
+			got := cfgString(fset, g)
+			if got != tt.want {
+				t.Errorf("CFG mismatch\n--- got ---\n%s--- want ---\n%s", got, tt.want)
+			}
+		})
+	}
+}
+
+// assignedVars is a toy forward may-analysis (union join) used to exercise
+// the worklist solver: the fact is the set of variable names that may have
+// been assigned on some path.
+type assignedVars struct{}
+
+func (assignedVars) Entry() map[string]bool { return map[string]bool{} }
+
+func (assignedVars) Transfer(n ast.Node, f map[string]bool) map[string]bool {
+	a, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return f
+	}
+	out := make(map[string]bool, len(f)+len(a.Lhs))
+	for k := range f {
+		out[k] = true
+	}
+	for _, lhs := range a.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+	}
+	return out
+}
+
+func (assignedVars) Branch(_ ast.Expr, _ bool, f map[string]bool) map[string]bool { return f }
+
+func (assignedVars) Join(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func (assignedVars) Equal(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestForwardSolver checks fixpoint behavior: assignments inside loop
+// bodies and both arms of a branch all reach the function end, and facts
+// never flow into unreachable blocks.
+func TestForwardSolver(t *testing.T) {
+	g, _ := buildCFG(t, `
+a := 1
+if cond {
+	b := 2
+	_ = b
+} else {
+	c := 3
+	_ = c
+}
+for i := 0; i < 3; i++ {
+	d := 4
+	_ = d
+}
+return
+e := 5
+_ = e
+`)
+	in := lint.Forward[map[string]bool](g, assignedVars{})
+
+	var atEnd map[string]bool
+	sawUnreachable := false
+	lint.WalkFacts[map[string]bool](g, assignedVars{}, in, func(n ast.Node, f map[string]bool) {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			atEnd = f
+		}
+	})
+	for _, b := range g.Blocks {
+		if _, ok := in[b]; ok {
+			continue
+		}
+		// The block after `return` (assigning e) must be unreachable.
+		for _, n := range b.Nodes {
+			if a, ok := n.(*ast.AssignStmt); ok {
+				if id, ok := a.Lhs[0].(*ast.Ident); ok && id.Name == "e" {
+					sawUnreachable = true
+				}
+			}
+		}
+	}
+	if atEnd == nil {
+		t.Fatal("no fact observed at the return statement")
+	}
+	for _, name := range []string{"a", "b", "c", "d", "i"} {
+		if !atEnd[name] {
+			t.Errorf("assignment to %q did not reach the function end fact: %v", name, atEnd)
+		}
+	}
+	if atEnd["e"] {
+		t.Errorf("dead assignment to e leaked into reachable facts: %v", atEnd)
+	}
+	if !sawUnreachable {
+		t.Error("block containing the dead assignment to e was not left unsolved")
+	}
+}

@@ -1,0 +1,140 @@
+package lint
+
+import "go/ast"
+
+// A FlowAnalysis is one forward dataflow problem over a CFG. F is the
+// fact lattice: Entry seeds the entry block, Transfer pushes a fact
+// through one node, Branch refines a fact along a conditional edge, Join
+// merges facts at control-flow merges, and Equal detects the fixed point.
+//
+// Transfer and Branch must be pure during solving: the solver calls them
+// repeatedly until facts stabilize. Reporting happens afterwards via
+// WalkFacts, which replays each reachable block exactly once from its
+// solved entry fact — analyzers set a "reporting" flag for that replay.
+//
+// The lattices used by the analyzers in this package are finite powerset
+// maps (receiver key → state bitmask), so termination is structural; the
+// solver still bounds iterations defensively.
+type FlowAnalysis[F any] interface {
+	Entry() F
+	Transfer(n ast.Node, f F) F
+	Branch(cond ast.Expr, taken bool, f F) F
+	Join(a, b F) F
+	Equal(a, b F) bool
+}
+
+// Forward solves fa over g and returns the entry fact of every reachable
+// block. Unreachable blocks are absent from the result.
+func Forward[F any](g *CFG, fa FlowAnalysis[F]) map[*Block]F {
+	if len(g.Blocks) == 0 {
+		return nil
+	}
+	in := map[*Block]F{g.Blocks[0]: fa.Entry()}
+	work := []*Block{g.Blocks[0]}
+	queued := map[*Block]bool{g.Blocks[0]: true}
+
+	// Powerset lattices over a function body stabilize in a handful of
+	// passes; the cap only guards against a non-monotone Transfer bug.
+	maxSteps := (len(g.Blocks) + 1) * 64
+	for steps := 0; len(work) > 0 && steps < maxSteps; steps++ {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		out := in[b]
+		for _, n := range b.Nodes {
+			out = fa.Transfer(n, out)
+		}
+		for i, succ := range b.Succs {
+			f := out
+			if b.Cond != nil && len(b.Succs) == 2 {
+				f = fa.Branch(b.Cond, i == 0, f)
+			}
+			old, ok := in[succ]
+			merged := f
+			if ok {
+				merged = fa.Join(old, f)
+			}
+			if !ok || !fa.Equal(old, merged) {
+				in[succ] = merged
+				if !queued[succ] {
+					queued[succ] = true
+					work = append(work, succ)
+				}
+			}
+		}
+	}
+	return in
+}
+
+// WalkFacts replays every reachable block once, in index order, calling
+// visit with each node and the fact holding immediately before it. This
+// is the reporting pass: the solved facts already include every loop
+// contribution, so one replay sees the final state at each node.
+func WalkFacts[F any](g *CFG, fa FlowAnalysis[F], in map[*Block]F, visit func(n ast.Node, f F)) {
+	for _, b := range g.Blocks {
+		f, ok := in[b]
+		if !ok {
+			continue
+		}
+		for _, n := range b.Nodes {
+			visit(n, f)
+			f = fa.Transfer(n, f)
+		}
+	}
+}
+
+// funcBodies visits every function body in the files of a pass: each
+// FuncDecl body and each FuncLit body is one independent flow.
+func funcBodies(files []*ast.File, visit func(body *ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					visit(n.Body)
+				}
+			case *ast.FuncLit:
+				visit(n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// ---- shared bitmask-map fact helpers ----
+
+// maskFact is the common fact shape: receiver key → small state bitmask,
+// with absent keys meaning "initial state". Copy-on-write: transfers
+// clone before mutating.
+type maskFact map[string]uint8
+
+func (f maskFact) clone() maskFact {
+	out := make(maskFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// joinMasks unions two mask maps key-wise (may-analysis: a state reached
+// on either path is reachable at the merge).
+func joinMasks(a, b maskFact) maskFact {
+	out := a.clone()
+	for k, v := range b {
+		out[k] |= v
+	}
+	return out
+}
+
+func equalMasks(a, b maskFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -87,7 +87,8 @@ type Config struct {
 	StrictStats bool
 }
 
-// Analyzers returns the full suite under cfg.
+// Analyzers returns the full suite under cfg: the five syntactic/type
+// checks plus the five CFG/dataflow analyzers (cfg.go, dataflow.go).
 func Analyzers(cfg Config) []*Analyzer {
 	return []*Analyzer{
 		IntervalBounds,
@@ -95,28 +96,57 @@ func Analyzers(cfg Config) []*Analyzer {
 		ErrDrop,
 		NodeBytes,
 		LockCopy,
+		ArenaEscape,
+		PoolBalance,
+		AtomicMix,
+		UnlockPath,
+		SinkNil,
 	}
 }
 
 // Run applies each analyzer to each package and returns the surviving
 // diagnostics sorted by position, with suppressed findings removed.
 func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunWithAudit(prog, analyzers)
+	return diags, err
+}
+
+// RunWithAudit is Run plus the suppression audit: every
+// //tempagglint:ignore directive parsed from the analyzed packages, with
+// its reason and whether it actually suppressed a finding. The driver
+// uses the audit to reject reasonless directives, flag stale ones, and
+// enforce the baseline's ignore-count budget.
+func RunWithAudit(prog *Program, analyzers []*Analyzer) ([]Diagnostic, []Directive, error) {
 	var diags []Diagnostic
+	var directives []Directive
 	for _, pkg := range prog.Packages {
-		pkgDiags, err := RunPackage(prog, pkg, analyzers)
+		pkgDiags, pkgDirs, err := runPackage(prog, pkg, analyzers)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		diags = append(diags, pkgDiags...)
+		directives = append(directives, pkgDirs...)
 	}
 	sortDiagnostics(diags)
-	return diags, nil
+	sort.Slice(directives, func(i, j int) bool {
+		a, b := directives[i].Pos, directives[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return diags, directives, nil
 }
 
 // RunPackage applies each analyzer to one package (which need not be in
 // prog.Packages — linttest checks fixture packages against the program's
 // import graph) and returns its surviving diagnostics in position order.
 func RunPackage(prog *Program, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := runPackage(prog, pkg, analyzers)
+	return diags, err
+}
+
+func runPackage(prog *Program, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, []Directive, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -128,12 +158,13 @@ func RunPackage(prog *Program, pkg *Package, analyzers []*Analyzer) ([]Diagnosti
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 	}
-	diags = filterSuppressed(prog.Fset, pkg, diags)
+	var directives []Directive
+	diags, directives = filterSuppressed(prog.Fset, pkg, diags)
 	sortDiagnostics(diags)
-	return diags, nil
+	return diags, directives, nil
 }
 
 func sortDiagnostics(diags []Diagnostic) {
@@ -155,12 +186,34 @@ func sortDiagnostics(diags []Diagnostic) {
 // ignoreDirective is the comment prefix that suppresses a finding.
 const ignoreDirective = "tempagglint:ignore"
 
-// suppressions maps file → line → analyzer names ignored there. The
-// special name "*" ignores every analyzer.
-type suppressions map[string]map[int][]string
+// A Directive is one parsed //tempagglint:ignore comment. The driver
+// audits these: a directive without a Reason is an error, and a
+// directive that never suppressed anything (Used == false) is stale
+// and must be removed.
+type Directive struct {
+	// Pos locates the directive comment itself.
+	Pos token.Position
+	// Analyzers lists the analyzer names the directive silences; the
+	// special name "*" silences every analyzer.
+	Analyzers []string
+	// Reason is the justification text after the analyzer list. It is
+	// mandatory: reasonless suppressions fail the driver.
+	Reason string
+	// Used reports whether the directive suppressed at least one
+	// diagnostic in this run.
+	Used bool
+}
 
-func collectSuppressions(fset *token.FileSet, pkg *Package) suppressions {
-	sup := suppressions{}
+// suppressions maps file → line → the directives covering that line.
+// Each entry points into the list so usage marks are shared between the
+// directive's own line and the line below it.
+type suppressions struct {
+	byLine map[string]map[int][]*Directive
+	list   []*Directive
+}
+
+func collectSuppressions(fset *token.FileSet, pkg *Package) *suppressions {
+	sup := &suppressions{byLine: map[string]map[int][]*Directive{}}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -169,44 +222,62 @@ func collectSuppressions(fset *token.FileSet, pkg *Package) suppressions {
 				if !strings.HasPrefix(text, ignoreDirective) {
 					continue
 				}
-				fields := strings.Fields(strings.TrimPrefix(text, ignoreDirective))
+				rest := strings.TrimPrefix(text, ignoreDirective)
+				fields := strings.Fields(rest)
 				if len(fields) == 0 {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				byLine := sup[pos.Filename]
-				if byLine == nil {
-					byLine = map[int][]string{}
-					sup[pos.Filename] = byLine
+				d := &Directive{
+					Pos:       pos,
+					Analyzers: strings.Split(fields[0], ","),
+					Reason:    strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0])),
 				}
-				names := strings.Split(fields[0], ",")
+				sup.list = append(sup.list, d)
+				byLine := sup.byLine[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]*Directive{}
+					sup.byLine[pos.Filename] = byLine
+				}
 				// The directive covers its own line and the next, so a
 				// comment directly above the flagged statement works.
-				byLine[pos.Line] = append(byLine[pos.Line], names...)
-				byLine[pos.Line+1] = append(byLine[pos.Line+1], names...)
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], d)
 			}
 		}
 	}
 	return sup
 }
 
-func filterSuppressed(fset *token.FileSet, pkg *Package, diags []Diagnostic) []Diagnostic {
+func (d *Directive) matches(analyzer string) bool {
+	for _, n := range d.Analyzers {
+		if n == "*" || n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+func filterSuppressed(fset *token.FileSet, pkg *Package, diags []Diagnostic) ([]Diagnostic, []Directive) {
 	sup := collectSuppressions(fset, pkg)
 	kept := diags[:0]
 	for _, d := range diags {
-		names := sup[d.Pos.Filename][d.Pos.Line]
 		ignored := false
-		for _, n := range names {
-			if n == "*" || n == d.Analyzer {
+		for _, dir := range sup.byLine[d.Pos.Filename][d.Pos.Line] {
+			if dir.matches(d.Analyzer) {
+				dir.Used = true
 				ignored = true
-				break
 			}
 		}
 		if !ignored {
 			kept = append(kept, d)
 		}
 	}
-	return kept
+	out := make([]Directive, len(sup.list))
+	for i, dir := range sup.list {
+		out[i] = *dir
+	}
+	return kept, out
 }
 
 // ---- shared helpers used by several analyzers ----

@@ -34,6 +34,9 @@ type Program struct {
 	// Packages are the module packages matched by the load patterns, in
 	// dependency order, followed by their external test packages.
 	Packages []*Package
+	// ModuleDir is the tempagg module root on disk. Diagnostics carry
+	// absolute file names; baselines store them relative to this.
+	ModuleDir string
 
 	exports map[string]string         // import path → export data file
 	checked map[string]*types.Package // import path → source-checked package
@@ -52,7 +55,7 @@ type listPackage struct {
 	CgoFiles     []string
 	TestGoFiles  []string
 	XTestGoFiles []string
-	Module       *struct{ Path string }
+	Module       *struct{ Path, Dir string }
 }
 
 // LoadOptions configures Load.
@@ -122,6 +125,9 @@ func Load(opts LoadOptions, patterns ...string) (*Program, error) {
 			continue
 		}
 		if p.Module != nil && p.Module.Path == modulePath && !p.DepOnly {
+			if prog.ModuleDir == "" {
+				prog.ModuleDir = p.Module.Dir
+			}
 			targets = append(targets, p)
 		}
 	}

@@ -1,0 +1,441 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// PoolBalance flags sync.Pool misuse along control-flow paths.
+//
+// Hazard class: the sweep evaluator's columns and the slab arena both
+// cycle buffers through shared sync.Pools (internal/core/arena.go). A Get
+// whose result is neither Put back nor handed off on some exit path makes
+// the pool churn — steady-state traffic silently degrades to
+// allocate-per-query, the exact regression the arena exists to prevent.
+// Worse, a Put of a buffer that is then still used hands the same memory
+// to a concurrent Get: use-after-recycle, the bug -race only catches when
+// two goroutines collide inside the observation window.
+//
+// Per Get-result binding, the lattice is the powerset of path states
+//
+//	L  live: obtained from the pool, this function still owns it
+//	E  escaped: returned, stored into longer-lived structure, or passed
+//	   to a call — ownership left this flow, no balance required
+//	P  put: returned to the pool
+//	DP deferred put registered
+//
+// joined by union. Reports:
+//
+//   - Pool.Get whose result is discarded outright (an ExprStmt)
+//   - a return/terminator reached while a binding is L without DP —
+//     the buffer leaks on that path
+//   - any use of a binding whose states include P — use after Put
+//   - a second Put on a binding already P — double Put
+//
+// Rebinding a variable drops tracking; aliasing (q := v) transfers
+// ownership to the alias and marks the original escaped.
+var PoolBalance = &Analyzer{
+	Name: "poolbalance",
+	Doc: "flag sync.Pool.Get results that are neither Put back nor handed " +
+		"off on every exit path, uses of a buffer after Put, and double Puts",
+	Run: runPoolBalance,
+}
+
+const (
+	poolL  uint8 = 1 << iota // live, owned here
+	poolE                    // escaped: returned/stored/passed on
+	poolP                    // put back
+	poolDP                   // a deferred Put covers the exits
+)
+
+type poolFlow struct {
+	pass      *Pass
+	reporting bool
+	bindExpr  map[string]string    // binding key → rendered variable
+	bindSite  map[string]token.Pos // binding key → Get position
+}
+
+func runPoolBalance(pass *Pass) error {
+	funcBodies(pass.Files, func(body *ast.BlockStmt) {
+		g := BuildCFG(body)
+		fl := &poolFlow{
+			pass:     pass,
+			bindExpr: map[string]string{},
+			bindSite: map[string]token.Pos{},
+		}
+		in := Forward[maskFact](g, fl)
+		fl.reporting = true
+		WalkFacts[maskFact](g, fl, in, func(n ast.Node, f maskFact) {
+			fl.report(n, f)
+		})
+	})
+	return nil
+}
+
+func (fl *poolFlow) Entry() maskFact                                { return maskFact{} }
+func (fl *poolFlow) Join(a, b maskFact) maskFact                    { return joinMasks(a, b) }
+func (fl *poolFlow) Equal(a, b maskFact) bool                       { return equalMasks(a, b) }
+func (fl *poolFlow) Branch(_ ast.Expr, _ bool, f maskFact) maskFact { return f }
+
+func (fl *poolFlow) Transfer(n ast.Node, f maskFact) maskFact {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return fl.assign(n, f)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Names) == len(vs.Values) {
+					for i, name := range vs.Names {
+						f = fl.bindOrEscape(name, vs.Values[i], f)
+					}
+				}
+			}
+		}
+		return f
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+			return fl.call(call, f)
+		}
+		return fl.escapeUses(n.X, f, false)
+	case *ast.DeferStmt:
+		if arg, ok := fl.poolPutArg(n.Call); ok {
+			if key, ok := fl.trackedKey(arg, f); ok {
+				out := f.clone()
+				out[key] |= poolDP
+				return out
+			}
+			return f
+		}
+		// A deferred closure may Put: honor defer func() { p.Put(v) }().
+		if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+			out := f
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if arg, ok := fl.poolPutArg(call); ok {
+						if key, ok := fl.trackedKey(arg, out); ok {
+							out = out.clone()
+							out[key] |= poolDP
+						}
+					}
+				}
+				return true
+			})
+			return out
+		}
+		return fl.escapeUses(n.Call, f, false)
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			f = fl.escapeUses(res, f, true)
+		}
+		return f
+	case *ast.SendStmt:
+		f = fl.escapeUses(n.Value, f, true)
+		return f
+	case *ast.GoStmt:
+		// The goroutine (and anything it captures or receives) outlives
+		// this flow's reasoning: everything it touches escapes.
+		return fl.escapeUses(n.Call, f, true)
+	case *ast.RangeStmt:
+		return fl.escapeUses(n.X, f, false)
+	case ast.Expr:
+		// Branch conditions and case expressions: reads only.
+		return fl.escapeUses(n, f, false)
+	}
+	return f
+}
+
+// assign handles bindings (v := pool.Get()), aliases, rebinds, and
+// stores that escape a tracked value.
+func (fl *poolFlow) assign(a *ast.AssignStmt, f maskFact) maskFact {
+	// RHS first: uses and escapes happen before the LHS rebinds.
+	if len(a.Lhs) == len(a.Rhs) {
+		for i, rhs := range a.Rhs {
+			if fl.isPoolGet(rhs) {
+				continue // handled as a binding below
+			}
+			escape := !isLocalVar(fl.pass, a.Lhs[i])
+			f = fl.escapeUses(rhs, f, escape)
+		}
+	} else {
+		for _, rhs := range a.Rhs {
+			if !fl.isPoolGet(rhs) {
+				f = fl.escapeUses(rhs, f, false)
+			}
+		}
+	}
+	for i, lhs := range a.Lhs {
+		var rhs ast.Expr
+		if len(a.Lhs) == len(a.Rhs) {
+			rhs = a.Rhs[i]
+		} else if len(a.Rhs) == 1 {
+			// v, ok := pool.Get().(*T) — the first name carries the value.
+			if i == 0 {
+				rhs = a.Rhs[0]
+			}
+		}
+		if rhs != nil {
+			f = fl.bindOrEscape(lhs, rhs, f)
+		}
+	}
+	return f
+}
+
+// bindOrEscape binds lhs when rhs is a pool Get, otherwise drops any
+// previous tracking of lhs (rebind).
+func (fl *poolFlow) bindOrEscape(lhs ast.Expr, rhs ast.Expr, f maskFact) maskFact {
+	key, isVar := receiverKey(fl.pass, lhs)
+	if fl.isPoolGet(rhs) {
+		if !isVar || !isLocalVar(fl.pass, lhs) {
+			// Stored straight into a field or global: escaped on arrival.
+			return f
+		}
+		out := f.clone()
+		out[key] = poolL
+		if !fl.reporting {
+			fl.bindExpr[key] = exprString(lhs)
+			fl.bindSite[key] = rhs.Pos()
+		}
+		return out
+	}
+	// Alias and derived rebinds. q := v (bare alias) transfers ownership
+	// to the alias; v = v[:0] (self-derived) keeps the binding. A derived
+	// view copied into a *different* variable (b := *buf, s := buf[:n]) is
+	// just a read: the pooled object stays owned by the original, so a
+	// later Put through the original is still the balance point.
+	if isVar && isLocalVar(fl.pass, lhs) {
+		if rootKey, ok := fl.trackedRoot(rhs, f); ok {
+			_, bareAlias := ast.Unparen(rhs).(*ast.Ident)
+			if bareAlias || rootKey == key {
+				out := f.clone()
+				if rootKey != key {
+					out[rootKey] = out[rootKey]&^poolL | poolE
+				}
+				out[key] = poolL
+				if !fl.reporting {
+					fl.bindExpr[key] = exprString(lhs)
+					fl.bindSite[key] = fl.bindSite[rootKey]
+				}
+				return out
+			}
+			// Derived view of a tracked buffer: lhs is not a new binding.
+			if _, tracked := f[key]; tracked {
+				out := f.clone()
+				delete(out, key)
+				return out
+			}
+			return f
+		}
+	}
+	if isVar {
+		if _, tracked := f[key]; tracked {
+			out := f.clone()
+			delete(out, key) // rebound to something else
+			return out
+		}
+	}
+	return f
+}
+
+// call handles pool.Put and treats other calls' arguments as escapes.
+func (fl *poolFlow) call(call *ast.CallExpr, f maskFact) maskFact {
+	if fl.isPoolGet(call) {
+		if fl.reporting {
+			fl.pass.Reportf(call.Pos(),
+				"result of sync.Pool.Get is discarded (the buffer is lost to the pool)")
+		}
+		return f
+	}
+	if arg, ok := fl.poolPutArg(call); ok {
+		key, tracked := fl.trackedKey(arg, f)
+		if !tracked {
+			return f
+		}
+		if fl.reporting && f[key]&poolP != 0 {
+			fl.pass.Reportf(call.Pos(),
+				"%s may already have been Put back to the pool (double Put)",
+				fl.bindExpr[key])
+		}
+		out := f.clone()
+		out[key] = poolP
+		return out
+	}
+	for _, arg := range call.Args {
+		f = fl.escapeUses(arg, f, true)
+	}
+	f = fl.escapeUses(call.Fun, f, false)
+	return f
+}
+
+// escapeUses walks expr; every appearance of a tracked binding is a use
+// (reported if the binding may already be Put). When escape is true the
+// binding also transitions to escaped — ownership leaves this flow.
+func (fl *poolFlow) escapeUses(expr ast.Expr, f maskFact, escape bool) maskFact {
+	if expr == nil {
+		return f
+	}
+	out := f
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		key, tracked := fl.trackedKey(id, out)
+		if !tracked {
+			return true
+		}
+		if fl.reporting && out[key]&poolP != 0 {
+			fl.pass.Reportf(id.Pos(),
+				"use of %s after it was Put back to the pool (use-after-recycle)",
+				fl.bindExpr[key])
+		}
+		if escape {
+			out = out.clone()
+			out[key] = out[key]&^poolL | poolE
+		}
+		return true
+	})
+	return out
+}
+
+// report flags leaks at exits: a binding still live (L) with no deferred
+// Put when the path leaves the function.
+func (fl *poolFlow) report(n ast.Node, f maskFact) {
+	switch n.(type) {
+	case *ast.ReturnStmt, *ImplicitReturn:
+	default:
+		if _, ok := isTerminator(n); !ok {
+			return
+		}
+	}
+	// Apply the node's own transfer first — silently, WalkFacts will run
+	// the reporting transfer itself — so a return's result expressions
+	// escape before the leak check.
+	fl.reporting = false
+	f = fl.Transfer(n, f)
+	fl.reporting = true
+	keys := make([]string, 0, len(f))
+	for key := range f {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		s := f[key]
+		// Put, escape, and rebind all *replace* L, so a surviving L bit
+		// means at least one path reaches this exit still owning the buffer;
+		// only a deferred Put (which runs after this exit) excuses it.
+		if s&poolL != 0 && s&poolDP == 0 {
+			site := fl.pass.Fset.Position(fl.bindSite[key])
+			fl.pass.Reportf(n.Pos(),
+				"%s obtained from sync.Pool at line %d is neither Put back nor "+
+					"handed off on this path (pool churn)",
+				fl.bindExpr[key], site.Line)
+		}
+	}
+}
+
+// isPoolGet reports whether expr is sync.Pool.Get, possibly behind a
+// type assertion or parens: pool.Get(), pool.Get().(*T).
+func (fl *poolFlow) isPoolGet(expr ast.Expr) bool {
+	e := ast.Unparen(expr)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(fl.pass.TypesInfo, call)
+	return isPoolMethod(fn, "Get")
+}
+
+// poolPutArg returns the argument of a sync.Pool.Put call.
+func (fl *poolFlow) poolPutArg(call *ast.CallExpr) (ast.Expr, bool) {
+	fn := calleeFunc(fl.pass.TypesInfo, call)
+	if !isPoolMethod(fn, "Put") || len(call.Args) != 1 {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+func isPoolMethod(fn *types.Func, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	rn := namedType(sig.Recv().Type())
+	return rn != nil && rn.Obj().Name() == "Pool"
+}
+
+// trackedRoot unwraps parens, slices, indexes, derefs, and address-of
+// down to a tracked variable: the root of a derived expression like
+// (*p)[:0] or col[:n].
+func (fl *poolFlow) trackedRoot(expr ast.Expr, f maskFact) (string, bool) {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			if e.Op != token.AND {
+				return "", false
+			}
+			expr = e.X
+		case *ast.Ident:
+			key, ok := receiverKey(fl.pass, e)
+			if !ok {
+				return "", false
+			}
+			_, tracked := f[key]
+			return key, tracked
+		default:
+			return "", false
+		}
+	}
+}
+
+// trackedKey resolves expr (possibly &v or *v around a variable) to a
+// tracked binding key.
+func (fl *poolFlow) trackedKey(expr ast.Expr, f maskFact) (string, bool) {
+	e := ast.Unparen(expr)
+	switch u := e.(type) {
+	case *ast.UnaryExpr:
+		if u.Op == token.AND {
+			e = ast.Unparen(u.X)
+		}
+	case *ast.StarExpr:
+		e = ast.Unparen(u.X)
+	}
+	key, ok := receiverKey(fl.pass, e)
+	if !ok {
+		return "", false
+	}
+	_, tracked := f[key]
+	return key, tracked
+}
+
+// isLocalVar reports whether expr is a plain identifier naming a
+// function-local variable (not a field selector, index, or package-level
+// object).
+func isLocalVar(pass *Pass, expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() != v.Pkg().Scope()
+}

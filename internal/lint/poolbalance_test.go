@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tempagg/internal/lint"
+	"tempagg/internal/lint/linttest"
+)
+
+func TestPoolBalance(t *testing.T) {
+	linttest.Run(t, lint.PoolBalance, "poolbalance")
+}

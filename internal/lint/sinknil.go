@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SinkNil flags method calls on obs.Sink or obs.EvalSink values that are
+// not proven non-nil on every path reaching the call.
+//
+// Hazard class: the Sink contract (internal/obs/sink.go) makes nil mean
+// "instrumentation disabled" — core checks the interface for nil once per
+// evaluator and keeps a nil EvalSink handle so the disabled per-tuple cost
+// is one pointer comparison. The flip side of that contract is that every
+// call site must perform the comparison: invoking a method on the nil
+// interface panics, and because observability is optional the nil
+// configuration is exactly the one the happy-path tests never run.
+//
+// Lattice: must-analysis over the set of sink-typed expressions (receiver
+// keys) proven non-nil — intersection at joins, since a value is only
+// safe if it is non-nil on *every* incoming path (contrast the union-join
+// mask analyzers). Facts are established by `!= nil` guards (with &&/||
+// and ! handled by branch refinement), by assignment from a concrete
+// (non-interface) value — a concrete-to-interface conversion never yields
+// the nil interface — and by assignment from Sink.Evaluator, whose result
+// is non-nil by contract (Metrics.Evaluator always returns a handle; a
+// disabled sink is expressed by the Sink itself being nil, not by a nil
+// EvalSink from a live Sink).
+var SinkNil = &Analyzer{
+	Name: "sinknil",
+	Doc: "flag method calls on obs.Sink/obs.EvalSink values that may be nil " +
+		"(the contract makes nil mean disabled; call sites must check)",
+	Run: runSinkNil,
+}
+
+const obsPkgPath = "tempagg/internal/obs"
+
+// nonnilFact is the set of receiver keys proven non-nil on every path so
+// far. Absent key = possibly nil.
+type nonnilFact map[string]bool
+
+func (f nonnilFact) clone() nonnilFact {
+	out := make(nonnilFact, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+type sinkFlow struct {
+	pass *Pass
+}
+
+func runSinkNil(pass *Pass) error {
+	funcBodies(pass.Files, func(body *ast.BlockStmt) {
+		g := BuildCFG(body)
+		fl := &sinkFlow{pass: pass}
+		in := Forward[nonnilFact](g, fl)
+		WalkFacts[nonnilFact](g, fl, in, func(n ast.Node, f nonnilFact) {
+			fl.checkNode(n, f)
+		})
+	})
+	return nil
+}
+
+func (fl *sinkFlow) Entry() nonnilFact { return nonnilFact{} }
+
+// Join intersects: non-nil must hold on both incoming paths.
+func (fl *sinkFlow) Join(a, b nonnilFact) nonnilFact {
+	out := nonnilFact{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (fl *sinkFlow) Equal(a, b nonnilFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (fl *sinkFlow) Transfer(n ast.Node, f nonnilFact) nonnilFact {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			out := f.clone()
+			for i := range n.Lhs {
+				fl.assign(out, n.Lhs[i], n.Rhs[i], f)
+			}
+			return out
+		}
+		// Tuple assignment (x, ok := m[k] etc.): targets become unknown.
+		out := f.clone()
+		for _, lhs := range n.Lhs {
+			if key, ok := receiverKey(fl.pass, lhs); ok {
+				delete(out, key)
+			}
+		}
+		return out
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return f
+		}
+		out := f.clone()
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i < len(vs.Values) && len(vs.Values) == len(vs.Names) {
+					fl.assign(out, name, vs.Values[i], f)
+				}
+				// var s Sink: zero value is nil; the key is absent already.
+			}
+		}
+		return out
+	}
+	return f
+}
+
+// assign updates out for one lhs = rhs pair, reading facts from in.
+func (fl *sinkFlow) assign(out nonnilFact, lhs, rhs ast.Expr, in nonnilFact) {
+	key, ok := receiverKey(fl.pass, lhs)
+	if !ok {
+		return
+	}
+	if fl.nonNilExpr(rhs, in) {
+		out[key] = true
+	} else {
+		delete(out, key)
+	}
+}
+
+// nonNilExpr reports whether e is proven non-nil under fact f:
+//   - a key already proven non-nil,
+//   - any expression of concrete (non-interface) type — assigning or
+//     converting a concrete value to an interface never yields the nil
+//     interface, even if the value is a nil pointer,
+//   - a Sink.Evaluator call result (non-nil by contract),
+//   - address-of or composite-literal expressions.
+func (fl *sinkFlow) nonNilExpr(e ast.Expr, f nonnilFact) bool {
+	e = ast.Unparen(e)
+	if tv, ok := fl.pass.TypesInfo.Types[e]; ok {
+		if tv.IsNil() {
+			return false
+		}
+		if t := tv.Type; t != nil && !types.IsInterface(t) {
+			return true
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if key, ok := receiverKey(fl.pass, e); ok {
+			return f[key]
+		}
+	case *ast.UnaryExpr:
+		return e.Op == token.AND
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		return fl.isEvaluatorCall(e)
+	}
+	return false
+}
+
+// isEvaluatorCall reports whether call is Sink.Evaluator on the obs.Sink
+// interface (whose result the contract makes non-nil).
+func (fl *sinkFlow) isEvaluatorCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Evaluator" {
+		return false
+	}
+	return sinkKind(fl.pass.TypesInfo.TypeOf(sel.X)) == "Sink"
+}
+
+// Branch refines nil-comparison conditions along labeled edges.
+func (fl *sinkFlow) Branch(cond ast.Expr, taken bool, f nonnilFact) nonnilFact {
+	return fl.refine(cond, taken, f)
+}
+
+func (fl *sinkFlow) refine(cond ast.Expr, taken bool, f nonnilFact) nonnilFact {
+	cond = ast.Unparen(cond)
+	switch c := cond.(type) {
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return fl.refine(c.X, !taken, f)
+		}
+	case *ast.BinaryExpr:
+		switch {
+		case c.Op == token.LAND && taken:
+			// Both conjuncts hold on the true edge.
+			return fl.refine(c.Y, true, fl.refine(c.X, true, f))
+		case c.Op == token.LOR && !taken:
+			// Both disjuncts failed on the false edge.
+			return fl.refine(c.Y, false, fl.refine(c.X, false, f))
+		case (c.Op == token.NEQ && taken) || (c.Op == token.EQL && !taken):
+			if e := nilComparand(fl.pass, c); e != nil {
+				if key, ok := receiverKey(fl.pass, e); ok {
+					out := f.clone()
+					out[key] = true
+					return out
+				}
+			}
+		}
+	}
+	return f
+}
+
+// nilComparand returns the non-nil-literal side of an x-vs-nil comparison,
+// or nil if c is not such a comparison.
+func nilComparand(pass *Pass, c *ast.BinaryExpr) ast.Expr {
+	if isNilLiteral(pass, c.Y) {
+		return ast.Unparen(c.X)
+	}
+	if isNilLiteral(pass, c.X) {
+		return ast.Unparen(c.Y)
+	}
+	return nil
+}
+
+func isNilLiteral(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+// checkNode reports unguarded sink method calls in one CFG node, honoring
+// short-circuit guards inside the expression (`s != nil && s.Flush() ...`).
+func (fl *sinkFlow) checkNode(n ast.Node, f nonnilFact) {
+	if _, ok := n.(*ImplicitReturn); ok {
+		return // synthetic node; not inspectable
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false // separate flow
+		case *ast.BinaryExpr:
+			if m.Op == token.LAND || m.Op == token.LOR {
+				fl.checkNode(m.X, f)
+				fl.checkNode(m.Y, fl.refine(m.X, m.Op == token.LAND, f))
+				return false
+			}
+		case *ast.CallExpr:
+			fl.checkCall(m, f)
+		}
+		return true
+	})
+}
+
+func (fl *sinkFlow) checkCall(call *ast.CallExpr, f nonnilFact) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	kind := sinkKind(fl.pass.TypesInfo.TypeOf(sel.X))
+	if kind == "" {
+		return
+	}
+	if s, ok := fl.pass.TypesInfo.Selections[sel]; !ok || s.Kind() != types.MethodVal {
+		return // qualified identifier or field access, not a method call
+	}
+	if fl.nonNilExpr(sel.X, f) {
+		return
+	}
+	fl.pass.Reportf(call.Pos(),
+		"%s called on possibly-nil obs.%s %s; nil means instrumentation is "+
+			"disabled — guard the call with a nil check",
+		sel.Sel.Name, kind, exprString(sel.X))
+}
+
+// sinkKind classifies t as the obs.Sink or obs.EvalSink interface.
+func sinkKind(t types.Type) string {
+	switch {
+	case isNamed(t, obsPkgPath, "Sink"):
+		return "Sink"
+	case isNamed(t, obsPkgPath, "EvalSink"):
+		return "EvalSink"
+	}
+	return ""
+}

@@ -1,0 +1,106 @@
+// Fixture for arenaescape. The arena types here mirror the structural
+// contract of internal/core's arena[T] and colArena — unexported alloc or
+// acquire plus release methods — which is exactly what the analyzer keys
+// on, so the fixture needs no dependency on core's unexported types.
+package fixture
+
+type node struct {
+	v    int64
+	next *node
+}
+
+// arena is a node arena in the shape of core's arena[T].
+type arena struct{ free *node }
+
+func (a *arena) alloc() *node {
+	if n := a.free; n != nil {
+		a.free = n.next
+		return n
+	}
+	return &node{}
+}
+
+func (a *arena) recycle(n *node) { n.next, a.free = a.free, n }
+
+func (a *arena) release() { a.free = nil }
+
+// cols is a column arena in the shape of core's colArena.
+type cols struct{ held [][]int64 }
+
+func (c *cols) acquire(n int) []int64 { return make([]int64, 0, n) }
+
+func (c *cols) push(col []int64, v int64) []int64 { return append(col, v) }
+
+func (c *cols) release() { c.held = nil }
+
+var leaked *node
+
+func useAfterRelease(a *arena) int64 {
+	n := a.alloc()
+	n.v = 1
+	a.release()
+	return n.v // want `n is used after its arena released it at line \d+`
+}
+
+func releaseAfterLastUse(a *arena) int64 {
+	n := a.alloc()
+	n.v = 2
+	v := n.v
+	a.release()
+	return v // ok: no tracked value read after release
+}
+
+func deferredRelease(a *arena) int64 {
+	n := a.alloc()
+	defer a.release()
+	return n.v // ok: the deferred release runs after the result is computed
+}
+
+func useAfterRecycle(a *arena) {
+	n := a.alloc()
+	m := a.alloc()
+	a.recycle(n)
+	_ = n.v // want `n is used after its arena released it at line \d+`
+	_ = m.v // ok: only n was recycled
+	a.recycle(m)
+}
+
+func releasedOnOnePath(a *arena, early bool) int64 {
+	n := a.alloc()
+	if early {
+		a.release()
+	}
+	return n.v // want `n is used after its arena released it at line \d+`
+}
+
+func storeInGlobal(a *arena) {
+	n := a.alloc()
+	leaked = n // want `arena-allocated n is stored in a package-level variable`
+}
+
+func sendOnChannel(a *arena, ch chan *node) {
+	n := a.alloc()
+	ch <- n // want `arena-allocated n is sent on a channel`
+}
+
+func columnsAfterRelease(c *cols) int64 {
+	col := c.acquire(8)
+	col = c.push(col, 41)
+	head := col[:1]
+	c.release()
+	return head[0] // want `head is used after its arena released it at line \d+`
+}
+
+func columnsClean(c *cols) int64 {
+	col := c.acquire(8)
+	col = c.push(col, 41)
+	sum := col[0]
+	c.release()
+	return sum // ok: only the scalar survives the release
+}
+
+func independentArenas(a, b *arena) int64 {
+	n := a.alloc()
+	b.release() // a different arena: n is still live
+	return n.v  // ok
+}

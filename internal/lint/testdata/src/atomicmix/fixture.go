@@ -1,0 +1,48 @@
+// Fixture for atomicmix: fields touched by sync/atomic functions must not
+// also be accessed with plain loads and stores.
+package fixture
+
+import "sync/atomic"
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1) // ok: the atomic access itself
+	atomic.StoreUint32(&c.mode, 1)
+}
+
+func racyRead(c *counters) int64 {
+	return c.hits // want `field hits is accessed atomically \(e\.g\. line \d+\) but read or written plainly here`
+}
+
+func racyWrite(c *counters) {
+	c.hits = 0 // want `field hits is accessed atomically`
+}
+
+func racyModeRead(c *counters) uint32 {
+	return c.mode // want `field mode is accessed atomically`
+}
+
+func cleanAtomicRead(c *counters) int64 {
+	return atomic.LoadInt64(&c.hits) // ok: atomic access
+}
+
+func plainOnlyField(c *counters) int64 {
+	c.total++ // ok: total is never accessed atomically anywhere
+	return c.total
+}
+
+func newCounters() *counters {
+	c := &counters{}
+	c.hits = 42 // ok: c is a fresh local, unpublished — initialization idiom
+	return c
+}
+
+func newCountersViaNew() *counters {
+	c := new(counters)
+	c.mode = 1 // ok: unpublished
+	return c
+}
+
+func paramIsPublished(c *counters, published *counters) {
+	published.hits = 1 // want `field hits is accessed atomically`
+	_ = c
+}

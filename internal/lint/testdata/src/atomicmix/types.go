@@ -1,0 +1,11 @@
+// Types live in a separate file from their uses so the analyzer's
+// field-identity resolution is exercised across file boundaries (the
+// types.Var collected from an atomic call in fixture.go must match the
+// selection resolved against this declaration).
+package fixture
+
+type counters struct {
+	hits  int64
+	total int64 // never touched atomically: plain access is fine
+	mode  uint32
+}

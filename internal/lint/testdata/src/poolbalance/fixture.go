@@ -1,0 +1,93 @@
+// Fixture for poolbalance: sync.Pool Get/Put pairing along control-flow
+// paths — leaks on early returns, discarded Gets, use-after-Put, double
+// Put, deferred Puts, and legitimate ownership hand-offs.
+package fixture
+
+import (
+	"errors"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+var errNegative = errors.New("negative size")
+
+func use(b []byte) {}
+
+func leakOnEarlyReturn(n int) error {
+	buf := bufPool.Get().(*[]byte)
+	if n < 0 {
+		return errNegative // want `buf obtained from sync\.Pool at line \d+ is neither Put back nor handed off`
+	}
+	use(*buf)
+	bufPool.Put(buf)
+	return nil
+}
+
+func balancedWithDefer(n int) {
+	buf := bufPool.Get().(*[]byte)
+	defer bufPool.Put(buf)
+	if n == 0 {
+		return // ok: the deferred Put runs on this path too
+	}
+	use(*buf)
+}
+
+func deferredClosurePut() {
+	buf := bufPool.Get().(*[]byte)
+	defer func() {
+		*buf = (*buf)[:0]
+		bufPool.Put(buf)
+	}()
+	use(*buf) // ok: Put inside the deferred closure covers every exit
+}
+
+func discardedGet() {
+	bufPool.Get() // want `result of sync\.Pool\.Get is discarded`
+}
+
+func useAfterPut() byte {
+	buf := bufPool.Get().(*[]byte)
+	bufPool.Put(buf)
+	return (*buf)[0] // want `use of buf after it was Put back to the pool`
+}
+
+func doublePut() {
+	buf := bufPool.Get().(*[]byte)
+	bufPool.Put(buf)
+	bufPool.Put(buf) // want `buf may already have been Put back to the pool \(double Put\)`
+}
+
+func putOnOnePathOnly(ok bool) {
+	buf := bufPool.Get().(*[]byte)
+	if ok {
+		bufPool.Put(buf)
+	}
+} // want `buf obtained from sync\.Pool at line \d+ is neither Put back nor handed off`
+
+func handOffToCaller() *[]byte {
+	buf := bufPool.Get().(*[]byte)
+	return buf // ok: ownership transfers to the caller
+}
+
+func handOffToCall() {
+	buf := bufPool.Get().(*[]byte)
+	use(*buf)         // reads do not escape...
+	consumeOwned(buf) // ...but passing the pointer on hands ownership over
+}
+
+func consumeOwned(b *[]byte) { bufPool.Put(b) }
+
+func aliasTransfersOwnership() {
+	buf := bufPool.Get().(*[]byte)
+	b := *buf
+	b = b[:0]
+	use(b)
+	bufPool.Put(buf) // ok: original still owned and Put back
+}
+
+func straightLineBalanced() {
+	buf := bufPool.Get().(*[]byte)
+	use(*buf)
+	bufPool.Put(buf) // ok
+}

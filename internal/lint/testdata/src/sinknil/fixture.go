@@ -1,0 +1,100 @@
+// Fixture for sinknil: the obs.Sink contract makes nil mean "disabled",
+// so every method call on a Sink or EvalSink value must be dominated by a
+// nil check (or the value must be provably non-nil: a concrete value in
+// the interface, or an Evaluator result).
+package fixture
+
+import "tempagg/internal/obs"
+
+type eval struct {
+	sink obs.Sink
+	es   obs.EvalSink
+}
+
+func (e *eval) setSinkBad(s obs.Sink) {
+	e.sink = s
+	e.es = s.Evaluator("fixture") // want `Evaluator called on possibly-nil obs\.Sink s`
+}
+
+func (e *eval) setSinkGood(s obs.Sink) {
+	e.sink = s
+	if s == nil {
+		return
+	}
+	e.es = s.Evaluator("fixture") // ok: the nil case returned above
+}
+
+func (e *eval) hotPathBad(n int) {
+	e.es.TuplesProcessed(n) // want `TuplesProcessed called on possibly-nil obs\.EvalSink e\.es`
+}
+
+func (e *eval) hotPathGood(n int) {
+	if e.es != nil {
+		e.es.TuplesProcessed(n) // ok: guarded
+	}
+}
+
+func (e *eval) guardLost(n int) {
+	if e.es != nil {
+		e.es = nil
+		e.es.PeakNodes(n) // want `PeakNodes called on possibly-nil obs\.EvalSink e\.es`
+	}
+}
+
+func bothGuarded(a, b obs.Sink) error {
+	if a != nil && b != nil {
+		if err := a.Flush(); err != nil { // ok: && proves both
+			return err
+		}
+		return b.Flush() // ok
+	}
+	return nil
+}
+
+func shortCircuitGuard(s obs.Sink) bool {
+	return s != nil && s.Flush() == nil // ok: && guards the call in-expression
+}
+
+func orGuard(s obs.Sink, disabled bool) error {
+	if disabled || s == nil {
+		return nil
+	}
+	return s.Flush() // ok: both disjuncts failed, so s != nil here
+}
+
+func onlyOneGuarded(a, b obs.Sink) {
+	if a != nil {
+		_ = a.Flush() // ok
+		_ = b.Flush() // want `Flush called on possibly-nil obs\.Sink b`
+	}
+}
+
+func concreteIsNeverNil(reg *obs.Registry) error {
+	var s obs.Sink = obs.NewMetrics(reg)
+	return s.Flush() // ok: a concrete value in an interface is not the nil interface
+}
+
+func evaluatorResultIsNonNil(s obs.Sink) {
+	if s == nil {
+		return
+	}
+	s.Evaluator("fixture").NodesAllocated(1) // ok: Evaluator is non-nil by contract
+}
+
+func mergeKillsGuard(s obs.Sink, flaky bool) error {
+	if flaky {
+		if s == nil {
+			return nil
+		}
+	}
+	return s.Flush() // want `Flush called on possibly-nil obs\.Sink s`
+}
+
+func guardedInLoop(e *eval, n int) {
+	for i := 0; i < n; i++ {
+		if e.es == nil {
+			continue
+		}
+		e.es.TuplesProcessed(1) // ok: guard holds around the back edge
+	}
+}

@@ -1,0 +1,99 @@
+// Fixture for unlockpath: manual Lock/Unlock pairing with early returns,
+// panics, TryLock, RWMutex read/write separation, and deferred unlocks
+// (direct and inside a deferred closure).
+package fixture
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+func (s *store) leakyGet(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.m[k]
+	if !ok {
+		return 0, false // want `return with s\.mu still locked on at least one path`
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+func (s *store) deferredGet(k string) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[k]
+	return v, ok // ok: deferred unlock covers every exit
+}
+
+func (s *store) manualBothPaths(k string) (int, bool) {
+	s.mu.Lock()
+	if v, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		return v, true
+	}
+	s.mu.Unlock()
+	return 0, false // ok: each path unlocks before returning
+}
+
+func (s *store) panicsWhileLocked(k string) int {
+	s.mu.Lock()
+	v, ok := s.m[k]
+	if !ok {
+		panic("missing key") // want `abrupt exit with s\.mu still locked`
+	}
+	s.mu.Unlock()
+	return v
+}
+
+func (s *store) readThenWrite(k string) int {
+	s.rw.RLock()
+	v := s.m[k]
+	s.rw.RUnlock()
+	s.rw.Lock()
+	s.m[k] = v + 1
+	s.rw.Unlock()
+	return v // ok: read and write acquisitions each balanced
+}
+
+func (s *store) wrongUnlockKind() {
+	s.rw.Lock()
+	s.m["x"] = 1
+	s.rw.RUnlock() // releases the read lock, not the write lock held here
+} // want `function end with s\.rw still locked on at least one path`
+
+func (s *store) tryLockBalanced() {
+	if s.mu.TryLock() {
+		s.m["x"] = 1
+		s.mu.Unlock()
+	} // ok: the lock is only held on the true branch, and it unlocks
+}
+
+func (s *store) tryLockLeaky() bool {
+	if s.mu.TryLock() {
+		s.m["x"] = 1
+		return true // want `return with s\.mu still locked on at least one path`
+	}
+	return false // ok: TryLock failed, nothing held
+}
+
+func (s *store) deferredClosureUnlock() {
+	s.mu.Lock()
+	defer func() {
+		s.m["cleanups"]++
+		s.mu.Unlock()
+	}()
+	s.m["y"] = 2 // ok: the deferred closure unlocks on every exit
+}
+
+func (s *store) loopReacquire(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		s.mu.Lock()
+		total += s.m[k]
+		s.mu.Unlock()
+	}
+	return total // ok: balanced inside the loop body
+}

@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// UnlockPath flags sync.Mutex/RWMutex acquisitions with a return or panic
+// path that skips the unlock.
+//
+// Hazard class: the catalog, server, registry, and trace buffer all use
+// manual Lock/Unlock pairs on hot read paths where a deferred unlock
+// would serialize the whole critical section's epilogue; one early return
+// added between Lock and Unlock wedges every future caller. defer-only
+// heuristics (go vet has none; lostcancel-style checks don't apply) miss
+// exactly the manual pairing this code base relies on.
+//
+// Lattice: per mutex key, the powerset of path states
+//
+//	U  unheld
+//	H  held, no deferred unlock registered   ← the leaky state
+//	HD held, deferred unlock registered
+//	D  unheld, deferred unlock registered
+//
+// joined by union along merging paths (absent key = {U}). Lock moves
+// U→H and D→HD; Unlock moves H→U and HD→D; defer mu.Unlock() moves H→HD
+// and U→D. A return, implicit return, or terminator reached with H in the
+// key's state set leaks the lock on at least one path and is reported.
+// TryLock acquires only on the true branch, which the solver's labeled
+// edges express directly.
+//
+// Read and write locks are tracked as separate keys (mu/W and mu/R): an
+// RUnlock does not release a Lock.
+var UnlockPath = &Analyzer{
+	Name: "unlockpath",
+	Doc: "flag mutex Lock/RLock with a return or panic path that skips the " +
+		"matching unlock (deferred unlocks on the path are honored)",
+	Run: runUnlockPath,
+}
+
+const (
+	lockU  uint8 = 1 << iota // unheld
+	lockH                    // held, not deferred — leaks at exit
+	lockHD                   // held, deferred unlock registered
+	lockD                    // unheld, deferred unlock registered
+)
+
+// unlockFlow is the FlowAnalysis; one instance per function body so the
+// side tables (lock sites, reported positions) reset per flow.
+type unlockFlow struct {
+	pass      *Pass
+	reporting bool
+	lockSite  map[string]token.Pos // key → a Lock position, for messages
+	lockExpr  map[string]string    // key → rendered receiver
+}
+
+func runUnlockPath(pass *Pass) error {
+	funcBodies(pass.Files, func(body *ast.BlockStmt) {
+		g := BuildCFG(body)
+		fl := &unlockFlow{
+			pass:     pass,
+			lockSite: map[string]token.Pos{},
+			lockExpr: map[string]string{},
+		}
+		in := Forward[maskFact](g, fl)
+		fl.reporting = true
+		WalkFacts[maskFact](g, fl, in, func(n ast.Node, f maskFact) {
+			fl.checkExit(n, f)
+		})
+	})
+	return nil
+}
+
+func (fl *unlockFlow) Entry() maskFact             { return maskFact{} }
+func (fl *unlockFlow) Join(a, b maskFact) maskFact { return joinMasks(a, b) }
+func (fl *unlockFlow) Equal(a, b maskFact) bool    { return equalMasks(a, b) }
+
+func (fl *unlockFlow) Transfer(n ast.Node, f maskFact) maskFact {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+			return fl.call(call, f)
+		}
+	case *ast.DeferStmt:
+		return fl.deferred(n, f)
+	}
+	return f
+}
+
+// call applies a direct mutex operation.
+func (fl *unlockFlow) call(call *ast.CallExpr, f maskFact) maskFact {
+	key, op, ok := fl.mutexOp(call)
+	if !ok {
+		return f
+	}
+	switch op {
+	case "Lock", "RLock":
+		return fl.acquire(key, call.Pos(), f)
+	case "Unlock", "RUnlock":
+		return transition(f, key, func(s uint8) uint8 {
+			var out uint8
+			if s&(lockU|lockH) != 0 {
+				out |= lockU
+			}
+			if s&(lockHD|lockD) != 0 {
+				out |= lockD
+			}
+			return out
+		})
+	}
+	return f
+}
+
+func (fl *unlockFlow) acquire(key string, pos token.Pos, f maskFact) maskFact {
+	if !fl.reporting {
+		fl.lockSite[key] = pos
+	}
+	return transition(f, key, func(s uint8) uint8 {
+		var out uint8
+		if s&(lockU|lockH) != 0 {
+			out |= lockH
+		}
+		if s&(lockD|lockHD) != 0 {
+			out |= lockHD
+		}
+		return out
+	})
+}
+
+// deferred handles defer mu.Unlock() and defer func() { ... mu.Unlock() }.
+func (fl *unlockFlow) deferred(d *ast.DeferStmt, f maskFact) maskFact {
+	keys := fl.deferredUnlockKeys(d)
+	for _, key := range keys {
+		f = transition(f, key, func(s uint8) uint8 {
+			var out uint8
+			if s&(lockU|lockD) != 0 {
+				out |= lockD
+			}
+			if s&(lockH|lockHD) != 0 {
+				out |= lockHD
+			}
+			return out
+		})
+	}
+	return f
+}
+
+// deferredUnlockKeys lists the mutex keys a defer statement will unlock:
+// the direct defer mu.Unlock() form, or unlock calls syntactically inside
+// a deferred function literal.
+func (fl *unlockFlow) deferredUnlockKeys(d *ast.DeferStmt) []string {
+	if key, op, ok := fl.mutexOp(d.Call); ok && (op == "Unlock" || op == "RUnlock") {
+		return []string{key}
+	}
+	lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	var keys []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, op, ok := fl.mutexOp(call); ok && (op == "Unlock" || op == "RUnlock") {
+				keys = append(keys, key)
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+// checkExit reports held-without-defer states at returns and terminators.
+func (fl *unlockFlow) checkExit(n ast.Node, f maskFact) {
+	var what string
+	switch n.(type) {
+	case *ast.ReturnStmt:
+		what = "return"
+	case *ImplicitReturn:
+		what = "function end"
+	default:
+		if _, ok := isTerminator(n); ok {
+			what = "abrupt exit"
+		} else {
+			return
+		}
+	}
+	keys := make([]string, 0, len(f))
+	for key := range f {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if f[key]&lockH == 0 {
+			continue
+		}
+		site := fl.pass.Fset.Position(fl.lockSite[key])
+		fl.pass.Reportf(n.Pos(), "%s with %s still locked on at least one path "+
+			"(acquired at line %d; unlock it or defer the unlock)",
+			what, fl.lockExpr[key], site.Line)
+	}
+}
+
+// Branch refines TryLock conditions: the lock is held only on the true
+// edge of `if mu.TryLock() { ... }`.
+func (fl *unlockFlow) Branch(cond ast.Expr, taken bool, f maskFact) maskFact {
+	call, ok := ast.Unparen(cond).(*ast.CallExpr)
+	if !ok {
+		return f
+	}
+	key, op, ok := fl.mutexOp(call)
+	if !ok || (op != "TryLock" && op != "TryRLock") {
+		return f
+	}
+	if taken {
+		return fl.acquire(key, call.Pos(), f)
+	}
+	return f
+}
+
+// mutexOp resolves call as a sync.Mutex/RWMutex method call and returns
+// the receiver key (suffixed /W or /R so read and write locks are
+// independent) and the method name.
+func (fl *unlockFlow) mutexOp(call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn := calleeFunc(fl.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", false
+	}
+	rn := namedType(recv.Type())
+	if rn == nil || (rn.Obj().Name() != "Mutex" && rn.Obj().Name() != "RWMutex") {
+		return "", "", false
+	}
+	op = fn.Name()
+	base, ok := receiverKey(fl.pass, sel.X)
+	if !ok {
+		return "", "", false
+	}
+	mode := "/W"
+	if op == "RLock" || op == "RUnlock" || op == "TryRLock" {
+		mode = "/R"
+	}
+	key = base + mode
+	if !fl.reporting {
+		fl.lockExpr[key] = exprString(sel.X)
+	}
+	return key, op, true
+}
+
+// transition rewrites one key's state set; an absent key starts at {U}.
+func transition(f maskFact, key string, step func(uint8) uint8) maskFact {
+	s, ok := f[key]
+	if !ok {
+		s = lockU
+	}
+	out := f.clone()
+	out[key] = step(s)
+	return out
+}

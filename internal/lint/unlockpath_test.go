@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tempagg/internal/lint"
+	"tempagg/internal/lint/linttest"
+)
+
+func TestUnlockPath(t *testing.T) {
+	linttest.Run(t, lint.UnlockPath, "unlockpath")
+}
