@@ -48,6 +48,7 @@ var experiments = []struct {
 	{"ablation-span", "span grouping vs instant grouping (future work §7)", bench.AblationSpan},
 	{"baseline", "hot-path baseline for before/after comparison (see BENCH_PR4.json)", bench.Baseline},
 	{"sweep", "columnar event sweep vs aggregation tree (see BENCH_PR5.json)", bench.SweepFigure},
+	{"sweep-parallel", "parallel chunked sweep + shared multi-query pass (see BENCH_PR7.json)", bench.SweepParallelFigure},
 }
 
 // jsonReport is the machine-readable output of -json: enough run metadata to
@@ -67,10 +68,10 @@ func run(args []string, out io.Writer) error {
 		names = append(names, e.name)
 	}
 	var (
-		exp     = fs.String("exp", "all", "experiment: all, table1, table2, "+strings.Join(names, ", "))
-		maxSize = fs.Int("max-size", 1<<16, "largest relation size in the sweep")
-		seeds   = fs.Int("seeds", 3, "random seeds per point (median reported)")
-		format  = fs.String("format", "table", "output format for figures: table or csv")
+		exp      = fs.String("exp", "all", "experiments, comma-separated: all, table1, table2, "+strings.Join(names, ", "))
+		maxSize  = fs.Int("max-size", 1<<16, "largest relation size in the sweep")
+		seeds    = fs.Int("seeds", 3, "random seeds per point (median reported)")
+		format   = fs.String("format", "table", "output format for figures: table or csv")
 		asJSON   = fs.Bool("json", false, "baseline mode: emit one JSON report of the selected figure experiments (table1/table2 are skipped); diffable across binaries for before/after comparison")
 		verify   = fs.Bool("verify", false, "re-measure the paper's qualitative claims and print PASS/FAIL verdicts")
 		baseline = fs.String("baseline", "", "regression gate: compare the selected figure experiments against this checked-in JSON report (e.g. BENCH_PR4.json) and fail on a median slowdown beyond -tolerance")
@@ -106,7 +107,11 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	all := *exp == "all"
+	selected := map[string]bool{}
+	for _, n := range strings.Split(*exp, ",") {
+		selected[strings.TrimSpace(n)] = true
+	}
+	all := selected["all"]
 	ran := false
 	if *asJSON {
 		report := jsonReport{
@@ -116,7 +121,7 @@ func run(args []string, out io.Writer) error {
 			GoVersion:  runtime.Version(),
 		}
 		for _, e := range experiments {
-			if !all && *exp != e.name {
+			if !all && !selected[e.name] {
 				continue
 			}
 			fig, err := e.run(opts)
@@ -135,7 +140,7 @@ func run(args []string, out io.Writer) error {
 		}
 		return gateAgainst(*baseline, *tol, report.Experiments)
 	}
-	if all || *exp == "table1" {
+	if all || selected["table1"] {
 		s, err := bench.Table1()
 		if err != nil {
 			return err
@@ -143,7 +148,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, s)
 		ran = true
 	}
-	if all || *exp == "table2" {
+	if all || selected["table2"] {
 		s, err := bench.Table2()
 		if err != nil {
 			return err
@@ -153,7 +158,7 @@ func run(args []string, out io.Writer) error {
 	}
 	var measured []bench.Figure
 	for _, e := range experiments {
-		if !all && *exp != e.name {
+		if !all && !selected[e.name] {
 			continue
 		}
 		fig, err := e.run(opts)

@@ -1,0 +1,160 @@
+package core
+
+import "sync"
+
+// The parallel variant of the sweep's event sort. The LSD radix sort
+// parallelizes cleanly because each scatter pass is a stable permutation
+// determined entirely by per-digit counts: split the keys into per-worker
+// chunks, count each chunk's digit occupancy concurrently, lay the chunks'
+// runs out bucket-major/worker-minor with a serial prefix sum, and let every
+// worker scatter its own chunk into the disjoint destination ranges the
+// prefix assigned. Bucket b's region holds worker 0's bucket-b keys, then
+// worker 1's, and so on — exactly the order the serial sort's left-to-right
+// scatter produces — so the output permutation, and therefore every payload
+// column, is bit-identical to radixSortInt64 (TestParallelRadixBitIdentical
+// diffs the two on shared inputs).
+
+// parallelSortMinSize is the input size below which forking workers costs
+// more than the scatter they split; smaller inputs take the serial sort.
+const parallelSortMinSize = 1 << 15
+
+// parallelSortMinChunk bounds how finely an input is split: a worker chunk
+// smaller than this spends its time on goroutine handoff, not sorting.
+const parallelSortMinChunk = 1 << 13
+
+// radixSortInt64Parallel is radixSortInt64 with the histogram and scatter
+// phases split across at most workers goroutines. Output (keys, payloads,
+// and the reported pass count) is bit-identical to the serial sort; inputs
+// below parallelSortMinSize or a resolved worker count of one fall through
+// to it. Scratch comes from ar, acquired and released on the calling
+// goroutine only — workers index into shared slices but never touch the
+// arena, whose single-owner contract stays intact.
+func radixSortInt64Parallel(ar *colArena, workers int, keys []int64, payloads ...[]int64) int {
+	n := len(keys)
+	if w := n / parallelSortMinChunk; workers > w {
+		workers = w
+	}
+	if workers <= 1 || n < parallelSortMinSize {
+		return radixSortInt64(ar, keys, payloads...)
+	}
+
+	// Worker w owns srcK[bounds[w]:bounds[w+1]) on every pass.
+	bounds := make([]int, workers+1)
+	for w := 1; w < workers; w++ {
+		bounds[w] = w * n / workers
+	}
+	bounds[workers] = n
+
+	// One concurrent read of the keys builds all eight digit histograms,
+	// merged into the same totals the serial sort derives. The digit
+	// multiset is invariant across passes, so the serial skip condition —
+	// every key shares the current digit — is decided here once per digit.
+	var wg sync.WaitGroup
+	partial := make([][8][256]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := &partial[w]
+			for _, k := range keys[bounds[w]:bounds[w+1]] {
+				u := uint64(k)
+				h[0][u&0xff]++
+				h[1][(u>>8)&0xff]++
+				h[2][(u>>16)&0xff]++
+				h[3][(u>>24)&0xff]++
+				h[4][(u>>32)&0xff]++
+				h[5][(u>>40)&0xff]++
+				h[6][(u>>48)&0xff]++
+				h[7][(u>>56)&0xff]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	var hist [8][256]int
+	for w := range partial {
+		for d := 0; d < 8; d++ {
+			for b := 0; b < 256; b++ {
+				hist[d][b] += partial[w][d][b]
+			}
+		}
+	}
+
+	scratchK := ar.acquire(n)[:n]
+	scratchP := make([][]int64, len(payloads))
+	for i := range scratchP {
+		scratchP[i] = ar.acquire(n)[:n]
+	}
+	srcK, dstK := keys, scratchK
+	srcP, dstP := payloads, scratchP
+
+	// counts doubles as the per-worker offset table: after the prefix sum
+	// below, counts[w][b] is the next destination index for worker w's
+	// bucket-b keys.
+	counts := make([][256]int, workers)
+	passes := 0
+	for d := 0; d < 8; d++ {
+		shift := uint(8 * d)
+		if hist[d][(uint64(srcK[0])>>shift)&0xff] == n {
+			continue
+		}
+		// Chunk contents change on every scatter, so each live pass recounts
+		// the current src ordering before computing offsets.
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int, src []int64) {
+				defer wg.Done()
+				c := &counts[w]
+				*c = [256]int{}
+				for _, k := range src[bounds[w]:bounds[w+1]] {
+					c[(uint64(k)>>shift)&0xff]++
+				}
+			}(w, srcK)
+		}
+		wg.Wait()
+		// Bucket-major, worker-minor prefix sum: bucket b's destination
+		// region starts after every smaller bucket, and within it the
+		// workers' runs appear in chunk order — the serial sort's stable
+		// left-to-right scatter, split at chunk boundaries.
+		sum := 0
+		for b := 0; b < 256; b++ {
+			for w := 0; w < workers; w++ {
+				c := counts[w][b]
+				counts[w][b] = sum
+				sum += c
+			}
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int, src, dst []int64, srcP, dstP [][]int64) {
+				defer wg.Done()
+				offs := &counts[w]
+				for i := bounds[w]; i < bounds[w+1]; i++ {
+					k := src[i]
+					b := (uint64(k) >> shift) & 0xff
+					j := offs[b]
+					offs[b]++
+					dst[j] = k
+					for p := range srcP {
+						dstP[p][j] = srcP[p][i]
+					}
+				}
+			}(w, srcK, dstK, srcP, dstP)
+		}
+		wg.Wait()
+		srcK, dstK = dstK, srcK
+		srcP, dstP = dstP, srcP
+		passes++
+	}
+
+	if passes%2 == 1 {
+		copy(keys, scratchK)
+		for p := range payloads {
+			copy(payloads[p], scratchP[p])
+		}
+	}
+	ar.release(scratchK)
+	for _, p := range scratchP {
+		ar.release(p)
+	}
+	return passes
+}

@@ -46,6 +46,7 @@ type Sweep struct {
 	f            aggregate.Func
 	span         interval.Interval
 	decomposable bool
+	opts         SweepOptions
 	ar           colArena
 
 	// Event columns (decomposable path): arrivals at Start, departures at
@@ -68,6 +69,11 @@ type Sweep struct {
 	events      int
 	radixPasses int
 	fallbacks   int
+
+	// Set by the chunked scan (sweep_parallel.go); a serial run reports
+	// one worker, one chunk.
+	parallelWorkers int
+	chunks          int
 
 	sink  obs.Sink
 	es    obs.EvalSink
@@ -193,10 +199,14 @@ func (s *Sweep) Finish() (*Result, error) {
 	s.sTimes, s.sVals, s.eTimes, s.eVals = nil, nil, nil, nil
 	s.starts, s.ends, s.vals = nil, nil, nil
 	cols, reused := s.ar.counters()
+	if s.parallelWorkers == 0 {
+		s.parallelWorkers, s.chunks = 1, 1
+	}
 	if s.es != nil {
 		s.es.PeakNodes(int(s.stats.peakNodes.Load()))
 		s.es.ArenaRelease(cols, reused)
 		s.es.Sweep(s.events, s.radixPasses, s.fallbacks)
+		s.es.SweepParallel(s.parallelWorkers, s.chunks)
 	}
 	return res, err
 }
@@ -205,13 +215,19 @@ func (s *Sweep) Finish() (*Result, error) {
 // running (count, sum) pair — the COUNT/SUM/AVG path.
 func (s *Sweep) finishDecomposable() *Result {
 	s.events = len(s.sTimes) + len(s.eTimes)
+	workers := s.opts.workers(s.events)
 	if !s.sSorted {
-		s.radixPasses += radixSortInt64(&s.ar, s.sTimes, s.sVals)
+		s.radixPasses += radixSortInt64Parallel(&s.ar, workers, s.sTimes, s.sVals)
 	}
 	// Departures are e+1 in arrival order; even sorted input rarely keeps
 	// them sorted, so check in O(n) before paying for the sort.
 	if !sortedInt64(s.eTimes) {
-		s.radixPasses += radixSortInt64(&s.ar, s.eTimes, s.eVals)
+		s.radixPasses += radixSortInt64Parallel(&s.ar, workers, s.eTimes, s.eVals)
+	}
+	if workers > 1 {
+		if res := s.scanChunked(workers); res != nil {
+			return res
+		}
 	}
 
 	lo, hi := s.span.Start, s.span.End
@@ -271,8 +287,14 @@ func (s *Sweep) finishWedge() (*Result, error) {
 	if bound <= 0 {
 		bound = DefaultWedgeBound
 	}
+	workers := s.opts.workers(2 * len(s.starts))
 	if !sortedInt64(s.starts) {
-		s.radixPasses += radixSortInt64(&s.ar, s.starts, s.ends, s.vals)
+		s.radixPasses += radixSortInt64Parallel(&s.ar, workers, s.starts, s.ends, s.vals)
+	}
+	if workers > 1 {
+		if res, err := s.finishWedgeParallel(workers); res != nil || err != nil {
+			return res, err
+		}
 	}
 	// Departure events (e+1 with the value to retract); tuples reaching the
 	// span's end never depart within it.

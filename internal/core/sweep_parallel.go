@@ -1,0 +1,313 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+)
+
+// Parallel execution of the columnar sweep (DESIGN.md S41). The serial
+// merge scan emits one row per event boundary while folding signed deltas
+// into a running (count, sum) pair. That scan decomposes: cut the sorted
+// event stream at a handful of event timestamps, hand each chunk to a
+// worker with the pair it would have carried into its first boundary — a
+// fold of every event to the chunk's left, computed by a prefix pass — and
+// concatenate the chunks' rows. int64 addition is associative and
+// commutative (two's-complement wraparound included), so the carried pair,
+// and with it every emitted row, is bit-identical to the serial scan's.
+//
+// Cuts are restricted to *arrival timestamps*: the serial scan visits a
+// boundary at every event time, so cutting there splits the row stream
+// between rows rather than through one, which is what keeps the
+// concatenation row-for-row identical instead of merely value-equivalent.
+
+// parallelSweepMinEvents is the event count below which a defaulted
+// (Parallel = 0) sweep stays serial: chunk bookkeeping on a small scan
+// costs more than the scan. An explicit Parallel > 1 always takes the
+// chunked path, which is how the differential and fuzz harnesses force it
+// onto small inputs.
+const parallelSweepMinEvents = 4096
+
+// SweepOptions parameterizes a sweep evaluation.
+type SweepOptions struct {
+	// Parallel is the worker-goroutine count for the sort and scan. 0
+	// resolves to runtime.GOMAXPROCS(0) with a serial fallback below
+	// parallelSweepMinEvents; 1 forces the serial path; any larger value is
+	// honored as given, whatever the input size.
+	Parallel int
+}
+
+// workers resolves the option for an input of n events.
+func (o SweepOptions) workers(n int) int {
+	w := o.Parallel
+	if w > 0 {
+		return w
+	}
+	if n < parallelSweepMinEvents {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// NewSweepOptions is NewSweep with explicit options.
+func NewSweepOptions(f aggregate.Func, opts SweepOptions) *Sweep {
+	return NewSweepRangeOptions(f, interval.Universe(), opts)
+}
+
+// NewSweepRangeOptions is NewSweepRange with explicit options.
+func NewSweepRangeOptions(f aggregate.Func, span interval.Interval, opts SweepOptions) *Sweep {
+	s := NewSweepRange(f, span)
+	s.opts = opts
+	return s
+}
+
+// lowerBoundInt64 returns the first index of sorted keys not less than t.
+func lowerBoundInt64(keys []int64, t int64) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] >= t })
+}
+
+// chunkCuts picks up to workers-1 distinct arrival timestamps after lo from
+// the sorted arrival column, at even quantiles so chunks carry comparable
+// event counts. An empty result means the input has too few distinct
+// boundaries to split and the caller should scan serially.
+func chunkCuts(sTimes []int64, lo int64, workers int) []int64 {
+	n := len(sTimes)
+	if n == 0 {
+		return nil
+	}
+	cuts := make([]int64, 0, workers-1)
+	last := lo
+	for k := 1; k < workers; k++ {
+		c := sTimes[k*n/workers]
+		if c > last {
+			cuts = append(cuts, c)
+			last = c
+		}
+	}
+	return cuts
+}
+
+// sweepChunk is one worker's slice of the decomposable merge scan: a
+// contiguous run of event boundaries plus the (count, sum) pair carried in
+// from everything to its left.
+type sweepChunk struct {
+	cut        int64 // first boundary owned by this chunk (span.Start for chunk 0)
+	sLo, sHi   int   // arrival index range [sLo, sHi)
+	eLo, eHi   int   // departure index range [eLo, eHi)
+	count, sum int64 // carry-in: fold of all events strictly before cut
+	rows       []Row
+}
+
+// scanChunked is the parallel decomposable scan. It requires both event
+// columns sorted. A nil return means the input had too few distinct
+// boundaries to split; the caller falls back to the serial scan.
+func (s *Sweep) scanChunked(workers int) *Result {
+	lo := s.span.Start
+	cuts := chunkCuts(s.sTimes, lo, workers)
+	if len(cuts) == 0 {
+		return nil
+	}
+	chunks := make([]sweepChunk, len(cuts)+1)
+	chunks[0].cut = lo
+	for k, c := range cuts {
+		chunks[k+1].cut = c
+		chunks[k+1].sLo = lowerBoundInt64(s.sTimes, c)
+		chunks[k+1].eLo = lowerBoundInt64(s.eTimes, c)
+	}
+	for k := range chunks {
+		if k+1 < len(chunks) {
+			chunks[k].sHi, chunks[k].eHi = chunks[k+1].sLo, chunks[k+1].eLo
+		} else {
+			chunks[k].sHi, chunks[k].eHi = len(s.sTimes), len(s.eTimes)
+		}
+	}
+
+	// Prefix pass: each chunk's in-range delta in parallel, then a serial
+	// exclusive scan. The carry a chunk receives equals the serial scan's
+	// running pair at its first boundary — same addends, associativity does
+	// the rest — so chunk-local folds resume bit-exactly.
+	var wg sync.WaitGroup
+	for k := range chunks {
+		wg.Add(1)
+		go func(c *sweepChunk) {
+			defer wg.Done()
+			var sum int64
+			for _, v := range s.sVals[c.sLo:c.sHi] {
+				sum += v
+			}
+			for _, v := range s.eVals[c.eLo:c.eHi] {
+				sum -= v
+			}
+			c.count = int64((c.sHi - c.sLo) - (c.eHi - c.eLo))
+			c.sum = sum
+		}(&chunks[k])
+	}
+	wg.Wait()
+	var count, sum int64
+	for k := range chunks {
+		c, cs := chunks[k].count, chunks[k].sum
+		chunks[k].count, chunks[k].sum = count, sum
+		count += c
+		sum += cs
+	}
+
+	for k := range chunks {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			var next int64
+			if k+1 < len(chunks) {
+				next = chunks[k+1].cut
+			}
+			s.scanChunkRange(&chunks[k], next, k+1 == len(chunks))
+		}(k)
+	}
+	wg.Wait()
+
+	total := 1
+	for k := range chunks {
+		total += len(chunks[k].rows)
+	}
+	res := &Result{Func: s.f, Rows: make([]Row, 0, total)}
+	for k := range chunks {
+		res.Rows = append(res.Rows, chunks[k].rows...)
+	}
+	s.parallelWorkers, s.chunks = workers, len(chunks)
+	return res
+}
+
+// scanChunkRange runs the serial merge-scan loop over one chunk's event
+// ranges. Events at the chunk's first boundary are absorbed before any row
+// is emitted: for chunk 0 that is the serial scan's pre-loop over arrivals
+// at the span start, for later chunks the absorption the serial scan
+// performs right after emitting the row the predecessor chunk owns. The
+// closing row runs to the next chunk's cut (exclusive) — the row the serial
+// scan would emit on reaching that boundary — or to the span end for the
+// last chunk.
+func (s *Sweep) scanChunkRange(c *sweepChunk, next int64, last bool) {
+	hi := s.span.End
+	count, sum := c.count, c.sum
+	i, j := c.sLo, c.eLo
+	rows := make([]Row, 0, (c.sHi-c.sLo)+(c.eHi-c.eLo)+1)
+	cur := c.cut
+	for i < c.sHi && s.sTimes[i] == cur {
+		count++
+		sum += s.sVals[i]
+		i++
+	}
+	for j < c.eHi && s.eTimes[j] == cur {
+		count--
+		sum -= s.eVals[j]
+		j++
+	}
+	for i < c.sHi || j < c.eHi {
+		var t int64
+		switch {
+		case i < c.sHi && j < c.eHi:
+			t = min(s.sTimes[i], s.eTimes[j])
+		case i < c.sHi:
+			t = s.sTimes[i]
+		default:
+			t = s.eTimes[j]
+		}
+		rows = append(rows, Row{
+			Interval: interval.MustNew(cur, t-1),
+			State:    s.f.FromCounters(count, sum, 0),
+		})
+		for i < c.sHi && s.sTimes[i] == t {
+			count++
+			sum += s.sVals[i]
+			i++
+		}
+		for j < c.eHi && s.eTimes[j] == t {
+			count--
+			sum -= s.eVals[j]
+			j++
+		}
+		cur = t
+	}
+	end := hi
+	if !last {
+		end = next - 1
+	}
+	c.rows = append(rows, Row{
+		Interval: interval.MustNew(cur, end),
+		State:    s.f.FromCounters(count, sum, 0),
+	})
+}
+
+// finishWedgeParallel is the MIN/MAX parallel path: the span is cut at
+// arrival timestamps and each sub-span runs its own serial wedge sweep over
+// the tuples overlapping it — the same per-region decomposition
+// EvaluatePartitionedStream uses, with the wedge providing each region's
+// extremum partials. Results concatenate into a partition of the span and
+// are coalesced; unlike the decomposable path this is value-equivalent, not
+// row-identical, since region edges may split rows the serial scan emits
+// whole. Returns (nil, nil) when the input has too few distinct boundaries
+// to split, and the serial wedge takes over.
+func (s *Sweep) finishWedgeParallel(workers int) (*Result, error) {
+	lo, hi := s.span.Start, s.span.End
+	cuts := chunkCuts(s.starts, lo, workers)
+	if len(cuts) == 0 {
+		return nil, nil
+	}
+	spans := make([]interval.Interval, 0, len(cuts)+1)
+	prev := lo
+	for _, c := range cuts {
+		spans = append(spans, interval.MustNew(prev, c-1))
+		prev = c
+	}
+	spans = append(spans, interval.MustNew(prev, hi))
+
+	subs := make([]*Sweep, len(spans))
+	errs := make([]error, len(spans))
+	results := make([]*Result, len(spans))
+	var wg sync.WaitGroup
+	for k := range spans {
+		// Sub-sweeps are serial (Parallel: 1), own their column arenas, and
+		// run unsinked — the parent publishes the aggregated counters once.
+		subs[k] = NewSweepRangeOptions(s.f, spans[k], SweepOptions{Parallel: 1})
+		subs[k].WedgeBound = s.WedgeBound
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			sub := subs[k]
+			// Starts are sorted, so tuples at or past the sub-span's end
+			// cannot overlap it; earlier tuples are filtered by Intersect.
+			n := len(s.starts)
+			if spans[k].End != interval.Forever {
+				n = lowerBoundInt64(s.starts, spans[k].End+1)
+			}
+			for i := 0; i < n; i++ {
+				iv, ok := interval.MustNew(s.starts[i], s.ends[i]).Intersect(spans[k])
+				if !ok {
+					continue
+				}
+				sub.add(iv, s.vals[i])
+			}
+			results[k], errs[k] = sub.Finish()
+		}(k)
+	}
+	wg.Wait()
+
+	total := 0
+	for k := range results {
+		s.events += subs[k].events
+		s.radixPasses += subs[k].radixPasses
+		s.fallbacks += subs[k].fallbacks
+		if errs[k] != nil {
+			return nil, errs[k]
+		}
+		total += len(results[k].Rows)
+	}
+	res := &Result{Func: s.f, Rows: make([]Row, 0, total)}
+	for k := range results {
+		res.Rows = append(res.Rows, results[k].Rows...)
+	}
+	res.Coalesce()
+	s.parallelWorkers, s.chunks = workers, len(spans)
+	return res, nil
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+	"tempagg/internal/obs"
+	"tempagg/internal/tuple"
+)
+
+// SweepGroup evaluates several decomposable queries — each an aggregate
+// plus an optional tuple predicate — in one shared pass over one event
+// buffer (DESIGN.md S42). Where N separate sweeps ingest, sort, and scan
+// the relation N times, the group ingests once, tagging every event with a
+// bitmask of the queries it qualifies for (the mask rides through the radix
+// sort as one more payload column), sorts once, and scans once, folding
+// each event's deltas into the running pairs of exactly the queries in its
+// mask.
+//
+// Per-query results are row-identical to running that query through its own
+// serial sweep over its filtered tuples: a row boundary is recorded for a
+// query only at timestamps where the query itself has an event ("touched"
+// boundaries), so queries do not inherit each other's row splits. The scan
+// parallelizes exactly like the single-query sweep — chunked at arrival
+// timestamps with per-chunk carry-in computed by a prefix pass — except
+// that a chunk records per-query (boundary, local-fold) touch lists instead
+// of rows, and a cheap serial stitch adds the carries and materializes the
+// rows.
+type SweepGroup struct {
+	noCopy noCopy
+
+	span    interval.Interval
+	opts    SweepOptions
+	queries []GroupQuery
+	ar      colArena
+
+	// Event columns: timestamps, signed values, and query bitmasks, the
+	// mask column carried through the sort as an extra radix payload.
+	sTimes, sVals, sMasks []int64
+	eTimes, eVals, eMasks []int64
+	sSorted               bool
+	sLast                 int64
+	ingested              bool
+
+	events      int
+	radixPasses int
+
+	sink  obs.Sink
+	es    obs.EvalSink
+	stats statsCell
+}
+
+// GroupQuery is one registered query: an aggregate over the tuples its
+// filter accepts.
+type GroupQuery struct {
+	// Func must be a decomposable aggregate (COUNT/SUM/AVG); Register
+	// rejects MIN/MAX, which cannot share the signed-delta scan.
+	Func aggregate.Func
+	// Filter, when non-nil, restricts the query to the tuples it accepts.
+	// It sees the tuple as ingested, before span clipping.
+	Filter func(tuple.Tuple) bool
+}
+
+// MaxGroupQueries is the registration capacity of one SweepGroup: the
+// width of the per-event query bitmask.
+const MaxGroupQueries = 64
+
+// NewSweepGroup returns an empty group over [0, ∞].
+func NewSweepGroup(opts SweepOptions) *SweepGroup {
+	return NewSweepGroupRange(interval.Universe(), opts)
+}
+
+// NewSweepGroupRange returns an empty group covering only the given range;
+// tuples are clipped to it on insertion like NewSweepRange.
+func NewSweepGroupRange(span interval.Interval, opts SweepOptions) *SweepGroup {
+	return &SweepGroup{span: span, opts: opts, sSorted: true}
+}
+
+func (g *SweepGroup) setSink(snk obs.Sink) {
+	g.sink = snk
+	if snk == nil {
+		return // nil Sink: instrumentation disabled (obs.Sink contract)
+	}
+	g.es = snk.Evaluator(SweepGroupAlgorithm)
+}
+
+// SweepGroupAlgorithm is the algorithm label SweepGroup publishes under.
+const SweepGroupAlgorithm = "sweep-group"
+
+// SetSink attaches an observability sink; call before the first Add.
+func (g *SweepGroup) SetSink(snk obs.Sink) { g.setSink(snk) }
+
+// Register adds one query and returns its index into Finish's results.
+// All registrations must precede the first Add.
+func (g *SweepGroup) Register(q GroupQuery) (int, error) {
+	if g.ingested {
+		return 0, errors.New("core: SweepGroup.Register after Add")
+	}
+	if !q.Func.Kind().Decomposable() {
+		return 0, fmt.Errorf("core: SweepGroup cannot share %v (not decomposable)", q.Func.Kind())
+	}
+	if len(g.queries) == MaxGroupQueries {
+		return 0, fmt.Errorf("core: SweepGroup is full (%d queries)", MaxGroupQueries)
+	}
+	g.queries = append(g.queries, q)
+	return len(g.queries) - 1, nil
+}
+
+// Queries reports the number of registered queries.
+func (g *SweepGroup) Queries() int { return len(g.queries) }
+
+// add ingests one tuple already validated, returning nodes charged.
+func (g *SweepGroup) add(tu tuple.Tuple) int {
+	iv, ok := tu.Valid.Intersect(g.span)
+	if !ok {
+		return 0
+	}
+	var mask uint64
+	for qi := range g.queries {
+		if f := g.queries[qi].Filter; f == nil || f(tu) {
+			mask |= 1 << uint(qi)
+		}
+	}
+	if mask == 0 {
+		return 0
+	}
+	if iv.Start < g.sLast {
+		g.sSorted = false
+	}
+	g.sLast = iv.Start
+	g.sTimes = g.ar.push(g.sTimes, iv.Start)
+	g.sVals = g.ar.push(g.sVals, tu.Value)
+	g.sMasks = g.ar.push(g.sMasks, int64(mask))
+	if iv.End >= g.span.End {
+		return 1
+	}
+	g.eTimes = g.ar.push(g.eTimes, iv.End+1)
+	g.eVals = g.ar.push(g.eVals, tu.Value)
+	g.eMasks = g.ar.push(g.eMasks, int64(mask))
+	return 2
+}
+
+// Add absorbs one tuple for every registered query whose filter accepts it.
+func (g *SweepGroup) Add(tu tuple.Tuple) error {
+	if err := tu.Valid.Validate(); err != nil {
+		return err
+	}
+	g.ingested = true
+	grown := g.add(tu)
+	g.stats.grow(grown)
+	g.stats.addTuple()
+	if g.es != nil {
+		g.es.TuplesProcessed(1)
+		g.es.NodesAllocated(grown)
+	}
+	return nil
+}
+
+// AddBatch absorbs one page of tuples; sink publication is batched to one
+// event pair per page, mirroring Sweep.AddBatch.
+func (g *SweepGroup) AddBatch(ts []tuple.Tuple) error {
+	g.ingested = true
+	grown, added := 0, 0
+	var err error
+	for i := range ts {
+		if err = ts[i].Valid.Validate(); err != nil {
+			break
+		}
+		grown += g.add(ts[i])
+		g.stats.addTuple()
+		added++
+	}
+	g.stats.grow(grown)
+	if g.es != nil {
+		g.es.TuplesProcessed(added)
+		g.es.NodesAllocated(grown)
+	}
+	return err
+}
+
+// Stats reports the group's counters (tuples ingested once, shared by all
+// registered queries).
+func (g *SweepGroup) Stats() Stats { return g.stats.snapshot() }
+
+// groupTouch is one row boundary of one query inside one chunk: the
+// boundary timestamp and the chunk-local (count, sum) fold accumulated
+// before absorbing the events at it.
+type groupTouch struct {
+	t          int64
+	count, sum int64
+}
+
+// groupChunk is one worker's slice of the shared scan.
+type groupChunk struct {
+	cut                int64
+	sLo, sHi, eLo, eHi int
+	touches            [][]groupTouch // per query, boundaries owned by this chunk
+	endCount, endSum   []int64        // per query, chunk-local totals after all its events
+}
+
+// Finish sorts the shared event columns, runs the scan, and returns one
+// Result per registered query, in registration order. The group must not
+// be reused afterwards.
+func (g *SweepGroup) Finish() ([]*Result, error) {
+	if len(g.queries) == 0 {
+		return nil, errors.New("core: SweepGroup.Finish with no registered queries")
+	}
+	g.events = len(g.sTimes) + len(g.eTimes)
+	workers := g.opts.workers(g.events)
+	if !g.sSorted {
+		g.radixPasses += radixSortInt64Parallel(&g.ar, workers, g.sTimes, g.sVals, g.sMasks)
+	}
+	if !sortedInt64(g.eTimes) {
+		g.radixPasses += radixSortInt64Parallel(&g.ar, workers, g.eTimes, g.eVals, g.eMasks)
+	}
+	results, chunks := g.scan(workers)
+	for _, col := range [][]int64{
+		g.sTimes, g.sVals, g.sMasks, g.eTimes, g.eVals, g.eMasks,
+	} {
+		g.ar.release(col)
+	}
+	g.sTimes, g.sVals, g.sMasks = nil, nil, nil
+	g.eTimes, g.eVals, g.eMasks = nil, nil, nil
+	cols, reused := g.ar.counters()
+	if g.es != nil {
+		g.es.PeakNodes(int(g.stats.peakNodes.Load()))
+		g.es.ArenaRelease(cols, reused)
+		g.es.Sweep(g.events, g.radixPasses, 0)
+		g.es.SweepParallel(workers, chunks)
+		g.es.SweepShared(len(g.queries))
+	}
+	return results, nil
+}
+
+// scan cuts the sorted event stream into chunks, scans them concurrently,
+// and stitches per-query rows. One chunk (workers == 1 or nothing to cut)
+// is the serial scan through the identical code path.
+func (g *SweepGroup) scan(workers int) ([]*Result, int) {
+	lo, hi := g.span.Start, g.span.End
+	var cuts []int64
+	if workers > 1 {
+		cuts = chunkCuts(g.sTimes, lo, workers)
+	}
+	chunks := make([]groupChunk, len(cuts)+1)
+	chunks[0].cut = lo
+	for k, c := range cuts {
+		chunks[k+1].cut = c
+		chunks[k+1].sLo = lowerBoundInt64(g.sTimes, c)
+		chunks[k+1].eLo = lowerBoundInt64(g.eTimes, c)
+	}
+	for k := range chunks {
+		if k+1 < len(chunks) {
+			chunks[k].sHi, chunks[k].eHi = chunks[k+1].sLo, chunks[k+1].eLo
+		} else {
+			chunks[k].sHi, chunks[k].eHi = len(g.sTimes), len(g.eTimes)
+		}
+	}
+	if len(chunks) == 1 {
+		g.scanChunk(&chunks[0])
+	} else {
+		var wg sync.WaitGroup
+		for k := range chunks {
+			wg.Add(1)
+			go func(c *groupChunk) {
+				defer wg.Done()
+				g.scanChunk(c)
+			}(&chunks[k])
+		}
+		wg.Wait()
+	}
+
+	// Stitch: thread each query's carry across the chunks and materialize
+	// its rows. A touch records the chunk-local fold before its boundary;
+	// carry + local is the serial scan's running pair there (int64 addition
+	// is associative), so the rows are bit-identical to a dedicated serial
+	// sweep over the query's filtered tuples.
+	results := make([]*Result, len(g.queries))
+	for q := range g.queries {
+		f := g.queries[q].Func
+		total := 1
+		for k := range chunks {
+			total += len(chunks[k].touches[q])
+		}
+		rows := make([]Row, 0, total)
+		cur := lo
+		var count, sum int64
+		for k := range chunks {
+			for _, tc := range chunks[k].touches[q] {
+				rows = append(rows, Row{
+					Interval: interval.MustNew(cur, tc.t-1),
+					State:    f.FromCounters(count+tc.count, sum+tc.sum, 0),
+				})
+				cur = tc.t
+			}
+			count += chunks[k].endCount[q]
+			sum += chunks[k].endSum[q]
+		}
+		rows = append(rows, Row{
+			Interval: interval.MustNew(cur, hi),
+			State:    f.FromCounters(count, sum, 0),
+		})
+		results[q] = &Result{Func: f, Rows: rows}
+	}
+	return results, len(chunks)
+}
+
+// scanChunk walks one chunk's event ranges, recording a touch for every
+// (query, boundary) pair where the query has an event — the only
+// boundaries at which that query's dedicated sweep would emit a row — and
+// folding deltas into per-query chunk-local pairs. Boundaries at the span
+// start produce no touch: the serial scan absorbs those arrivals before
+// emitting anything.
+func (g *SweepGroup) scanChunk(c *groupChunk) {
+	nq := len(g.queries)
+	c.touches = make([][]groupTouch, nq)
+	c.endCount = make([]int64, nq)
+	c.endSum = make([]int64, nq)
+	lo := g.span.Start
+	i, j := c.sLo, c.eLo
+	for i < c.sHi || j < c.eHi {
+		var t int64
+		switch {
+		case i < c.sHi && j < c.eHi:
+			t = min(g.sTimes[i], g.eTimes[j])
+		case i < c.sHi:
+			t = g.sTimes[i]
+		default:
+			t = g.eTimes[j]
+		}
+		if t != lo {
+			var touched uint64
+			for ii := i; ii < c.sHi && g.sTimes[ii] == t; ii++ {
+				touched |= uint64(g.sMasks[ii])
+			}
+			for jj := j; jj < c.eHi && g.eTimes[jj] == t; jj++ {
+				touched |= uint64(g.eMasks[jj])
+			}
+			for m := touched; m != 0; m &= m - 1 {
+				q := bits.TrailingZeros64(m)
+				c.touches[q] = append(c.touches[q], groupTouch{
+					t: t, count: c.endCount[q], sum: c.endSum[q],
+				})
+			}
+		}
+		for i < c.sHi && g.sTimes[i] == t {
+			v := g.sVals[i]
+			for m := uint64(g.sMasks[i]); m != 0; m &= m - 1 {
+				q := bits.TrailingZeros64(m)
+				c.endCount[q]++
+				c.endSum[q] += v
+			}
+			i++
+		}
+		for j < c.eHi && g.eTimes[j] == t {
+			v := g.eVals[j]
+			for m := uint64(g.eMasks[j]); m != 0; m &= m - 1 {
+				q := bits.TrailingZeros64(m)
+				c.endCount[q]--
+				c.endSum[q] -= v
+			}
+			j++
+		}
+	}
+}

@@ -48,6 +48,13 @@ type EvalSink interface {
 	// fallbacks taken by the MIN/MAX wedge (0 or 1 per run). Called once at
 	// Finish, off the per-tuple path.
 	Sweep(events, radixPasses, fallbacks int)
+	// SweepParallel reports one sweep scan's parallelism: worker goroutines
+	// resolved and chunks the event stream was cut into (1 and 1 for a
+	// serial run). Called once at Finish alongside Sweep.
+	SweepParallel(workers, chunks int)
+	// SweepShared reports one shared multi-query pass (core.SweepGroup)
+	// serving n registered queries. Called once at the group's Finish.
+	SweepShared(queries int)
 }
 
 // Metric names exported by Metrics. Each maps to a §6 cost-model quantity;
@@ -63,6 +70,9 @@ const (
 	MetricSweepEvents     = "tempagg_sweep_events_total"
 	MetricSweepRadix      = "tempagg_sweep_radix_passes_total"
 	MetricSweepFallbacks  = "tempagg_sweep_fallbacks_total"
+	MetricSweepWorkers    = "tempagg_sweep_parallel_workers"
+	MetricSweepChunks     = "tempagg_sweep_chunks_total"
+	MetricSweepShared     = "tempagg_sweep_shared_queries_total"
 	MetricQueries         = "tempagg_queries_total"
 	MetricQueryDuration   = "tempagg_query_duration_seconds"
 	MetricSlowQueries     = "tempagg_slow_queries_total"
@@ -92,6 +102,9 @@ type Metrics struct {
 	sweepEvents *CounterVec   // by algorithm
 	sweepRadix  *CounterVec   // by algorithm
 	sweepFalls  *CounterVec   // by algorithm
+	sweepWork   *GaugeVec     // by algorithm, last run's worker count
+	sweepChunks *CounterVec   // by algorithm
+	sweepShared *CounterVec   // by algorithm
 	queries     *CounterVec   // by algorithm, status
 	duration    *HistogramVec // by algorithm
 	slow        *Counter
@@ -125,6 +138,12 @@ func NewMetrics(reg *Registry) *Metrics {
 			"Non-trivial LSD radix scatter passes performed by the sweep's event sort.", "algorithm"),
 		sweepFalls: reg.CounterVec(MetricSweepFallbacks,
 			"Sweep runs that fell back to the aggregation tree (MIN/MAX wedge overflow).", "algorithm"),
+		sweepWork: reg.GaugeVec(MetricSweepWorkers,
+			"Worker goroutines resolved by the most recent sweep scan (1 when serial).", "algorithm"),
+		sweepChunks: reg.CounterVec(MetricSweepChunks,
+			"Event-stream chunks scanned by the parallel sweep (one per serial run).", "algorithm"),
+		sweepShared: reg.CounterVec(MetricSweepShared,
+			"Queries served by shared multi-query sweep passes (core.SweepGroup).", "algorithm"),
 		queries: reg.CounterVec(MetricQueries,
 			"Queries executed, by chosen algorithm and outcome.", "algorithm", "status"),
 		duration: reg.HistogramVec(MetricQueryDuration,
@@ -153,6 +172,9 @@ func (m *Metrics) Evaluator(algorithm string) EvalSink {
 		sweepEvents: m.sweepEvents.With(algorithm),
 		sweepRadix:  m.sweepRadix.With(algorithm),
 		sweepFalls:  m.sweepFalls.With(algorithm),
+		sweepWork:   m.sweepWork.With(algorithm),
+		sweepChunks: m.sweepChunks.With(algorithm),
+		sweepShared: m.sweepShared.With(algorithm),
 	}
 }
 
@@ -199,6 +221,9 @@ type evalSink struct {
 	sweepEvents *Counter
 	sweepRadix  *Counter
 	sweepFalls  *Counter
+	sweepWork   *Gauge
+	sweepChunks *Counter
+	sweepShared *Counter
 }
 
 func (s *evalSink) TuplesProcessed(n int) { s.tuples.Add(int64(n)) }
@@ -214,4 +239,11 @@ func (s *evalSink) Sweep(events, radixPasses, fallbacks int) {
 	s.sweepEvents.Add(int64(events))
 	s.sweepRadix.Add(int64(radixPasses))
 	s.sweepFalls.Add(int64(fallbacks))
+}
+func (s *evalSink) SweepParallel(workers, chunks int) {
+	s.sweepWork.Set(int64(workers))
+	s.sweepChunks.Add(int64(chunks))
+}
+func (s *evalSink) SweepShared(queries int) {
+	s.sweepShared.Add(int64(queries))
 }

@@ -1,0 +1,174 @@
+package query
+
+import (
+	"fmt"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/core"
+	"tempagg/internal/relation"
+	"tempagg/internal/tuple"
+)
+
+// batchMember is one query admitted to a shared wave: its index in the
+// caller's slice, its plan, and the result indices its aggregates got in the
+// wave's SweepGroup.
+type batchMember struct {
+	idx     int
+	plan    Plan
+	resIdxs []int
+}
+
+// ExecuteBatch executes several parsed queries over one relation, serving
+// every sweep-eligible query from shared core.SweepGroup passes: the
+// relation is read, filtered, sorted, and scanned once per wave of up to
+// MaxGroupQueries aggregates rather than once per query. Each query's WHERE
+// conjuncts and VALID window become its registration's tuple filter, so
+// per-query results are identical to Execute's. Queries the shared pass
+// cannot serve — snapshots, span grouping, attribute grouping, DISTINCT,
+// non-decomposable aggregates, or a plan that is not the sweep — fall back
+// to individual Execute calls. Results align with qs by index.
+func ExecuteBatch(qs []*Query, rel *relation.Relation, info *RelationInfo) ([]*QueryResult, error) {
+	results := make([]*QueryResult, len(qs))
+	var wave []batchMember
+	registered := 0
+	for i, q := range qs {
+		plan, ok, err := batchPlan(q, rel, info)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			qr, err := Execute(q, rel, info)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = qr
+			continue
+		}
+		if registered+len(q.Aggs) > core.MaxGroupQueries {
+			if err := runBatchWave(qs, rel, wave, results); err != nil {
+				return nil, err
+			}
+			wave, registered = wave[:0], 0
+		}
+		wave = append(wave, batchMember{idx: i, plan: plan})
+		registered += len(q.Aggs)
+	}
+	if err := runBatchWave(qs, rel, wave, results); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// batchPlan plans q and reports whether the shared pass can serve it.
+func batchPlan(q *Query, rel *relation.Relation, info *RelationInfo) (Plan, bool, error) {
+	if q.Relation != rel.Name {
+		return Plan{}, false, fmt.Errorf("query: relation %q not found (have %q)", q.Relation, rel.Name)
+	}
+	if q.At != nil || q.Temporal == BySpan || q.GroupAttr != nil || len(q.Aggs) == 0 {
+		return Plan{}, false, nil
+	}
+	for _, a := range q.Aggs {
+		if !a.Kind.Decomposable() || a.Distinct {
+			return Plan{}, false, nil
+		}
+	}
+	meta := RelationInfo{Tuples: rel.Len(), Sorted: rel.IsSorted(), KBound: -1}
+	if info != nil {
+		meta = *info
+	}
+	plan, err := PlanQuery(q, meta)
+	if err != nil {
+		return Plan{}, false, err
+	}
+	if plan.Spec.Algorithm != core.SweepEval || plan.Tuma || plan.Partitioned || plan.SortFirst {
+		// The optimizer preferred another strategy (sorted input, tight
+		// memory, explicit USING); sharing must not override its choice.
+		return Plan{}, false, nil
+	}
+	return plan, true, nil
+}
+
+// runBatchWave evaluates one wave of admitted queries through a single
+// SweepGroup and fans the per-aggregate results back out to results.
+func runBatchWave(qs []*Query, rel *relation.Relation, wave []batchMember, results []*QueryResult) error {
+	if len(wave) == 0 {
+		return nil
+	}
+	// The wave runs at the widest parallelism any member asked for; 0 keeps
+	// the GOMAXPROCS default.
+	parallel := 0
+	for _, m := range wave {
+		if p := m.plan.Spec.Parallel; p > parallel {
+			parallel = p
+		}
+	}
+	g := core.NewSweepGroup(core.SweepOptions{Parallel: parallel})
+	for w := range wave {
+		q := qs[wave[w].idx]
+		filter := batchFilter(q)
+		for _, a := range q.Aggs {
+			idx, err := g.Register(core.GroupQuery{Func: aggregate.For(a.Kind), Filter: filter})
+			if err != nil {
+				return err
+			}
+			wave[w].resIdxs = append(wave[w].resIdxs, idx)
+		}
+	}
+	for lo := 0; lo < rel.Len(); lo += core.BatchPage {
+		hi := min(lo+core.BatchPage, rel.Len())
+		if err := g.AddBatch(rel.Tuples[lo:hi]); err != nil {
+			return err
+		}
+	}
+	shared, err := g.Finish()
+	if err != nil {
+		return err
+	}
+	stats := g.Stats()
+	for _, m := range wave {
+		q := qs[m.idx]
+		gr := GroupResult{}
+		for ai, ri := range m.resIdxs {
+			res := shared[ri]
+			if q.Window != nil {
+				res.Clip(*q.Window)
+			}
+			gr.Results = append(gr.Results, res)
+			// The shared pass's counters are the wave's, not one query's:
+			// attach them to each query's first aggregate so per-query
+			// consumers see the cost of the pass that produced their rows.
+			if ai == 0 {
+				gr.AllStats = append(gr.AllStats, stats)
+			} else {
+				gr.AllStats = append(gr.AllStats, core.Stats{})
+			}
+		}
+		gr.Result = gr.Results[0]
+		gr.Stats = gr.AllStats[0]
+		plan := m.plan
+		plan.Reason += fmt.Sprintf("; shared pass served %d queries", len(wave))
+		results[m.idx] = &QueryResult{Query: q, Plan: plan, Groups: []GroupResult{gr}}
+	}
+	return nil
+}
+
+// batchFilter compiles a query's WHERE conjuncts and VALID window into the
+// tuple predicate its registrations carry — the same test Execute applies
+// before evaluation. Returns nil (no filter) for an unrestricted query.
+func batchFilter(q *Query) func(tuple.Tuple) bool {
+	if len(q.Where) == 0 && q.Window == nil {
+		return nil
+	}
+	conds, window := q.Where, q.Window
+	return func(t tuple.Tuple) bool {
+		if window != nil && !t.Valid.Overlaps(*window) {
+			return false
+		}
+		for _, c := range conds {
+			if !c.matches(t) {
+				return false
+			}
+		}
+		return true
+	}
+}

@@ -63,6 +63,12 @@ type Plan struct {
 	// an estimation miss — it sorts the relation and retries with k=1 —
 	// instead of failing the query.
 	SampledK bool
+	// SharedSweep marks a sweep plan whose several aggregates run as one
+	// core.SweepGroup pass — the relation is ingested, sorted, and scanned
+	// once for the whole select list instead of once per aggregate. Set only
+	// when every aggregate is decomposable and none is DISTINCT (a
+	// deduplicated input would differ per aggregate).
+	SharedSweep bool
 	// Spec is the evaluator to run (ignored when Tuma or Partitioned is set).
 	Spec core.Spec
 	// Reason explains the choice, for EXPLAIN-style output.
@@ -83,6 +89,9 @@ func (p Plan) String() string {
 	}
 	if p.Spec.Algorithm == core.KOrderedTree && !p.Tuma && !p.Partitioned {
 		alg = fmt.Sprintf("%s(k=%d)", alg, p.Spec.K)
+	}
+	if p.SharedSweep {
+		alg += " (shared pass)"
 	}
 	if p.SortFirst {
 		alg = "sort + " + alg
@@ -124,7 +133,20 @@ func resolveUsing(q *Query) (Plan, error) {
 			Spec:        core.Spec{Algorithm: core.AggregationTree},
 		}, nil
 	case "SWEEP":
-		return Plan{Spec: core.Spec{Algorithm: core.SweepEval}}, nil
+		// The K argument is reused as the worker count for the parallel
+		// scan: 0 (or omitted) resolves to GOMAXPROCS with a serial
+		// fallback on small inputs, 1 forces the serial path.
+		w := 0
+		if q.HasUsingK {
+			w = q.UsingK
+		}
+		if w < 0 {
+			return Plan{}, fmt.Errorf("query: USING SWEEP requires K >= 0 workers, got %d", w)
+		}
+		return Plan{
+			SharedSweep: sharedSweepEligible(q),
+			Spec:        core.Spec{Algorithm: core.SweepEval, Parallel: w},
+		}, nil
 	case "TUMA":
 		return Plan{Tuma: true}, nil
 	}
@@ -183,8 +205,9 @@ func PlanQuery(q *Query, info RelationInfo) (Plan, error) {
 	sweepEst := int64(6*info.Tuples+1) * core.NodeBytes
 	if decomposableAggs(q) && (info.MemoryBudget == 0 || sweepEst <= info.MemoryBudget) {
 		return Plan{
-			Spec:   core.Spec{Algorithm: core.SweepEval},
-			Reason: fmt.Sprintf("unsorted relation, decomposable aggregates: columnar event sweep (≤%d B)", sweepEst),
+			SharedSweep: sharedSweepEligible(q),
+			Spec:        core.Spec{Algorithm: core.SweepEval},
+			Reason:      fmt.Sprintf("unsorted relation, decomposable aggregates: columnar event sweep (≤%d B)", sweepEst),
 		}, nil
 	}
 	// Estimate the aggregation tree's memory: each tuple adds at most 4
@@ -216,4 +239,20 @@ func decomposableAggs(q *Query) bool {
 		}
 	}
 	return len(q.Aggs) > 0
+}
+
+// sharedSweepEligible reports whether a sweep plan for q should run its
+// select list as one shared core.SweepGroup pass: at least two aggregates,
+// all decomposable, none DISTINCT (deduplication changes the input per
+// aggregate, so a shared event buffer cannot serve it).
+func sharedSweepEligible(q *Query) bool {
+	if len(q.Aggs) < 2 {
+		return false
+	}
+	for _, a := range q.Aggs {
+		if !a.Kind.Decomposable() || a.Distinct {
+			return false
+		}
+	}
+	return true
 }

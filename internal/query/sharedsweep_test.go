@@ -1,0 +1,228 @@
+package query
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"tempagg/internal/core"
+	"tempagg/internal/relation"
+	"tempagg/internal/workload"
+)
+
+func unsortedRel(t *testing.T, n int, seed int64) *relation.Relation {
+	t.Helper()
+	rel, err := workload.Generate(workload.Config{Tuples: n, LongLivedPct: 30, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel.Name = "R"
+	return rel
+}
+
+func TestUsingSweepParallelK(t *testing.T) {
+	q := mustParse(t, "SELECT COUNT(Name) FROM R USING SWEEP 4")
+	plan, err := PlanQuery(q, RelationInfo{Tuples: 10, KBound: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Spec.Algorithm != core.SweepEval || plan.Spec.Parallel != 4 {
+		t.Fatalf("USING SWEEP 4 planned %v parallel=%d", plan.Spec.Algorithm, plan.Spec.Parallel)
+	}
+	if _, err := resolveUsing(&Query{Using: "SWEEP", HasUsingK: true, UsingK: -1}); err == nil {
+		t.Fatal("USING SWEEP -1 must be rejected")
+	}
+}
+
+func TestSharedSweepPlanFlag(t *testing.T) {
+	info := RelationInfo{Tuples: 100, KBound: -1} // unsorted, unbounded: auto-sweep
+	for _, tc := range []struct {
+		sql  string
+		want bool
+	}{
+		{"SELECT COUNT(Name), SUM(Salary) FROM R", true},
+		{"SELECT COUNT(Name), SUM(Salary), AVG(Salary) FROM R USING SWEEP", true},
+		{"SELECT COUNT(Name) FROM R", false},                                   // single aggregate: nothing to share
+		{"SELECT COUNT(Name), MIN(Salary) FROM R USING SWEEP", false},          // MIN cannot share the delta scan
+		{"SELECT COUNT(DISTINCT Name), SUM(Salary) FROM R USING SWEEP", false}, // DISTINCT changes the input
+	} {
+		q := mustParse(t, tc.sql)
+		plan, err := PlanQuery(q, info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.SharedSweep != tc.want {
+			t.Errorf("%q: SharedSweep = %v, want %v (plan %v)", tc.sql, plan.SharedSweep, tc.want, plan)
+		}
+	}
+	q := mustParse(t, "SELECT COUNT(Name), SUM(Salary) FROM R")
+	plan, err := PlanQuery(q, RelationInfo{Tuples: 100, Sorted: true, KBound: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SharedSweep {
+		t.Error("a sorted relation plans the k-ordered tree; SharedSweep must stay unset")
+	}
+}
+
+// TestExecuteSharedSweepMatchesPerAggregate: a multi-aggregate sweep query
+// answered by the shared pass must return, for every aggregate, exactly the
+// rows the same aggregate gets from its own single-aggregate query.
+func TestExecuteSharedSweepMatchesPerAggregate(t *testing.T) {
+	rel := unsortedRel(t, 700, 91)
+	for _, suffix := range []string{
+		"",
+		" WHERE Salary > 40000",
+		" VALID OVERLAPS 50 900",
+	} {
+		qr := execute(t, "SELECT COUNT(Name), SUM(Salary), AVG(Salary) FROM R"+suffix, rel)
+		if !qr.Plan.SharedSweep {
+			t.Fatalf("suffix %q: plan %v did not take the shared pass", suffix, qr.Plan)
+		}
+		if !strings.Contains(qr.Plan.String(), "shared pass") {
+			t.Errorf("plan string %q does not mention the shared pass", qr.Plan.String())
+		}
+		g := qr.Groups[0]
+		for ai, agg := range []string{"COUNT(Name)", "SUM(Salary)", "AVG(Salary)"} {
+			want := execute(t, "SELECT "+agg+" FROM R"+suffix+" USING SWEEP 1", rel)
+			if !reflect.DeepEqual(g.Results[ai].Rows, want.Groups[0].Result.Rows) {
+				t.Errorf("suffix %q aggregate %s: shared rows differ from dedicated query", suffix, agg)
+			}
+		}
+		// The pass ingests each tuple once for all three aggregates.
+		total := 0
+		for _, s := range g.AllStats {
+			total += s.Tuples
+		}
+		if total != g.AllStats[0].Tuples {
+			t.Errorf("suffix %q: stats spread across aggregates (%v), want all on the first", suffix, g.AllStats)
+		}
+	}
+}
+
+// TestExecuteSharedSweepGroupBy: attribute grouping runs one shared pass per
+// group and must match per-aggregate execution group for group.
+func TestExecuteSharedSweepGroupBy(t *testing.T) {
+	rel := unsortedRel(t, 400, 92)
+	qr := execute(t, "SELECT Name, COUNT(Name), SUM(Salary) FROM R GROUP BY Name", rel)
+	if !qr.Plan.SharedSweep {
+		t.Fatalf("plan %v did not take the shared pass", qr.Plan)
+	}
+	count := execute(t, "SELECT Name, COUNT(Name) FROM R GROUP BY Name USING SWEEP", rel)
+	sum := execute(t, "SELECT Name, SUM(Salary) FROM R GROUP BY Name USING SWEEP", rel)
+	if len(qr.Groups) != len(count.Groups) {
+		t.Fatalf("%d groups, want %d", len(qr.Groups), len(count.Groups))
+	}
+	for i, g := range qr.Groups {
+		if !reflect.DeepEqual(g.Results[0].Rows, count.Groups[i].Result.Rows) {
+			t.Errorf("group %s: COUNT rows differ", g.Key)
+		}
+		if !reflect.DeepEqual(g.Results[1].Rows, sum.Groups[i].Result.Rows) {
+			t.Errorf("group %s: SUM rows differ", g.Key)
+		}
+	}
+}
+
+// TestExecuteFileSharedSweepStream: the streaming executor's shared pass
+// must match the in-memory one.
+func TestExecuteFileSharedSweepStream(t *testing.T) {
+	rel := unsortedRel(t, 500, 93)
+	path := writeRelation(t, rel)
+	sql := "SELECT COUNT(Name), AVG(Salary) FROM R USING SWEEP 2"
+	got := runFile(t, sql, path)
+	if !got.Plan.SharedSweep {
+		t.Fatalf("streamed plan %v did not take the shared pass", got.Plan)
+	}
+	want := execute(t, sql, rel)
+	if len(got.Groups) != 1 || len(got.Groups[0].Results) != 2 {
+		t.Fatalf("unexpected group shape: %d groups", len(got.Groups))
+	}
+	for ai := range got.Groups[0].Results {
+		if !reflect.DeepEqual(got.Groups[0].Results[ai].Rows, want.Groups[0].Results[ai].Rows) {
+			t.Errorf("aggregate %d: streamed shared rows differ from in-memory", ai)
+		}
+	}
+}
+
+// TestExecuteBatchMatchesIndividual: whatever mix of eligible and
+// ineligible queries a batch carries, every result must equal the one
+// Execute returns for that query alone.
+func TestExecuteBatchMatchesIndividual(t *testing.T) {
+	rel := unsortedRel(t, 600, 94)
+	sqls := []string{
+		"SELECT COUNT(Name) FROM R",
+		"SELECT SUM(Salary) FROM R WHERE Salary >= 30000",
+		"SELECT AVG(Salary) FROM R VALID OVERLAPS 100 1200",
+		"SELECT MIN(Salary) FROM R",                     // not decomposable: individual
+		"SELECT Name, COUNT(Name) FROM R GROUP BY Name", // attribute grouping: individual
+		"SELECT COUNT(DISTINCT Name) FROM R",            // DISTINCT: individual
+		"SELECT COUNT(Name), SUM(Salary) FROM R",        // multi-aggregate member
+	}
+	qs := make([]*Query, len(sqls))
+	for i, sql := range sqls {
+		qs[i] = mustParse(t, sql)
+	}
+	results, err := ExecuteBatch(qs, rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(sqls) {
+		t.Fatalf("%d results for %d queries", len(results), len(sqls))
+	}
+	for i, sql := range sqls {
+		want := execute(t, sql, rel)
+		got := results[i]
+		if len(got.Groups) != len(want.Groups) {
+			t.Fatalf("%q: %d groups, want %d", sql, len(got.Groups), len(want.Groups))
+		}
+		for gi := range got.Groups {
+			for ai := range got.Groups[gi].Results {
+				if !reflect.DeepEqual(got.Groups[gi].Results[ai].Rows, want.Groups[gi].Results[ai].Rows) {
+					t.Errorf("%q group %d aggregate %d: batch rows differ from individual execution",
+						sql, gi, ai)
+				}
+			}
+		}
+	}
+	// The three shared members carry the batch annotation; the fallbacks the
+	// individual plan.
+	if !strings.Contains(results[0].Plan.Reason, "shared pass") {
+		t.Errorf("eligible query lost the shared-pass annotation: %q", results[0].Plan.Reason)
+	}
+	if strings.Contains(results[3].Plan.Reason, "shared pass") {
+		t.Errorf("MIN query must not claim the shared pass: %q", results[3].Plan.Reason)
+	}
+}
+
+// TestExecuteBatchWaves: more registrations than MaxGroupQueries must split
+// into waves, with results still correct per query.
+func TestExecuteBatchWaves(t *testing.T) {
+	rel := unsortedRel(t, 200, 95)
+	var sqls []string
+	for i := 0; i < core.MaxGroupQueries; i++ {
+		sqls = append(sqls, "SELECT COUNT(Name), SUM(Salary) FROM R") // 2 registrations each
+	}
+	qs := make([]*Query, len(sqls))
+	for i, sql := range sqls {
+		qs[i] = mustParse(t, sql)
+	}
+	results, err := ExecuteBatch(qs, rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := execute(t, sqls[0], rel)
+	for i, got := range results {
+		for ai := range got.Groups[0].Results {
+			if !reflect.DeepEqual(got.Groups[0].Results[ai].Rows, want.Groups[0].Results[ai].Rows) {
+				t.Fatalf("query %d aggregate %d: wave result differs", i, ai)
+			}
+		}
+	}
+}
+
+func TestExecuteBatchWrongRelation(t *testing.T) {
+	rel := relation.Employed()
+	if _, err := ExecuteBatch([]*Query{mustParse(t, "SELECT COUNT(Name) FROM Other")}, rel, nil); err == nil {
+		t.Fatal("a batch naming a missing relation must fail")
+	}
+}

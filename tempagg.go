@@ -96,6 +96,15 @@ type (
 	PartitionStream = core.PartitionStream
 	// StreamChunk is one partition's coalesced result on a PartitionStream.
 	StreamChunk = core.StreamChunk
+	// SweepOptions parameterizes the columnar sweep, most importantly its
+	// Parallel worker count (0 = GOMAXPROCS, 1 = serial).
+	SweepOptions = core.SweepOptions
+	// SweepGroup evaluates several decomposable queries in one shared
+	// ingest-sort-scan pass over one event buffer.
+	SweepGroup = core.SweepGroup
+	// GroupQuery is one SweepGroup registration: an aggregate plus an
+	// optional tuple filter.
+	GroupQuery = core.GroupQuery
 	// ScanOptions configures on-disk relation scans.
 	ScanOptions = relation.ScanOptions
 	// Scanner reads a relation file one page at a time.
@@ -217,6 +226,39 @@ func NewSliceSource(ts []Tuple) TupleSource { return core.NewSliceSource(ts) }
 // supplies optimizer metadata; nil derives it from the relation.
 func Query(sql string, rel *Relation, info *RelationInfo) (*QueryResult, error) {
 	return query.Run(sql, rel, info)
+}
+
+// QueryBatch parses and executes several queries over the relation in one
+// call. Sweep-eligible queries (decomposable aggregates, no snapshot, span
+// or attribute grouping, no DISTINCT) are served together from shared
+// SweepGroup passes — the relation is ingested, sorted, and scanned once
+// per wave of up to MaxSweepGroupQueries aggregates instead of once per
+// query; the rest execute individually. Results align with sqls by index.
+func QueryBatch(sqls []string, rel *Relation, info *RelationInfo) ([]*QueryResult, error) {
+	qs := make([]*query.Query, len(sqls))
+	for i, sql := range sqls {
+		q, err := query.Parse(sql)
+		if err != nil {
+			return nil, err
+		}
+		qs[i] = q
+	}
+	return query.ExecuteBatch(qs, rel, info)
+}
+
+// MaxSweepGroupQueries is a SweepGroup's registration capacity — the width
+// of the per-event query bitmask that rides through the shared sort.
+const MaxSweepGroupQueries = core.MaxGroupQueries
+
+// NewSweepGroup returns an empty shared-pass group over [0, ∞). Register
+// queries first, then feed tuples with Add/AddBatch, then Finish for one
+// Result per query in registration order.
+func NewSweepGroup(opts SweepOptions) *SweepGroup { return core.NewSweepGroup(opts) }
+
+// NewGroupQuery builds a SweepGroup registration for the given aggregate
+// kind; filter may be nil for an unrestricted query.
+func NewGroupQuery(kind AggregateKind, filter func(Tuple) bool) GroupQuery {
+	return GroupQuery{Func: aggregate.For(kind), Filter: filter}
 }
 
 // KOrderedness returns the minimal k for which the tuples are k-ordered.
