@@ -36,8 +36,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Boot tempaggd with its admin surface, run a query, and fail if /metrics
-# or /debug/pprof/heap is broken or the pipeline counters stayed at zero.
+# Boot tempaggd with its admin surface, run a plain query plus an EXPLAIN
+# ANALYZE, and fail if /metrics, /debug/traces, /debug/queries, or
+# /debug/pprof/heap is broken, the pipeline counters stayed at zero, or the
+# JSON debug payloads lost their schema. OBS_SMOKE_ARTIFACT (set in CI)
+# names a file to receive the /debug/traces body for artifact upload.
 obs-smoke:
 	$(GO) test ./cmd/tempaggd -run TestObsSmoke -count=1 -v
 

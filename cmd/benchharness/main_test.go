@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -49,6 +50,46 @@ func TestHarnessFigureTable(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "== figure-9") {
 		t.Fatalf("figure table missing:\n%s", b.String())
+	}
+}
+
+// The -json report carries per-stage timings for the sweep experiments so
+// profiles can be compared across PRs, not just end-to-end medians.
+func TestHarnessJSONStageTimings(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-exp", "sweep", "-max-size", "1024", "-seeds", "1", "-json"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Experiments []struct {
+			Metric string `json:"metric"`
+			Series []struct {
+				Name   string `json:"name"`
+				Points []struct {
+					Stages map[string]float64 `json:"stages"`
+				} `json:"points"`
+			} `json:"series"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &report); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	found := false
+	for _, e := range report.Experiments {
+		for _, s := range e.Series {
+			if !strings.Contains(s.Name, "sweep") {
+				continue
+			}
+			for _, p := range s.Points {
+				if p.Stages["scan"] > 0 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no sweep point carries a scan stage timing:\n%s", b.String())
 	}
 }
 

@@ -70,7 +70,7 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&cfg.kbound, "kbound", -1, "declare the relation k-ordered with this bound (-1: unknown)")
 	fs.Int64Var(&cfg.memory, "memory", 0, "memory budget in bytes for evaluation structures (0: unlimited)")
 	fs.BoolVar(&cfg.coalesce, "coalesce", false, "coalesce adjacent equal-valued constant intervals")
-	fs.BoolVar(&cfg.explain, "explain", false, "print only the chosen plan")
+	fs.BoolVar(&cfg.explain, "explain", false, "print only the chosen plan and the planner's ranked alternatives")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit results as JSON instead of tables")
 	fs.Float64Var(&cfg.costMem, "cost-memory", 0, "cost-based planning: price per resident byte")
 	fs.Float64Var(&cfg.costIO, "cost-io", 0, "cost-based planning: price per page I/O")
@@ -213,7 +213,14 @@ func emitTrace(o *obs.Observer, out io.Writer) error {
 
 func render(cfg config, qr *query.QueryResult, out io.Writer) error {
 	if cfg.explain {
-		fmt.Fprintf(out, "plan: %s\n", qr.Plan)
+		// Same report as an EXPLAIN statement: chosen plan plus the ranked
+		// alternatives the planner considered. If the query itself was an
+		// EXPLAIN [ANALYZE], its (possibly traced) report is already rendered.
+		if qr.Explain != "" {
+			fmt.Fprint(out, qr.Explain)
+		} else {
+			fmt.Fprint(out, query.RenderExplain(qr, nil))
+		}
 		return nil
 	}
 	if cfg.coalesce {

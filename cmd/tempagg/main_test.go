@@ -44,6 +44,26 @@ func TestRunExplain(t *testing.T) {
 	if !strings.HasPrefix(b.String(), "plan:") {
 		t.Fatalf("explain output = %q", b.String())
 	}
+	if !strings.Contains(b.String(), "alternatives:") {
+		t.Fatalf("explain output missing planner alternatives: %q", b.String())
+	}
+}
+
+// An EXPLAIN ANALYZE statement through the CLI renders the traced report:
+// span tree, counters, and estimated-vs-actual cost.
+func TestRunExplainAnalyzeStatement(t *testing.T) {
+	path := writeEmployed(t)
+	var b strings.Builder
+	err := run([]string{"-relation", path, "-query",
+		"EXPLAIN ANALYZE SELECT COUNT(Name) FROM Employed"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trace:", "counters:", "execute"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, b.String())
+		}
+	}
 }
 
 func TestRunCoalesceAndName(t *testing.T) {

@@ -9,9 +9,13 @@
 //	tempaggd -connect 127.0.0.1:7411 -query "SELECT ..."  # one-shot client
 //
 // With -http the daemon exposes /metrics (Prometheus text format),
-// /debug/traces (the last -traces query traces as JSON), and the standard
-// /debug/pprof/* profiling endpoints. Queries slower than -slow-query are
-// logged to stderr as one JSON line each; 0 disables the slow-query log.
+// /debug/traces (the last -traces query traces as JSON, span trees
+// included), /debug/queries (rolling per-stage latency window: histogram
+// quantiles, exemplar trace IDs, and a burn-rate-ranked slow-stage view),
+// and the standard /debug/pprof/* profiling endpoints. Queries slower than
+// -slow-query are logged to stderr as one JSON line each; 0 disables the
+// slow-query log. EXPLAIN and EXPLAIN ANALYZE statements work over the
+// wire: the reply's "explain" field carries the rendered report.
 //
 // See internal/server for the protocol and README.md for the metrics.
 package main
@@ -61,7 +65,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	var (
 		db       = fs.String("db", "", "catalog directory to serve")
 		listen   = fs.String("listen", "", "address to listen on, e.g. 127.0.0.1:7411")
-		httpAddr = fs.String("http", "", "admin HTTP address for /metrics, /debug/traces, /debug/pprof")
+		httpAddr = fs.String("http", "", "admin HTTP address for /metrics, /debug/traces, /debug/queries, /debug/pprof")
 		slow     = fs.Duration("slow-query", 0, "log queries slower than this to stderr (0 disables)")
 		traces   = fs.Int("traces", 128, "query traces kept for /debug/traces")
 		connect  = fs.String("connect", "", "server address to query as a client")
@@ -112,6 +116,11 @@ func serve(cfg serveConfig, out io.Writer, ready func(queryAddr, adminAddr strin
 		slowLog = obs.NewSlowLog(os.Stderr, cfg.slowQuery)
 	}
 	o := obs.NewObserver(cfg.traces, slowLog)
+	if cfg.slowQuery > 0 {
+		// One threshold for both slow surfaces: a query that lands in the
+		// stderr slow log also burns budget in the /debug/queries window.
+		o.Queries = obs.NewQueryStats(obs.QueryStatsConfig{SlowThreshold: cfg.slowQuery})
+	}
 	srv := server.New(cat, server.WithObserver(o))
 
 	lis, err := net.Listen("tcp", cfg.listen)
@@ -138,7 +147,7 @@ func serve(cfg serveConfig, out io.Writer, ready func(queryAddr, adminAddr strin
 			}
 			adminErr <- nil
 		}()
-		fmt.Fprintf(out, "admin http on %s (/metrics, /debug/traces, /debug/pprof)\n", adminAddr)
+		fmt.Fprintf(out, "admin http on %s (/metrics, /debug/traces, /debug/queries, /debug/pprof)\n", adminAddr)
 	}
 	if ready != nil {
 		ready(lis.Addr().String(), adminAddr)

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -77,8 +79,11 @@ func TestFlagValidation(t *testing.T) {
 }
 
 // TestObsSmoke is the CI obs-smoke gate: boot the daemon with its admin
-// surface, run one query, and fail if /metrics or /debug/pprof/heap is
-// broken or the advertised counters stayed at zero.
+// surface, run a plain query and an EXPLAIN ANALYZE over the wire, and
+// fail if /metrics, /debug/traces, /debug/queries, or /debug/pprof/heap
+// is broken, the advertised counters stayed at zero, or the JSON debug
+// payloads lost their schema. When OBS_SMOKE_ARTIFACT is set, the
+// /debug/traces body is written there so CI can upload it as an artifact.
 func TestObsSmoke(t *testing.T) {
 	dir := t.TempDir()
 	if err := tempagg.WriteRelation(filepath.Join(dir, "Employed.rel"), tempagg.Employed()); err != nil {
@@ -117,6 +122,18 @@ func TestObsSmoke(t *testing.T) {
 	resp, err := c.Query("SELECT COUNT(Name) FROM Employed")
 	if err != nil || !resp.OK {
 		t.Fatalf("query failed: %+v, %v", resp, err)
+	}
+
+	// EXPLAIN ANALYZE over the wire: the reply's "explain" field must carry
+	// the traced report (plan, span tree, counters) alongside the rows.
+	raw, err := c.QueryRaw("EXPLAIN ANALYZE SELECT COUNT(Name) FROM Employed")
+	if err != nil {
+		t.Fatalf("EXPLAIN ANALYZE failed: %v", err)
+	}
+	for _, want := range []string{`"explain"`, "trace:", "counters:", "execute"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("EXPLAIN ANALYZE reply missing %q:\n%s", want, raw)
+		}
 	}
 
 	get := func(path string) string {
@@ -161,7 +178,83 @@ func TestObsSmoke(t *testing.T) {
 		}
 	}
 	get("/debug/pprof/heap")
-	if traces := get("/debug/traces"); !strings.Contains(traces, "SELECT COUNT(Name) FROM Employed") {
-		t.Errorf("/debug/traces missing the query:\n%s", traces)
+
+	// /debug/traces must stay schema-stable JSON: every trace carries a
+	// trace ID, query text, algorithm, and named spans.
+	tracesBody := get("/debug/traces")
+	if !strings.Contains(tracesBody, "SELECT COUNT(Name) FROM Employed") {
+		t.Errorf("/debug/traces missing the query:\n%s", tracesBody)
+	}
+	var traces []struct {
+		TraceID   string `json:"trace_id"`
+		Query     string `json:"query"`
+		Algorithm string `json:"algorithm"`
+		Stats     struct {
+			Tuples int `json:"tuples"`
+		} `json:"stats"`
+		Spans []struct {
+			Name       string `json:"name"`
+			SpanID     string `json:"span_id"`
+			DurationNS int64  `json:"duration_ns"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(tracesBody), &traces); err != nil {
+		t.Fatalf("/debug/traces is not valid JSON: %v", err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("/debug/traces holds %d traces, want 2", len(traces))
+	}
+	for _, tr := range traces {
+		if tr.TraceID == "" || tr.Query == "" || tr.Algorithm == "" {
+			t.Errorf("trace missing identity fields: %+v", tr)
+		}
+		if tr.Stats.Tuples == 0 {
+			t.Errorf("trace %s has zero tuples", tr.TraceID)
+		}
+		names := map[string]bool{}
+		for _, sp := range tr.Spans {
+			if sp.Name == "" || sp.SpanID == "" {
+				t.Errorf("trace %s has an anonymous span: %+v", tr.TraceID, sp)
+			}
+			names[sp.Name] = true
+		}
+		for _, want := range []string{"parse", "plan", "execute"} {
+			if !names[want] {
+				t.Errorf("trace %s missing %q span: %+v", tr.TraceID, want, tr.Spans)
+			}
+		}
+	}
+
+	// /debug/queries must serve the rolling window with per-stage series.
+	var window obs.WindowSnapshot
+	if err := json.Unmarshal([]byte(get("/debug/queries")), &window); err != nil {
+		t.Fatalf("/debug/queries is not valid JSON: %v", err)
+	}
+	if window.WindowSeconds <= 0 {
+		t.Errorf("/debug/queries window config not echoed: %+v", window)
+	}
+	stages := map[string]bool{}
+	for _, s := range window.Stages {
+		if s.Count <= 0 || len(s.Buckets) == 0 {
+			t.Errorf("stage %q/%q has no samples or buckets", s.Stage, s.Algorithm)
+		}
+		stages[s.Stage] = true
+	}
+	for _, want := range []string{"query", "parse", "plan", "execute"} {
+		if !stages[want] {
+			t.Errorf("/debug/queries missing stage %q: %+v", want, window.Stages)
+		}
+	}
+
+	// Both queries crossed the nanosecond slow threshold, so the burn-rate
+	// view must rank at least one stage.
+	if len(window.SlowStages) == 0 {
+		t.Error("/debug/queries slow-stage view is empty despite 1ns threshold")
+	}
+
+	if path := os.Getenv("OBS_SMOKE_ARTIFACT"); path != "" {
+		if err := os.WriteFile(path, []byte(tracesBody), 0o644); err != nil {
+			t.Errorf("writing trace artifact: %v", err)
+		}
 	}
 }

@@ -22,10 +22,15 @@ import (
 	"tempagg/internal/workload"
 )
 
-// Point is one measurement: the metric value at a relation size.
+// Point is one measurement: the metric value at a relation size. Stages,
+// when present, is a per-stage wall-time breakdown (radix-sort, scan,
+// emit, ...) in seconds from one extra traced run outside the timed
+// measurements — old baseline reports without the field still parse, and
+// old binaries ignore it.
 type Point struct {
-	Size  int     `json:"size"`
-	Value float64 `json:"value"`
+	Size   int                `json:"size"`
+	Value  float64            `json:"value"`
+	Stages map[string]float64 `json:"stages,omitempty"`
 }
 
 // Series is one curve of a figure.
@@ -165,7 +170,9 @@ type measurement struct {
 }
 
 // runOnce times one evaluation of spec over rel, publishing counters to
-// the sink when one is attached.
+// the sink when one is attached. The timed run is never traced: span
+// bookkeeping (CPU-time and allocation reads) would inflate the medians
+// the regression gate compares across PRs.
 func runOnce(spec core.Spec, f aggregate.Func, rel *relation.Relation, sink obs.Sink) (measurement, error) {
 	start := time.Now()
 	res, stats, err := core.RunObserved(spec, f, rel.Tuples, sink)
@@ -177,6 +184,27 @@ func runOnce(spec core.Spec, f aggregate.Func, rel *relation.Relation, sink obs.
 		return measurement{}, fmt.Errorf("bench: empty result")
 	}
 	return measurement{seconds: elapsed, peakBytes: stats.PeakBytes()}, nil
+}
+
+// stageProfile runs one extra traced evaluation, outside any timing, and
+// returns wall seconds per evaluator stage (radix-sort, scan, emit, ...).
+// Evaluators that emit no spans yield nil. The breakdown is a separate
+// run's timings — indicative of where the median's time goes, not a
+// decomposition of the median itself.
+func stageProfile(spec core.Spec, f aggregate.Func, rel *relation.Relation) map[string]float64 {
+	tr := obs.NewQueryTrace("bench")
+	if _, _, err := core.RunTraced(spec, f, rel.Tuples, nil, tr.Context()); err != nil {
+		return nil
+	}
+	var stages map[string]float64
+	for _, sp := range tr.SpanTree() {
+		if stages == nil {
+			stages = map[string]float64{}
+		}
+		// Sum repeats: a sweep radix-sorts both event columns.
+		stages[sp.Name] += sp.Duration.Seconds()
+	}
+	return stages
 }
 
 // median of a non-empty measurement slice, by seconds and bytes separately.
@@ -202,6 +230,7 @@ func sweep(opts Options, spec core.Spec, gen func(size int, seed int64) (*relati
 	var points []Point
 	for _, size := range opts.Sizes {
 		var ms []measurement
+		var lastRel *relation.Relation
 		for _, seed := range opts.Seeds {
 			rel, err := gen(size, seed)
 			if err != nil {
@@ -212,8 +241,15 @@ func sweep(opts Options, spec core.Spec, gen func(size int, seed int64) (*relati
 				return Series{}, fmt.Errorf("bench: size %d seed %d: %w", size, seed, err)
 			}
 			ms = append(ms, m)
+			lastRel = rel
 		}
-		points = append(points, Point{Size: size, Value: metric(median(ms))})
+		p := Point{Size: size, Value: metric(median(ms))}
+		if metric(measurement{seconds: 1}) == 1 {
+			// Only timing figures carry the stage breakdown; attaching
+			// seconds to a bytes point would be nonsense.
+			p.Stages = stageProfile(spec, f, lastRel)
+		}
+		points = append(points, p)
 	}
 	return Series{Points: points}, nil
 }

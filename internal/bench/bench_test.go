@@ -185,8 +185,8 @@ func TestFigureString(t *testing.T) {
 	fig := Figure{
 		ID: "x", Title: "T", Metric: "bytes",
 		Series: []Series{
-			{Name: "a", Points: []Point{{1024, 2048}, {2048, 3 << 20}}},
-			{Name: "bb", Points: []Point{{1024, 10}}},
+			{Name: "a", Points: []Point{{Size: 1024, Value: 2048}, {Size: 2048, Value: 3 << 20}}},
+			{Name: "bb", Points: []Point{{Size: 1024, Value: 10}}},
 		},
 	}
 	s := fig.String()

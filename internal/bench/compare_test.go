@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -32,6 +33,54 @@ const harnessBaseline = `{
     ]}
   ]
 }`
+
+// stagedBaseline is a current harness report with per-stage timing fields.
+const stagedBaseline = `{
+  "sizes": [1024],
+  "gomaxprocs": 4,
+  "experiments": [
+    {"id": "baseline", "title": "t", "metric": "seconds", "series": [
+      {"name": "aggregation-tree random", "points": [
+        {"size": 1024, "value": 0.001,
+         "stages": {"radix-sort": 0.0002, "scan": 0.0006, "emit": 0.0002}}
+      ]}
+    ]}
+  ]
+}`
+
+// TestBaselinesParseAcrossReportVersions pins the compatibility contract in
+// both directions: reports that predate the per-stage timing fields (the
+// checked-in BENCH_PR<N>.json files) must keep parsing and gating, and a
+// report that carries the new fields must parse in an old binary's shape —
+// both rely on encoding/json dropping unknown fields rather than erroring.
+func TestBaselinesParseAcrossReportVersions(t *testing.T) {
+	for _, path := range []string{"../../BENCH_PR5.json", "../../BENCH_PR7.json"} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("checked-in baseline unreadable: %v", err)
+		}
+		points, err := ParseBaseline(data)
+		if err != nil {
+			t.Errorf("%s no longer parses: %v", path, err)
+		}
+		if len(points) == 0 {
+			t.Errorf("%s parsed to zero points", path)
+		}
+	}
+	points, err := ParseBaseline([]byte(stagedBaseline))
+	if err != nil {
+		t.Fatalf("report with stage timings must parse as a baseline: %v", err)
+	}
+	if v := points[pointKey{"baseline", "aggregation-tree random", 1024}]; v != 0.001 {
+		t.Fatalf("staged shape: value not picked up, got %g", v)
+	}
+	// And the gate itself runs against the staged report.
+	fig := measuredFigure("aggregation-tree random", map[int]float64{1024: 0.001})
+	res, err := RegressionGate([]byte(stagedBaseline), []Figure{fig}, 0.25)
+	if err != nil || len(res.Regressions) != 0 {
+		t.Fatalf("gate vs staged baseline: %+v, %v", res, err)
+	}
+}
 
 func measuredFigure(name string, sizeToSeconds map[int]float64) Figure {
 	s := Series{Name: name}

@@ -186,6 +186,9 @@ func (c *Catalog) Info(name string) (query.RelationInfo, error) {
 
 // Query parses and executes a query, resolving the FROM clause against the
 // catalog and streaming from the relation file where the plan allows.
+// EXPLAIN statements return the plan report without touching the file's
+// tuples; EXPLAIN ANALYZE executes normally and — even with no observer —
+// builds a standalone trace so the report carries the span tree.
 func (c *Catalog) Query(sql string, sopts relation.ScanOptions) (*query.QueryResult, error) {
 	return c.QueryObserved(sql, sopts, nil)
 }

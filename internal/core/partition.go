@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 
 	"tempagg/internal/aggregate"
@@ -48,6 +49,12 @@ type PartitionOptions struct {
 	// for decomposable aggregates (COUNT/SUM/AVG); for MIN/MAX the shard
 	// sweeps through the wedge and keeps its tree fallback.
 	Sweep bool
+	// Trace is the span-propagation context threaded into the partition
+	// drain: when active, every shard records a child span carrying its
+	// partition index, covered span, and §6 counter snapshot (and sweep
+	// shards nest their own sort/scan spans under it). The zero value
+	// disables span recording.
+	Trace obs.TraceContext
 }
 
 // partitionWorkers resolves PartitionOptions.Parallel to a worker count.
@@ -339,9 +346,14 @@ func findSpan(spans []interval.Interval, t interval.Time) int {
 }
 
 func evaluateBucket(f aggregate.Func, span interval.Interval, b buckets, i int, opts PartitionOptions) (*Result, int, error) {
+	sp := opts.Trace.StartChild("shard")
+	sp.SetAttr("partition", strconv.Itoa(i))
+	sp.SetAttr("span", fmt.Sprintf("[%d,%d]", span.Start, span.End))
+	defer sp.End()
 	var ev Evaluator
 	if opts.Sweep {
-		ev = NewSweepRange(f, span)
+		// A sweep shard nests its own radix/scan spans under the shard span.
+		ev = NewSweepRangeOptions(f, span, SweepOptions{Trace: sp.Context()})
 	} else {
 		ev = NewAggregationTreeRange(f, span)
 	}
@@ -355,7 +367,9 @@ func evaluateBucket(f aggregate.Func, span interval.Interval, b buckets, i int, 
 	if err != nil {
 		return nil, 0, err
 	}
-	return res, ev.Stats().PeakNodes, nil
+	st := ev.Stats()
+	sp.AddCounters(st.Tuples, st.LiveNodes, st.PeakNodes, st.Collected)
+	return res, st.PeakNodes, nil
 }
 
 // buckets abstracts the per-partition tuple buffers.

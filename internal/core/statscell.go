@@ -68,6 +68,23 @@ type sinkSetter interface {
 	setSink(s obs.Sink)
 }
 
+// traceSetter is implemented by evaluators that can attach a span-
+// propagation context and record child spans under it (today the sweep
+// family; tree evaluators run as one opaque span at the query layer).
+type traceSetter interface {
+	setTrace(ctx obs.TraceContext)
+}
+
+// SetTraceContext attaches a span-propagation context to ev when the
+// evaluator supports one; a zero context or an unsupporting evaluator is a
+// no-op. It is the exported hook the query executor uses to hang
+// per-worker sweep spans under its execute span.
+func SetTraceContext(ev Evaluator, ctx obs.TraceContext) {
+	if ts, ok := ev.(traceSetter); ok {
+		ts.setTrace(ctx)
+	}
+}
+
 // NewObserved is New with an observability sink attached: the evaluator
 // publishes tuple, node-allocation, garbage-collection, and peak-memory
 // events to s as it runs (the counters behind the paper's §6 cost model).
@@ -86,10 +103,19 @@ func NewObserved(spec Spec, f aggregate.Func, s obs.Sink) (Evaluator, error) {
 // RunObserved is Run with an observability sink attached; see NewObserved.
 // Tuples are fed through the batch-ingestion path in pages of BatchPage.
 func RunObserved(spec Spec, f aggregate.Func, tuples []tuple.Tuple, s obs.Sink) (*Result, Stats, error) {
+	return RunTraced(spec, f, tuples, s, obs.TraceContext{})
+}
+
+// RunTraced is RunObserved with a span-propagation context attached: an
+// evaluator that supports tracing (the sweep family) records its sort,
+// per-worker scan, and emit stages as child spans of ctx. A zero ctx is
+// exactly RunObserved.
+func RunTraced(spec Spec, f aggregate.Func, tuples []tuple.Tuple, s obs.Sink, ctx obs.TraceContext) (*Result, Stats, error) {
 	ev, err := NewObserved(spec, f, s)
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	SetTraceContext(ev, ctx)
 	for lo := 0; lo < len(tuples); lo += BatchPage {
 		hi := lo + BatchPage
 		if hi > len(tuples) {

@@ -112,6 +112,10 @@ func (s *Sweep) setSink(snk obs.Sink) {
 	s.es = snk.Evaluator(SweepEval.String())
 }
 
+// setTrace attaches the span-propagation context (traceSetter); Finish then
+// records its sort/scan/emit stages as child spans.
+func (s *Sweep) setTrace(ctx obs.TraceContext) { s.opts.Trace = ctx }
+
 // add ingests one clipped tuple and returns the nodes charged.
 func (s *Sweep) add(iv interval.Interval, v int64) int {
 	if s.decomposable {
@@ -217,18 +221,29 @@ func (s *Sweep) finishDecomposable() *Result {
 	s.events = len(s.sTimes) + len(s.eTimes)
 	workers := s.opts.workers(s.events)
 	if !s.sSorted {
+		sp := s.opts.Trace.StartChild("radix-sort")
+		sp.SetAttr("column", "arrivals")
 		s.radixPasses += radixSortInt64Parallel(&s.ar, workers, s.sTimes, s.sVals)
+		sp.End()
 	}
 	// Departures are e+1 in arrival order; even sorted input rarely keeps
 	// them sorted, so check in O(n) before paying for the sort.
 	if !sortedInt64(s.eTimes) {
+		sp := s.opts.Trace.StartChild("radix-sort")
+		sp.SetAttr("column", "departures")
 		s.radixPasses += radixSortInt64Parallel(&s.ar, workers, s.eTimes, s.eVals)
+		sp.End()
 	}
 	if workers > 1 {
 		if res := s.scanChunked(workers); res != nil {
 			return res
 		}
 	}
+
+	scanSp := s.opts.Trace.StartChild("scan")
+	scanSp.SetAttr("mode", "serial")
+	scanSp.AddCounters(0, s.events, 0, 0)
+	defer scanSp.End()
 
 	lo, hi := s.span.Start, s.span.End
 	res := &Result{Func: s.f, Rows: make([]Row, 0, len(s.sTimes)+len(s.eTimes)+1)}
@@ -289,13 +304,22 @@ func (s *Sweep) finishWedge() (*Result, error) {
 	}
 	workers := s.opts.workers(2 * len(s.starts))
 	if !sortedInt64(s.starts) {
+		sp := s.opts.Trace.StartChild("radix-sort")
+		sp.SetAttr("column", "starts")
 		s.radixPasses += radixSortInt64Parallel(&s.ar, workers, s.starts, s.ends, s.vals)
+		sp.End()
 	}
 	if workers > 1 {
 		if res, err := s.finishWedgeParallel(workers); res != nil || err != nil {
 			return res, err
 		}
 	}
+	scanSp := s.opts.Trace.StartChild("scan")
+	scanSp.SetAttr("mode", "wedge")
+	defer func() {
+		scanSp.AddCounters(0, s.events, 0, 0)
+		scanSp.End()
+	}()
 	// Departure events (e+1 with the value to retract); tuples reaching the
 	// span's end never depart within it.
 	hi := s.span.End

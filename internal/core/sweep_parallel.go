@@ -3,10 +3,12 @@ package core
 import (
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 
 	"tempagg/internal/aggregate"
 	"tempagg/internal/interval"
+	"tempagg/internal/obs"
 )
 
 // Parallel execution of the columnar sweep (DESIGN.md S41). The serial
@@ -38,6 +40,13 @@ type SweepOptions struct {
 	// parallelSweepMinEvents; 1 forces the serial path; any larger value is
 	// honored as given, whatever the input size.
 	Parallel int
+	// Trace is the span-propagation context for the evaluation: when
+	// active, Finish records radix-sort, per-worker scan, and emit child
+	// spans under it, each with its own event-count snapshot. The zero
+	// value disables span recording (one pointer compare per stage, never
+	// per tuple). The context carries W3C traceparent IDs, so the same
+	// field can ship over the wire to a future distributed coordinator.
+	Trace obs.TraceContext
 }
 
 // workers resolves the option for an input of n events.
@@ -125,10 +134,16 @@ func (s *Sweep) scanChunked(workers int) *Result {
 		}
 	}
 
+	scanSp := s.opts.Trace.StartChild("scan")
+	scanSp.SetAttr("mode", "chunked")
+	scanSp.SetAttr("workers", strconv.Itoa(workers))
+	scanSp.SetAttr("chunks", strconv.Itoa(len(chunks)))
+
 	// Prefix pass: each chunk's in-range delta in parallel, then a serial
 	// exclusive scan. The carry a chunk receives equals the serial scan's
 	// running pair at its first boundary — same addends, associativity does
 	// the rest — so chunk-local folds resume bit-exactly.
+	prefixSp := scanSp.StartChild("prefix")
 	var wg sync.WaitGroup
 	for k := range chunks {
 		wg.Add(1)
@@ -153,20 +168,29 @@ func (s *Sweep) scanChunked(workers int) *Result {
 		count += c
 		sum += cs
 	}
+	prefixSp.End()
 
 	for k := range chunks {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
+			c := &chunks[k]
+			wsp := scanSp.StartChild("scan-worker")
+			wsp.SetAttr("worker", strconv.Itoa(k))
 			var next int64
 			if k+1 < len(chunks) {
 				next = chunks[k+1].cut
 			}
-			s.scanChunkRange(&chunks[k], next, k+1 == len(chunks))
+			s.scanChunkRange(c, next, k+1 == len(chunks))
+			// Each chunk's event range is one §6 node per event, so the
+			// worker spans' counter sums equal the sweep's node total.
+			wsp.AddCounters(0, (c.sHi-c.sLo)+(c.eHi-c.eLo), 0, 0)
+			wsp.End()
 		}(k)
 	}
 	wg.Wait()
 
+	emitSp := scanSp.StartChild("emit")
 	total := 1
 	for k := range chunks {
 		total += len(chunks[k].rows)
@@ -175,6 +199,8 @@ func (s *Sweep) scanChunked(workers int) *Result {
 	for k := range chunks {
 		res.Rows = append(res.Rows, chunks[k].rows...)
 	}
+	emitSp.End()
+	scanSp.End()
 	s.parallelWorkers, s.chunks = workers, len(chunks)
 	return res
 }
@@ -262,6 +288,11 @@ func (s *Sweep) finishWedgeParallel(workers int) (*Result, error) {
 	}
 	spans = append(spans, interval.MustNew(prev, hi))
 
+	scanSp := s.opts.Trace.StartChild("scan")
+	scanSp.SetAttr("mode", "wedge-chunked")
+	scanSp.SetAttr("workers", strconv.Itoa(workers))
+	scanSp.SetAttr("chunks", strconv.Itoa(len(spans)))
+
 	subs := make([]*Sweep, len(spans))
 	errs := make([]error, len(spans))
 	results := make([]*Result, len(spans))
@@ -275,6 +306,8 @@ func (s *Sweep) finishWedgeParallel(workers int) (*Result, error) {
 		go func(k int) {
 			defer wg.Done()
 			sub := subs[k]
+			wsp := scanSp.StartChild("scan-worker")
+			wsp.SetAttr("worker", strconv.Itoa(k))
 			// Starts are sorted, so tuples at or past the sub-span's end
 			// cannot overlap it; earlier tuples are filtered by Intersect.
 			n := len(s.starts)
@@ -289,9 +322,12 @@ func (s *Sweep) finishWedgeParallel(workers int) (*Result, error) {
 				sub.add(iv, s.vals[i])
 			}
 			results[k], errs[k] = sub.Finish()
+			wsp.AddCounters(0, sub.events, 0, 0)
+			wsp.End()
 		}(k)
 	}
 	wg.Wait()
+	defer scanSp.End()
 
 	total := 0
 	for k := range results {

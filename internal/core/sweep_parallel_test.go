@@ -373,14 +373,20 @@ func TestParallelSweepMetricsExact(t *testing.T) {
 	}
 	out := b.String()
 	for series, want := range map[string]string{
-		obs.MetricSweepWorkers + `{algorithm="sweep"}`:          "2",
-		obs.MetricSweepChunks + `{algorithm="sweep"}`:           "2",
-		obs.MetricSweepWorkers + `{algorithm="sweep-group"}`:    "2",
-		obs.MetricSweepChunks + `{algorithm="sweep-group"}`:     "2",
-		obs.MetricSweepShared + `{algorithm="sweep-group"}`:     "3",
-		obs.MetricSweepEvents + `{algorithm="sweep-group"}`:     "8400",
-		obs.MetricTuplesProcessed + `{algorithm="sweep-group"}`: "4200",
-		obs.MetricSweepFallbacks + `{algorithm="sweep"}`:        "0",
+		// Worker counts are a histogram (a gauge would be last-write-wins
+		// across concurrent queries): one 2-worker observation per run.
+		obs.MetricSweepWorkers + `_bucket{algorithm="sweep",le="2"}`:       "1",
+		obs.MetricSweepWorkers + `_sum{algorithm="sweep"}`:                 "2",
+		obs.MetricSweepWorkers + `_count{algorithm="sweep"}`:               "1",
+		obs.MetricSweepWorkers + `_bucket{algorithm="sweep-group",le="2"}`: "1",
+		obs.MetricSweepWorkers + `_sum{algorithm="sweep-group"}`:           "2",
+		obs.MetricSweepWorkers + `_count{algorithm="sweep-group"}`:         "1",
+		obs.MetricSweepChunks + `{algorithm="sweep"}`:                      "2",
+		obs.MetricSweepChunks + `{algorithm="sweep-group"}`:                "2",
+		obs.MetricSweepShared + `{algorithm="sweep-group"}`:                "3",
+		obs.MetricSweepEvents + `{algorithm="sweep-group"}`:                "8400",
+		obs.MetricTuplesProcessed + `{algorithm="sweep-group"}`:            "4200",
+		obs.MetricSweepFallbacks + `{algorithm="sweep"}`:                   "0",
 	} {
 		line := series + " " + want
 		if !strings.Contains(out, line) {

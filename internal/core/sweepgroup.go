@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"strconv"
 	"sync"
 
 	"tempagg/internal/aggregate"
@@ -93,6 +94,14 @@ const SweepGroupAlgorithm = "sweep-group"
 
 // SetSink attaches an observability sink; call before the first Add.
 func (g *SweepGroup) SetSink(snk obs.Sink) { g.setSink(snk) }
+
+// setTrace attaches the span-propagation context (traceSetter); Finish then
+// records sort, per-worker scan, and per-query stitch child spans.
+func (g *SweepGroup) setTrace(ctx obs.TraceContext) { g.opts.Trace = ctx }
+
+// SetTrace is the exported form of setTrace for callers that construct the
+// group before the trace context exists (the query executor).
+func (g *SweepGroup) SetTrace(ctx obs.TraceContext) { g.setTrace(ctx) }
 
 // Register adds one query and returns its index into Finish's results.
 // All registrations must precede the first Add.
@@ -212,10 +221,16 @@ func (g *SweepGroup) Finish() ([]*Result, error) {
 	g.events = len(g.sTimes) + len(g.eTimes)
 	workers := g.opts.workers(g.events)
 	if !g.sSorted {
+		sp := g.opts.Trace.StartChild("radix-sort")
+		sp.SetAttr("column", "arrivals")
 		g.radixPasses += radixSortInt64Parallel(&g.ar, workers, g.sTimes, g.sVals, g.sMasks)
+		sp.End()
 	}
 	if !sortedInt64(g.eTimes) {
+		sp := g.opts.Trace.StartChild("radix-sort")
+		sp.SetAttr("column", "departures")
 		g.radixPasses += radixSortInt64Parallel(&g.ar, workers, g.eTimes, g.eVals, g.eMasks)
+		sp.End()
 	}
 	results, chunks := g.scan(workers)
 	for _, col := range [][]int64{
@@ -259,16 +274,31 @@ func (g *SweepGroup) scan(workers int) ([]*Result, int) {
 			chunks[k].sHi, chunks[k].eHi = len(g.sTimes), len(g.eTimes)
 		}
 	}
+	scanSp := g.opts.Trace.StartChild("scan")
+	scanSp.SetAttr("mode", "shared")
+	scanSp.SetAttr("workers", strconv.Itoa(workers))
+	scanSp.SetAttr("chunks", strconv.Itoa(len(chunks)))
+	defer scanSp.End()
 	if len(chunks) == 1 {
-		g.scanChunk(&chunks[0])
+		c := &chunks[0]
+		wsp := scanSp.StartChild("scan-worker")
+		wsp.SetAttr("worker", "0")
+		g.scanChunk(c)
+		wsp.AddCounters(0, (c.sHi-c.sLo)+(c.eHi-c.eLo), 0, 0)
+		wsp.End()
 	} else {
 		var wg sync.WaitGroup
 		for k := range chunks {
 			wg.Add(1)
-			go func(c *groupChunk) {
+			go func(k int) {
 				defer wg.Done()
+				c := &chunks[k]
+				wsp := scanSp.StartChild("scan-worker")
+				wsp.SetAttr("worker", strconv.Itoa(k))
 				g.scanChunk(c)
-			}(&chunks[k])
+				wsp.AddCounters(0, (c.sHi-c.sLo)+(c.eHi-c.eLo), 0, 0)
+				wsp.End()
+			}(k)
 		}
 		wg.Wait()
 	}
@@ -280,6 +310,8 @@ func (g *SweepGroup) scan(workers int) ([]*Result, int) {
 	// sweep over the query's filtered tuples.
 	results := make([]*Result, len(g.queries))
 	for q := range g.queries {
+		qsp := scanSp.StartChild("group-query")
+		qsp.SetAttr("query", strconv.Itoa(q))
 		f := g.queries[q].Func
 		total := 1
 		for k := range chunks {
@@ -304,6 +336,8 @@ func (g *SweepGroup) scan(workers int) ([]*Result, int) {
 			State:    f.FromCounters(count, sum, 0),
 		})
 		results[q] = &Result{Func: f, Rows: rows}
+		qsp.SetAttr("rows", strconv.Itoa(len(rows)))
+		qsp.End()
 	}
 	return results, len(chunks)
 }

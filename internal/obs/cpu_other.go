@@ -1,0 +1,8 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// processCPU is unavailable off unix; spans then carry wall time only.
+func processCPU() time.Duration { return 0 }

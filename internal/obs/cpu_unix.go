@@ -1,0 +1,20 @@
+//go:build unix
+
+package obs
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPU reports the process's cumulative CPU time (user + system) via
+// getrusage. Span start/end deltas of this value are the per-span CPU
+// estimate; on a parallel stage the wall/CPU ratio exposes how much of the
+// machine the stage actually used.
+func processCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

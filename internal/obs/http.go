@@ -28,6 +28,24 @@ func MetricsHandler(r *Registry) http.Handler {
 	})
 }
 
+// QueriesHandler serves the rolling per-stage latency window — quantiles,
+// bucket exemplar trace IDs, and the burn-rate slow-stage view — as JSON
+// at GET /debug/queries.
+func QueriesHandler(q *QueryStats) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if q == nil {
+			http.Error(w, "query stats disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(q.Snapshot()); err != nil {
+			return // client went away mid-reply
+		}
+	})
+}
+
 // TracesHandler serves the ring of recent query traces as a JSON array at
 // GET /debug/traces, oldest first.
 func TracesHandler(b *TraceBuffer) http.Handler {

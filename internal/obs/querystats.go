@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// QueryStatsConfig sizes the rolling latency window behind /debug/queries.
+// The zero value selects the defaults noted on each field.
+type QueryStatsConfig struct {
+	// Window is the total look-back horizon (default 2 minutes).
+	Window time.Duration
+	// Slots is how many ring slots the window is cut into; a sample expires
+	// when its slot's whole time range ages out (default 8).
+	Slots int
+	// Buckets are the histogram upper bounds in seconds (default
+	// DefaultDurationBuckets).
+	Buckets []float64
+	// SlowThreshold is the per-stage latency above which a sample counts
+	// against the SLO budget (default 100ms).
+	SlowThreshold time.Duration
+	// ErrorBudget is the tolerated slow fraction; the burn rate is the
+	// observed slow fraction divided by this budget, so >1 means the stage
+	// is burning budget faster than the SLO allows (default 1%).
+	ErrorBudget float64
+}
+
+func (c QueryStatsConfig) withDefaults() QueryStatsConfig {
+	if c.Window <= 0 {
+		c.Window = 2 * time.Minute
+	}
+	if c.Slots <= 0 {
+		c.Slots = 8
+	}
+	if len(c.Buckets) == 0 {
+		c.Buckets = DefaultDurationBuckets
+	}
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = 100 * time.Millisecond
+	}
+	if c.ErrorBudget <= 0 {
+		c.ErrorBudget = 0.01
+	}
+	return c
+}
+
+// QueryStats is a rolling window of per-stage, per-algorithm latency
+// histograms with bucket exemplars: every finished trace's stage spans are
+// folded in, expired slots age out, and Snapshot serves quantile estimates
+// plus a burn-rate view of the slowest stages. A nil *QueryStats is the
+// disabled state.
+type QueryStats struct {
+	cfg QueryStatsConfig
+	now func() time.Time // injectable for tests
+
+	mu     sync.Mutex
+	series map[string]*stageSeries
+}
+
+// stageSeries is the slot ring for one (stage, algorithm) pair.
+type stageSeries struct {
+	stage, algorithm string
+	slots            []statsSlot
+}
+
+// statsSlot is one time slice of a series. epoch is the absolute slot
+// number (unix time / slot duration); a slot whose epoch is stale is reset
+// before reuse, which is how samples expire without a sweeper goroutine.
+type statsSlot struct {
+	epoch     int64
+	counts    []int64  // per bucket bound, +Inf last
+	exemplars []string // most recent trace ID landing in each bucket
+	count     int64
+	sum       float64
+	slow      int64
+}
+
+// NewQueryStats returns an empty rolling window.
+func NewQueryStats(cfg QueryStatsConfig) *QueryStats {
+	return &QueryStats{cfg: cfg.withDefaults(), now: time.Now, series: map[string]*stageSeries{}}
+}
+
+func (q *QueryStats) slotDur() time.Duration {
+	return q.cfg.Window / time.Duration(q.cfg.Slots)
+}
+
+// Observe folds one stage sample into the window.
+func (q *QueryStats) Observe(stage, algorithm string, d time.Duration, traceID string) {
+	if q == nil {
+		return
+	}
+	seconds := d.Seconds()
+	epoch := q.now().UnixNano() / int64(q.slotDur())
+	key := stage + "\x1f" + algorithm
+	q.mu.Lock()
+	s := q.series[key]
+	if s == nil {
+		s = &stageSeries{stage: stage, algorithm: algorithm, slots: make([]statsSlot, q.cfg.Slots)}
+		q.series[key] = s
+	}
+	slot := &s.slots[epoch%int64(q.cfg.Slots)]
+	if slot.epoch != epoch {
+		*slot = statsSlot{
+			epoch:     epoch,
+			counts:    make([]int64, len(q.cfg.Buckets)+1),
+			exemplars: make([]string, len(q.cfg.Buckets)+1),
+		}
+	}
+	b := sort.SearchFloat64s(q.cfg.Buckets, seconds)
+	slot.counts[b]++
+	slot.exemplars[b] = traceID
+	slot.count++
+	slot.sum += seconds
+	if d >= q.cfg.SlowThreshold {
+		slot.slow++
+	}
+	q.mu.Unlock()
+}
+
+// ObserveTrace folds a finished trace into the window: the whole query
+// under stage "query" plus one sample per top-level stage span, all
+// labeled with the chosen algorithm.
+func (q *QueryStats) ObserveTrace(tr *QueryTrace) {
+	if q == nil || tr == nil {
+		return
+	}
+	alg := tr.Algorithm
+	if alg == "" {
+		alg = "none"
+	}
+	q.Observe("query", alg, tr.Duration, tr.TraceID)
+	for _, sp := range tr.SpanTree() {
+		q.Observe(sp.Name, alg, sp.Duration, tr.TraceID)
+	}
+}
+
+// StageBucket is one histogram bucket of a stage snapshot; Count is
+// non-cumulative and Exemplar is the most recent trace ID that landed in
+// the bucket inside the window. LE is the bucket's upper bound rendered as
+// Prometheus renders it ("+Inf" for the overflow bucket) — JSON cannot
+// encode infinities as numbers.
+type StageBucket struct {
+	LE       string `json:"le"`
+	Count    int64  `json:"count"`
+	Exemplar string `json:"exemplar_trace_id,omitempty"`
+}
+
+// StageSnapshot is the merged window state of one (stage, algorithm) pair.
+type StageSnapshot struct {
+	Stage     string        `json:"stage"`
+	Algorithm string        `json:"algorithm"`
+	Count     int64         `json:"count"`
+	SumSecs   float64       `json:"sum_seconds"`
+	P50       float64       `json:"p50_seconds"`
+	P90       float64       `json:"p90_seconds"`
+	P99       float64       `json:"p99_seconds"`
+	SlowCount int64         `json:"slow_count"`
+	BurnRate  float64       `json:"burn_rate"`
+	Buckets   []StageBucket `json:"buckets"`
+}
+
+// WindowSnapshot is the /debug/queries payload: config echo, every live
+// stage series, and the burn-rate-ordered slow-stage view.
+type WindowSnapshot struct {
+	WindowSeconds float64         `json:"window_seconds"`
+	SlowThreshold float64         `json:"slow_threshold_seconds"`
+	ErrorBudget   float64         `json:"error_budget"`
+	Stages        []StageSnapshot `json:"stages"`
+	SlowStages    []StageSnapshot `json:"slow_stages"`
+}
+
+// Snapshot merges the live slots of every series and computes quantiles.
+func (q *QueryStats) Snapshot() WindowSnapshot {
+	if q == nil {
+		return WindowSnapshot{}
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	epoch := q.now().UnixNano() / int64(q.slotDur())
+	oldest := epoch - int64(q.cfg.Slots) + 1
+	out := WindowSnapshot{
+		WindowSeconds: q.cfg.Window.Seconds(),
+		SlowThreshold: q.cfg.SlowThreshold.Seconds(),
+		ErrorBudget:   q.cfg.ErrorBudget,
+		Stages:        []StageSnapshot{},
+		SlowStages:    []StageSnapshot{},
+	}
+	for _, s := range q.series {
+		snap := StageSnapshot{Stage: s.stage, Algorithm: s.algorithm}
+		counts := make([]int64, len(q.cfg.Buckets)+1)
+		exemplars := make([]string, len(q.cfg.Buckets)+1)
+		for i := range s.slots {
+			slot := &s.slots[i]
+			if slot.epoch < oldest || slot.epoch > epoch || slot.count == 0 {
+				continue
+			}
+			for b, c := range slot.counts {
+				counts[b] += c
+				if slot.exemplars[b] != "" {
+					exemplars[b] = slot.exemplars[b]
+				}
+			}
+			snap.Count += slot.count
+			snap.SumSecs += slot.sum
+			snap.SlowCount += slot.slow
+		}
+		if snap.Count == 0 {
+			continue
+		}
+		for b := range counts {
+			le := "+Inf"
+			if b < len(q.cfg.Buckets) {
+				le = strconv.FormatFloat(q.cfg.Buckets[b], 'g', -1, 64)
+			}
+			snap.Buckets = append(snap.Buckets, StageBucket{LE: le, Count: counts[b], Exemplar: exemplars[b]})
+		}
+		snap.P50 = quantile(q.cfg.Buckets, counts, snap.Count, 0.50)
+		snap.P90 = quantile(q.cfg.Buckets, counts, snap.Count, 0.90)
+		snap.P99 = quantile(q.cfg.Buckets, counts, snap.Count, 0.99)
+		snap.BurnRate = float64(snap.SlowCount) / float64(snap.Count) / q.cfg.ErrorBudget
+		out.Stages = append(out.Stages, snap)
+	}
+	sort.Slice(out.Stages, func(i, j int) bool {
+		if out.Stages[i].Stage != out.Stages[j].Stage {
+			return out.Stages[i].Stage < out.Stages[j].Stage
+		}
+		return out.Stages[i].Algorithm < out.Stages[j].Algorithm
+	})
+	for _, s := range out.Stages {
+		if s.SlowCount > 0 {
+			out.SlowStages = append(out.SlowStages, s)
+		}
+	}
+	sort.SliceStable(out.SlowStages, func(i, j int) bool {
+		return out.SlowStages[i].BurnRate > out.SlowStages[j].BurnRate
+	})
+	return out
+}
+
+// quantile estimates the qth quantile from merged bucket counts by linear
+// interpolation inside the containing bucket; samples past the last finite
+// bound are reported as that bound (the histogram cannot resolve further).
+func quantile(bounds []float64, counts []int64, total int64, qth float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	target := qth * float64(total)
+	cum := int64(0)
+	for b, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := float64(cum)
+		cum += c
+		if float64(cum) < target {
+			continue
+		}
+		if b >= len(bounds) {
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if b > 0 {
+			lo = bounds[b-1]
+		}
+		frac := (target - prev) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + (bounds[b]-lo)*frac
+	}
+	return bounds[len(bounds)-1]
+}

@@ -1,0 +1,16 @@
+package obs
+
+import "runtime/metrics"
+
+// heapAllocBytes reads the process's cumulative heap-allocation byte count
+// (runtime/metrics "/gc/heap/allocs:bytes"). Span start/end deltas of this
+// value are the per-span allocation estimate; the read is lock-free and
+// cheap enough for per-stage (not per-tuple) sampling.
+func heapAllocBytes() uint64 {
+	sample := []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
+}

@@ -50,7 +50,9 @@ type EvalSink interface {
 	Sweep(events, radixPasses, fallbacks int)
 	// SweepParallel reports one sweep scan's parallelism: worker goroutines
 	// resolved and chunks the event stream was cut into (1 and 1 for a
-	// serial run). Called once at Finish alongside Sweep.
+	// serial run). Called once at Finish alongside Sweep. Worker counts are
+	// recorded as one histogram observation per scan, so concurrent queries
+	// with different parallelism never overwrite each other.
 	SweepParallel(workers, chunks int)
 	// SweepShared reports one shared multi-query pass (core.SweepGroup)
 	// serving n registered queries. Called once at the group's Finish.
@@ -87,6 +89,10 @@ var DefaultDurationBuckets = []float64{
 	1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 30,
 }
 
+// WorkerBuckets are the sweep-parallelism histogram bounds: power-of-two
+// worker counts up to one beyond any GOMAXPROCS the bench fleet uses.
+var WorkerBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
 // Metrics is the pipeline's metric set over a Registry. It implements Sink
 // for core evaluators and records query-level outcomes for the query layer.
 type Metrics struct {
@@ -102,7 +108,7 @@ type Metrics struct {
 	sweepEvents *CounterVec   // by algorithm
 	sweepRadix  *CounterVec   // by algorithm
 	sweepFalls  *CounterVec   // by algorithm
-	sweepWork   *GaugeVec     // by algorithm, last run's worker count
+	sweepWork   *HistogramVec // by algorithm, workers per sweep scan
 	sweepChunks *CounterVec   // by algorithm
 	sweepShared *CounterVec   // by algorithm
 	queries     *CounterVec   // by algorithm, status
@@ -138,8 +144,10 @@ func NewMetrics(reg *Registry) *Metrics {
 			"Non-trivial LSD radix scatter passes performed by the sweep's event sort.", "algorithm"),
 		sweepFalls: reg.CounterVec(MetricSweepFallbacks,
 			"Sweep runs that fell back to the aggregation tree (MIN/MAX wedge overflow).", "algorithm"),
-		sweepWork: reg.GaugeVec(MetricSweepWorkers,
-			"Worker goroutines resolved by the most recent sweep scan (1 when serial).", "algorithm"),
+		sweepWork: reg.HistogramVec(MetricSweepWorkers,
+			"Distribution of worker goroutines resolved per sweep scan (1 when serial). "+
+				"A histogram rather than a gauge: concurrent queries would race a last-write-wins gauge.",
+			WorkerBuckets, "algorithm"),
 		sweepChunks: reg.CounterVec(MetricSweepChunks,
 			"Event-stream chunks scanned by the parallel sweep (one per serial run).", "algorithm"),
 		sweepShared: reg.CounterVec(MetricSweepShared,
@@ -221,7 +229,7 @@ type evalSink struct {
 	sweepEvents *Counter
 	sweepRadix  *Counter
 	sweepFalls  *Counter
-	sweepWork   *Gauge
+	sweepWork   *Histogram
 	sweepChunks *Counter
 	sweepShared *Counter
 }
@@ -241,7 +249,7 @@ func (s *evalSink) Sweep(events, radixPasses, fallbacks int) {
 	s.sweepFalls.Add(int64(fallbacks))
 }
 func (s *evalSink) SweepParallel(workers, chunks int) {
-	s.sweepWork.Set(int64(workers))
+	s.sweepWork.Observe(float64(workers))
 	s.sweepChunks.Add(int64(chunks))
 }
 func (s *evalSink) SweepShared(queries int) {

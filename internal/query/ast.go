@@ -99,8 +99,27 @@ func (a AggSpec) String() string {
 	return fmt.Sprintf("%s(%s%s)", a.Kind, distinct, a.Attr)
 }
 
+// ExplainMode selects the EXPLAIN behaviour of a query.
+type ExplainMode int
+
+const (
+	// ExplainNone executes normally.
+	ExplainNone ExplainMode = iota
+	// ExplainPlan renders the plan tree — the chosen strategy plus every
+	// alternative the planner priced — without executing the query.
+	ExplainPlan
+	// ExplainAnalyze executes the query (its aggregate rows are identical
+	// to the plain query's, bit for bit) and appends the measured trace
+	// report: per-stage spans with §6 counters, worker skew, and the
+	// estimated-vs-actual cost delta.
+	ExplainAnalyze
+)
+
 // Query is the parsed form of a temporal aggregate query.
 type Query struct {
+	// Explain, when not ExplainNone, turns the query into an EXPLAIN
+	// [ANALYZE] statement; see ExplainMode.
+	Explain ExplainMode
 	// Aggs are the select list's aggregates, in order; never empty. Many
 	// scalar aggregates in one query are computed separately, per §3.
 	Aggs []AggSpec
@@ -134,6 +153,12 @@ type Query struct {
 // String reconstructs a canonical form of the query.
 func (q *Query) String() string {
 	var b strings.Builder
+	switch q.Explain {
+	case ExplainPlan:
+		b.WriteString("EXPLAIN ")
+	case ExplainAnalyze:
+		b.WriteString("EXPLAIN ANALYZE ")
+	}
 	b.WriteString("SELECT ")
 	if q.GroupAttr != nil {
 		fmt.Fprintf(&b, "%s, ", *q.GroupAttr)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tempagg/internal/core"
+	"tempagg/internal/obs"
 	"tempagg/internal/relation"
 )
 
@@ -147,7 +148,9 @@ func costAlternatives(info RelationInfo, m CostModel, decomposable bool) []alter
 
 // PlanQueryCosted chooses the cheapest strategy under the cost model. With
 // a disabled model it falls back to the qualitative PlanQuery rules. The
-// chosen plan's Reason records the winning estimate.
+// chosen plan's Reason records the winning estimate, and its Alternatives
+// record every estimate, so EXPLAIN can show the rejected strategies next
+// to the chosen one.
 func PlanQueryCosted(q *Query, info RelationInfo, m CostModel) (Plan, error) {
 	if q.Using != "" || !m.Enabled() {
 		return PlanQuery(q, info)
@@ -160,5 +163,65 @@ func PlanQueryCosted(q *Query, info RelationInfo, m CostModel) (Plan, error) {
 		}
 	}
 	best.plan.Reason = fmt.Sprintf("%s (estimated cost %.4g)", best.plan.Reason, best.cost)
+	best.plan.Alternatives, best.plan.Prices = priceAlternatives(q, info, m, best.plan)
 	return best.plan, nil
+}
+
+// explainModel is the display cost model EXPLAIN falls back to when the
+// planner ran without one: memory priced per node, a page of I/O worth a
+// few hundred node-bytes, a tuple of CPU worth one. Only the ratios matter
+// — the model exists so qualitative plans still show a cost column.
+var explainModel = CostModel{
+	MemoryByte: 1.0 / core.NodeBytes,
+	PageIO:     64,
+	CPUTuple:   1,
+}
+
+// samePlanShape reports whether two plans name the same execution strategy
+// (matching an alternative to the chosen plan; parameters like K may differ
+// between a qualitative choice and the priced alternative).
+func samePlanShape(a, b Plan) bool {
+	return a.Spec.Algorithm == b.Spec.Algorithm &&
+		a.SortFirst == b.SortFirst &&
+		a.Tuma == b.Tuma && a.Snapshot == b.Snapshot &&
+		a.Partitioned == b.Partitioned
+}
+
+// priceAlternatives renders the planner's alternatives as trace-ready
+// PlanCost records, marking the chosen plan. A disabled model is replaced
+// by explainModel; the model actually used is returned so EXPLAIN ANALYZE
+// can reprice it against measured counters.
+func priceAlternatives(q *Query, info RelationInfo, m CostModel, chosen Plan) ([]obs.PlanCost, CostModel) {
+	if !m.Enabled() {
+		m = explainModel
+	}
+	alts := costAlternatives(info, m, decomposableAggs(q))
+	out := make([]obs.PlanCost, 0, len(alts)+1)
+	matched := false
+	for _, a := range alts {
+		pc := obs.PlanCost{Algorithm: a.plan.Algorithm(), Detail: a.plan.Reason, Cost: a.cost}
+		if !matched && samePlanShape(a.plan, chosen) {
+			pc.Chosen, matched = true, true
+		}
+		out = append(out, pc)
+	}
+	if !matched {
+		// Strategies outside the costed set (snapshot scan, Tuma, forced
+		// partitioning) appear as the chosen entry without a price.
+		out = append(out, obs.PlanCost{Algorithm: chosen.Algorithm(), Detail: chosen.Reason, Chosen: true})
+	}
+	return out, m
+}
+
+// ActualCost reprices the plan's cost formula with the counters a finished
+// query actually measured — pages from tuples processed, CPU per tuple,
+// resident memory from the peak node count — giving EXPLAIN ANALYZE its
+// estimated-vs-actual delta. The sweep's CPU discount matches the estimate
+// so the comparison isolates cardinality and memory misestimates.
+func ActualCost(p Plan, m CostModel, tuples, peakNodes int) float64 {
+	cpu := m.CPUTuple * float64(tuples)
+	if p.Spec.Algorithm == core.SweepEval && !p.Tuma && !p.Snapshot {
+		cpu = cpu * 6 / 16
+	}
+	return m.PageIO*pages(tuples) + cpu + m.MemoryByte*float64(peakNodes)*core.NodeBytes
 }

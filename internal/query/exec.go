@@ -31,10 +31,15 @@ type QueryResult struct {
 	Query  *Query
 	Plan   Plan
 	Groups []GroupResult
+	// Explain is the rendered EXPLAIN [ANALYZE] report; empty for plain
+	// queries. EXPLAIN ANALYZE results carry their aggregate rows in Groups
+	// exactly as the plain query would, with the report appended after them.
+	Explain string
 }
 
 // String renders the result in the paper's Table 1 style, one block per
-// group and aggregate.
+// group and aggregate. EXPLAIN output follows the rows, so an EXPLAIN
+// ANALYZE rendering is the plain query's rendering plus the report.
 func (qr *QueryResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "-- %s\n-- plan: %s\n", qr.Query, qr.Plan)
@@ -46,6 +51,7 @@ func (qr *QueryResult) String() string {
 			b.WriteString(res.String())
 		}
 	}
+	b.WriteString(qr.Explain)
 	return b.String()
 }
 
@@ -107,6 +113,11 @@ func ExecuteTraced(q *Query, rel *relation.Relation, info *RelationInfo, tr *obs
 	if q.Relation != rel.Name {
 		return nil, fmt.Errorf("query: relation %q not found (have %q)", q.Relation, rel.Name)
 	}
+	if q.Explain == ExplainAnalyze && tr == nil {
+		// ANALYZE needs the span tree even with no observer installed; a
+		// standalone trace records it without a sink or trace ring.
+		tr = obs.NewQueryTrace(q.String())
+	}
 	meta := RelationInfo{Tuples: rel.Len(), Sorted: rel.IsSorted(), KBound: -1}
 	if info != nil {
 		meta = *info
@@ -133,8 +144,15 @@ func ExecuteTraced(q *Query, rel *relation.Relation, info *RelationInfo, tr *obs
 	}
 	planSpan.End()
 	tracePlan(tr, plan)
+	if q.Explain == ExplainPlan {
+		// Plan only: render the tree with every priced alternative and skip
+		// execution entirely.
+		qr := &QueryResult{Query: q, Plan: plan}
+		qr.Explain = RenderExplain(qr, nil)
+		return qr, nil
+	}
 	execSpan := tr.StartSpan("execute")
-	defer execSpan.End()
+	execCtx := execSpan.Context()
 
 	// VALID window and WHERE filter.
 	filtered := rel.Tuples
@@ -186,7 +204,7 @@ func ExecuteTraced(q *Query, rel *relation.Relation, info *RelationInfo, tr *obs
 			// ingested, sorted, and scanned once instead of once per
 			// aggregate, and each aggregate's rows are identical to its
 			// dedicated sweep's.
-			results, allStats, err := executeSharedSweep(plan, q, group, tr)
+			results, allStats, err := executeSharedSweep(plan, q, group, tr, execCtx)
 			if err != nil {
 				return nil, err
 			}
@@ -229,7 +247,7 @@ func ExecuteTraced(q *Query, rel *relation.Relation, info *RelationInfo, tr *obs
 			case q.Temporal == BySpan:
 				res, err = executeSpan(q, f, input)
 			default:
-				res, stats, err = executeInstant(plan, meta, f, input, tr)
+				res, stats, err = executeInstant(plan, meta, f, input, tr, execCtx)
 				if err == nil && q.Window != nil {
 					res.Clip(*q.Window)
 				}
@@ -245,11 +263,16 @@ func ExecuteTraced(q *Query, rel *relation.Relation, info *RelationInfo, tr *obs
 		gr.Stats = gr.AllStats[0]
 		qr.Groups = append(qr.Groups, gr)
 	}
+	execSpan.End()
 	tr.SetGroups(len(qr.Groups))
+	if q.Explain == ExplainAnalyze {
+		qr.Explain = RenderExplain(qr, tr)
+	}
 	return qr, nil
 }
 
-// tracePlan records the optimizer's decision on the trace.
+// tracePlan records the optimizer's decision — and every alternative it
+// priced — on the trace.
 func tracePlan(tr *obs.QueryTrace, plan Plan) {
 	alg := plan.Spec.Algorithm.String()
 	switch {
@@ -261,6 +284,7 @@ func tracePlan(tr *obs.QueryTrace, plan Plan) {
 		alg = "partitioned"
 	}
 	tr.SetPlan(alg, plan.Spec.K, plan.String())
+	tr.SetPlanCosts(plan.Alternatives)
 }
 
 // traceStats folds one evaluator's final counters into the trace.
@@ -292,14 +316,14 @@ func snapshotResult(f aggregate.Func, ts []tuple.Tuple, at interval.Time) *core.
 	}}}
 }
 
-func executeInstant(plan Plan, meta RelationInfo, f aggregate.Func, ts []tuple.Tuple, tr *obs.QueryTrace) (*core.Result, core.Stats, error) {
+func executeInstant(plan Plan, meta RelationInfo, f aggregate.Func, ts []tuple.Tuple, tr *obs.QueryTrace, ctx obs.TraceContext) (*core.Result, core.Stats, error) {
 	if plan.Tuma {
 		res, err := core.Tuma(core.NewSliceSource(ts), f)
 		sinkTuples(tr, "tuma-two-pass", 2*len(ts))
 		return res, core.Stats{Tuples: 2 * len(ts)}, err
 	}
 	if plan.Partitioned {
-		return executePartitioned(plan, f, ts, tr)
+		return executePartitioned(plan, f, ts, tr, ctx)
 	}
 	input := ts
 	needSorted := plan.SortFirst ||
@@ -311,14 +335,14 @@ func executeInstant(plan Plan, meta RelationInfo, f aggregate.Func, ts []tuple.T
 		input = append([]tuple.Tuple(nil), ts...)
 		sort.SliceStable(input, func(i, j int) bool { return input[i].Less(input[j]) })
 	}
-	res, stats, err := core.RunObserved(plan.Spec, f, input, tr.Sink())
+	res, stats, err := core.RunTraced(plan.Spec, f, input, tr.Sink(), ctx)
 	if err != nil && plan.SampledK {
 		// The sampled disorder bound proved too low and the k-ordered tree
 		// rejected a tuple. Pay the sort the estimate tried to avoid and
 		// rerun at k=1.
 		input = append([]tuple.Tuple(nil), ts...)
 		sort.SliceStable(input, func(i, j int) bool { return input[i].Less(input[j]) })
-		res, stats, err = core.RunObserved(core.Spec{Algorithm: core.KOrderedTree, K: 1}, f, input, tr.Sink())
+		res, stats, err = core.RunTraced(core.Spec{Algorithm: core.KOrderedTree, K: 1}, f, input, tr.Sink(), ctx)
 	}
 	return res, stats, err
 }
@@ -332,9 +356,10 @@ const estimateSeed = 0x5eed
 // all aggregates — are attached to the first aggregate's stats slot; the
 // rest stay zero so trace totals reflect the work actually done, which is
 // the point of sharing the pass.
-func executeSharedSweep(plan Plan, q *Query, ts []tuple.Tuple, tr *obs.QueryTrace) ([]*core.Result, []core.Stats, error) {
+func executeSharedSweep(plan Plan, q *Query, ts []tuple.Tuple, tr *obs.QueryTrace, ctx obs.TraceContext) ([]*core.Result, []core.Stats, error) {
 	g := core.NewSweepGroup(core.SweepOptions{Parallel: plan.Spec.Parallel})
 	g.SetSink(tr.Sink())
+	g.SetTrace(ctx)
 	for _, a := range q.Aggs {
 		if _, err := g.Register(core.GroupQuery{Func: aggregate.For(a.Kind)}); err != nil {
 			return nil, nil, err
@@ -359,11 +384,12 @@ func executeSharedSweep(plan Plan, q *Query, ts []tuple.Tuple, tr *obs.QueryTrac
 // the streaming ordered merge: each partition's coalesced rows are appended
 // to the result the moment that shard (and its predecessors) finish, so the
 // query path never waits on a whole-evaluation barrier.
-func executePartitioned(plan Plan, f aggregate.Func, ts []tuple.Tuple, tr *obs.QueryTrace) (*core.Result, core.Stats, error) {
+func executePartitioned(plan Plan, f aggregate.Func, ts []tuple.Tuple, tr *obs.QueryTrace, ctx obs.TraceContext) (*core.Result, core.Stats, error) {
 	opts := core.PartitionOptions{
 		Boundaries: partitionBoundaries(ts, plan.Partitions),
 		Parallel:   plan.Partitions,
 		Sink:       tr.Sink(),
+		Trace:      ctx,
 		// Decomposable aggregates sweep each shard; MIN/MAX keeps the
 		// aggregation tree, whose cost does not depend on overlap depth.
 		Sweep: f.Kind().Decomposable(),

@@ -13,17 +13,20 @@ type jsonGroup struct {
 }
 
 type jsonQueryResult struct {
-	Query  string      `json:"query"`
-	Plan   string      `json:"plan"`
-	Groups []jsonGroup `json:"groups"`
+	Query   string      `json:"query"`
+	Plan    string      `json:"plan"`
+	Groups  []jsonGroup `json:"groups"`
+	Explain string      `json:"explain,omitempty"`
 }
 
 // MarshalJSON encodes the query outcome with the canonical query text, the
-// chosen plan, and one result per group and select-list aggregate.
+// chosen plan, one result per group and select-list aggregate, and — for
+// EXPLAIN [ANALYZE] statements — the rendered report.
 func (qr *QueryResult) MarshalJSON() ([]byte, error) {
 	out := jsonQueryResult{
-		Query: qr.Query.String(),
-		Plan:  qr.Plan.String(),
+		Query:   qr.Query.String(),
+		Plan:    qr.Plan.String(),
+		Explain: qr.Explain,
 	}
 	for _, g := range qr.Groups {
 		out.Groups = append(out.Groups, jsonGroup{Key: g.Key, Results: g.Results})

@@ -9,7 +9,8 @@
 //
 // Grammar:
 //
-//	query  := SELECT [ident ","] agg FROM ident [where] [group] [using]
+//	query  := [EXPLAIN [ANALYZE]] select
+//	select := SELECT [ident ","] agg FROM ident [where] [group] [using]
 //	agg    := ("COUNT"|"SUM"|"AVG"|"MIN"|"MAX") "(" ident ")"
 //	where  := WHERE cond {AND cond}
 //	cond   := ident op literal

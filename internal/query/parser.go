@@ -62,6 +62,14 @@ func (p *parser) expect(kind tokenKind) (token, error) {
 
 func (p *parser) query() (*Query, error) {
 	q := &Query{}
+	if p.peek().isKeyword("EXPLAIN") {
+		p.next()
+		q.Explain = ExplainPlan
+		if p.peek().isKeyword("ANALYZE") {
+			p.next()
+			q.Explain = ExplainAnalyze
+		}
+	}
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tempagg/internal/core"
+	"tempagg/internal/obs"
 )
 
 // RelationInfo is the metadata the optimizer consults (§6.3): size,
@@ -73,6 +74,36 @@ type Plan struct {
 	Spec core.Spec
 	// Reason explains the choice, for EXPLAIN-style output.
 	Reason string
+	// Alternatives lists every strategy the planner priced, chosen one
+	// marked, for EXPLAIN and the trace's plan_costs record. Under
+	// qualitative (non-cost-based) planning the prices come from the
+	// default display model; the ranking is then informational only and may
+	// disagree with the qualitative choice.
+	Alternatives []obs.PlanCost
+	// Prices is the cost model the Alternatives were priced with — the
+	// user's model when cost-based planning is on, the default display
+	// model otherwise. EXPLAIN ANALYZE reprices it with measured counters
+	// for the estimated-vs-actual delta.
+	Prices CostModel
+}
+
+// Algorithm names the plan's execution strategy for traces and EXPLAIN.
+func (p Plan) Algorithm() string {
+	alg := p.Spec.Algorithm.String()
+	switch {
+	case p.Tuma:
+		alg = "tuma-two-pass"
+	case p.Snapshot:
+		alg = "snapshot-scan"
+	case p.Partitioned:
+		alg = fmt.Sprintf("partitioned(n=%d)", p.Partitions)
+	case p.Spec.Algorithm == core.KOrderedTree:
+		alg = fmt.Sprintf("%s(k=%d)", alg, p.Spec.K)
+	}
+	if p.SortFirst {
+		alg = "sort + " + alg
+	}
+	return alg
 }
 
 // String renders the plan.
@@ -176,11 +207,24 @@ func PlanQuery(q *Query, info RelationInfo) (Plan, error) {
 			return Plan{}, err
 		}
 		plan.Reason = "forced by USING clause"
+		// A forced plan still shows the priced field so EXPLAIN can compare
+		// the user's choice against what the optimizer would have ranked.
+		plan.Alternatives, plan.Prices = priceAlternatives(q, info, info.Cost, plan)
 		return plan, nil
 	}
 	if info.Cost.Enabled() {
 		return PlanQueryCosted(q, info, info.Cost)
 	}
+	plan, err := planQualitative(q, info)
+	if err != nil {
+		return Plan{}, err
+	}
+	plan.Alternatives, plan.Prices = priceAlternatives(q, info, CostModel{}, plan)
+	return plan, nil
+}
+
+// planQualitative applies the qualitative §6.3 rules (no cost model).
+func planQualitative(q *Query, info RelationInfo) (Plan, error) {
 	if n := info.ExpectedConstantIntervals; n > 0 && n <= 64 {
 		return Plan{
 			Spec:   core.Spec{Algorithm: core.LinkedList},

@@ -29,8 +29,22 @@ func ExecuteFile(q *Query, path string, info *RelationInfo, sopts relation.ScanO
 // ExecuteFileTraced is ExecuteFile with per-query observability: planning
 // and evaluation stages become spans on tr, evaluators publish their §6
 // counters through the trace's sink, and the final stats snapshot is
-// attached. A nil tr disables all of it.
+// attached. A nil tr disables all of it — unless the query is an EXPLAIN
+// ANALYZE, which records a standalone trace for its report.
 func ExecuteFileTraced(q *Query, path string, info *RelationInfo, sopts relation.ScanOptions, tr *obs.QueryTrace) (*QueryResult, error) {
+	if q.Explain == ExplainAnalyze && tr == nil {
+		tr = obs.NewQueryTrace(q.String())
+	}
+	qr, err := executeFileTraced(q, path, info, sopts, tr)
+	if err == nil && q.Explain == ExplainAnalyze && qr.Explain == "" {
+		// The streaming paths return plain results; the materializing path
+		// delegates to ExecuteTraced, which renders the report itself.
+		qr.Explain = RenderExplain(qr, tr)
+	}
+	return qr, err
+}
+
+func executeFileTraced(q *Query, path string, info *RelationInfo, sopts relation.ScanOptions, tr *obs.QueryTrace) (*QueryResult, error) {
 	sc, err := relation.Open(path, sopts)
 	if err != nil {
 		return nil, err
@@ -51,6 +65,13 @@ func ExecuteFileTraced(q *Query, path string, info *RelationInfo, sopts relation
 		return nil, err
 	}
 	tracePlan(tr, plan)
+	if q.Explain == ExplainPlan && q.At == nil {
+		// Plan only (AT queries re-plan in the in-memory executor, whose
+		// snapshot reduction this file-level plan does not see).
+		qr := &QueryResult{Query: q, Plan: plan}
+		qr.Explain = RenderExplain(qr, nil)
+		return qr, nil
+	}
 
 	anyDistinct := false
 	for _, a := range q.Aggs {
@@ -194,6 +215,9 @@ func streamSharedSweep(q *Query, plan Plan, sc *relation.Scanner, tr *obs.QueryT
 	qr := &QueryResult{Query: q, Plan: plan}
 	for _, k := range keys {
 		g := groups[k]
+		// The shared pass — sorts, chunked scan, per-query stitches — runs
+		// inside Finish, so its spans hang off the finish stage.
+		g.SetTrace(finishSpan.Context())
 		results, err := g.Finish()
 		if err != nil {
 			return nil, err
@@ -342,6 +366,9 @@ func streamEvaluators(q *Query, plan Plan, sc *relation.Scanner, tr *obs.QueryTr
 	for _, k := range keys {
 		gr := GroupResult{Key: k}
 		for _, ev := range evs[k] {
+			// A sweep evaluator does its sorting and scanning in Finish;
+			// its spans belong to the finish stage.
+			core.SetTraceContext(ev, finishSpan.Context())
 			res, err := ev.Finish()
 			if err != nil {
 				return nil, err

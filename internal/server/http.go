@@ -11,17 +11,22 @@ import (
 //
 //	/metrics        Prometheus text exposition of every pipeline counter
 //	/debug/traces   JSON ring buffer of the last N query traces
+//	/debug/queries  rolling per-stage latency window: histograms with
+//	                quantiles, exemplar trace IDs, and the burn-rate-ranked
+//	                slow-stage view
 //	/debug/pprof/*  the standard Go profiling endpoints
 //
 // The pprof handlers are registered explicitly rather than importing
 // net/http/pprof for its DefaultServeMux side effect, so the daemon never
 // exposes profiling on a mux it did not ask for. A nil observer still
-// yields a working mux: pprof stays live while /metrics and /debug/traces
-// answer 404, which keeps the smoke test honest about what is wired.
+// yields a working mux: pprof stays live while /metrics and the /debug
+// query surfaces answer 404, which keeps the smoke test honest about what
+// is wired.
 func AdminMux(o *obs.Observer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.MetricsHandler(o.Registry()))
 	mux.Handle("/debug/traces", obs.TracesHandler(o.TraceBuffer()))
+	mux.Handle("/debug/queries", obs.QueriesHandler(o.QueryStatsWindow()))
 	// pprof.Index dispatches the named profiles (heap, goroutine, block,
 	// mutex, threadcreate, allocs) under /debug/pprof/<name>.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

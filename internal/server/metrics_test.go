@@ -211,10 +211,72 @@ func TestAdminTracesAndPprof(t *testing.T) {
 	}
 }
 
+func TestDebugQueriesWindow(t *testing.T) {
+	_, _, addr, admin := startObservedServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const runs = 3
+	for i := 0; i < runs; i++ {
+		if resp, err := c.Query("SELECT COUNT(Salary) FROM Employed USING SWEEP"); err != nil || !resp.OK {
+			t.Fatalf("query failed: %+v, %v", resp, err)
+		}
+	}
+
+	var snap obs.WindowSnapshot
+	if err := json.Unmarshal([]byte(scrape(t, admin.URL+"/debug/queries")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.WindowSeconds <= 0 || snap.SlowThreshold <= 0 || snap.ErrorBudget <= 0 {
+		t.Errorf("window config not echoed: %+v", snap)
+	}
+	stages := map[string]obs.StageSnapshot{}
+	for _, s := range snap.Stages {
+		stages[s.Stage] = s
+	}
+	// Every query contributes a whole-query sample plus one per stage span.
+	for _, stage := range []string{"query", "parse", "plan", "execute"} {
+		s, ok := stages[stage]
+		if !ok {
+			t.Fatalf("window missing stage %q: %+v", stage, snap.Stages)
+		}
+		if s.Count != runs {
+			t.Errorf("stage %q count = %d, want %d", stage, s.Count, runs)
+		}
+		if s.Algorithm != "sweep" {
+			t.Errorf("stage %q algorithm = %q, want sweep", stage, s.Algorithm)
+		}
+		if len(s.Buckets) == 0 {
+			t.Errorf("stage %q has no histogram buckets", stage)
+		}
+		if s.P50 < 0 || s.P90 < s.P50 || s.P99 < s.P90 {
+			t.Errorf("stage %q quantiles not monotone: p50=%g p90=%g p99=%g", stage, s.P50, s.P90, s.P99)
+		}
+		// At least one bucket must carry an exemplar trace ID, and the sum
+		// of bucket counts must equal the sample count.
+		var bucketSum int64
+		exemplar := false
+		for _, b := range s.Buckets {
+			bucketSum += b.Count
+			if b.Exemplar != "" {
+				exemplar = true
+			}
+		}
+		if bucketSum != s.Count {
+			t.Errorf("stage %q bucket counts sum to %d, want %d", stage, bucketSum, s.Count)
+		}
+		if !exemplar {
+			t.Errorf("stage %q has no exemplar trace ID", stage)
+		}
+	}
+}
+
 func TestAdminMuxNilObserver(t *testing.T) {
 	admin := httptest.NewServer(AdminMux(nil))
 	defer admin.Close()
-	for _, ep := range []string{"/metrics", "/debug/traces"} {
+	for _, ep := range []string{"/metrics", "/debug/traces", "/debug/queries"} {
 		resp, err := http.Get(admin.URL + ep)
 		if err != nil {
 			t.Fatal(err)

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"encoding/json"
+	"net/http"
 	"sync"
 	"testing"
 
@@ -75,4 +77,81 @@ func TestConcurrentDeclareAndQuery(t *testing.T) {
 	if err := cat.Save(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestConcurrentTracedQueriesAndScrapes is the race-detector regression for
+// the span tree: parallel sweep workers and shared SweepGroup stitches
+// attach child spans from their own goroutines while HTTP scrapers read
+// /metrics, /debug/traces (which serializes finished span trees), and
+// /debug/queries. Span attachment happens under the trace lock at End();
+// any unsynchronized touch of Span.Children, Attrs, or Counters fails this
+// test under -race.
+func TestConcurrentTracedQueriesAndScrapes(t *testing.T) {
+	_, _, addr, admin := startObservedServer(t)
+
+	queries := []string{
+		// Forced two-worker sweep: per-worker scan spans from two goroutines.
+		"EXPLAIN ANALYZE SELECT COUNT(Salary) FROM Employed USING SWEEP 2",
+		// Shared SweepGroup: one pass, per-query stitch spans.
+		"SELECT COUNT(Salary), SUM(Salary), AVG(Salary) FROM Employed USING SWEEP 2",
+		"EXPLAIN SELECT COUNT(Salary) FROM Employed",
+	}
+
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for _, ep := range []string{"/metrics", "/debug/traces", "/debug/queries"} {
+		scrapers.Add(1)
+		go func(url string) {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var v any
+				if resp.Header.Get("Content-Type") == "application/json" {
+					// Decoding proves the trace serialization is complete,
+					// not just non-racy.
+					if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+						t.Errorf("GET %s: bad JSON: %v", url, err)
+					}
+				}
+				resp.Body.Close()
+			}
+		}(admin.URL + ep)
+	}
+
+	const workers = 4
+	const rounds = 15
+	var qwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < rounds; i++ {
+				for _, sql := range queries {
+					resp, err := c.Query(sql)
+					if err != nil || !resp.OK {
+						t.Errorf("query %q: %+v, %v", sql, resp, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	qwg.Wait()
+	close(stop)
+	scrapers.Wait()
 }
