@@ -45,8 +45,8 @@ obs-smoke:
 	$(GO) test ./cmd/tempaggd -run TestObsSmoke -count=1 -v
 
 # A short fuzz pass over the corpus-seeded targets (query layer plus the
-# core GC/arena invariants); long campaigns use the same targets with a
-# bigger FUZZTIME.
+# core GC/arena/live-snapshot invariants); long campaigns use the same
+# targets with a bigger FUZZTIME.
 fuzz-smoke:
 	$(GO) test ./internal/query -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/query -run '^$$' -fuzz FuzzExecute -fuzztime $(FUZZTIME)
@@ -54,16 +54,17 @@ fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzArenaReuse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzSweepVsReference -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzParallelSweepVsSerial -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzLiveSnapshotVsReference -fuzztime $(FUZZTIME)
 
 # A fast machine-readable run of the hot-path experiments, gated against
-# the checked-in BENCH_PR5.json: the target fails when any series' median
-# slowdown over the shared points exceeds 25%. sweep-parallel series with
-# no counterpart in the baseline are reported but not gated. Five seeds,
-# not three: the smoke points are sub-millisecond and the per-point median
+# the checked-in BENCH_PR7.json: the target fails when any series' median
+# slowdown over the shared points exceeds 25%. Series with no counterpart
+# in the baseline (live-read) are reported but not gated. Five seeds, not
+# three: the smoke points are sub-millisecond and the per-point median
 # needs the extra repetitions to sit inside the gate's tolerance. The JSON
 # report is uploaded as a CI artifact for before/after comparison.
 bench-smoke:
-	$(GO) run ./cmd/benchharness -exp baseline,sweep,sweep-parallel -max-size 4096 -seeds 5 -json -baseline BENCH_PR5.json > bench-smoke.json
+	$(GO) run ./cmd/benchharness -exp baseline,sweep,sweep-parallel,live-read -max-size 4096 -seeds 5 -json -baseline BENCH_PR7.json > bench-smoke.json
 	@head -c 400 bench-smoke.json; echo
 
 # The same run at GOMAXPROCS=4, so the chunked scan and parallel radix
@@ -73,5 +74,5 @@ bench-smoke:
 # parallel scan legitimately slower there, so this gate only catches
 # catastrophic (>2x) regressions against the GOMAXPROCS=1 baseline.
 bench-smoke-mp:
-	GOMAXPROCS=4 $(GO) run ./cmd/benchharness -exp baseline,sweep,sweep-parallel -max-size 4096 -seeds 5 -json -tolerance 1.0 -baseline BENCH_PR5.json > bench-smoke-mp.json
+	GOMAXPROCS=4 $(GO) run ./cmd/benchharness -exp baseline,sweep,sweep-parallel,live-read -max-size 4096 -seeds 5 -json -tolerance 1.0 -baseline BENCH_PR7.json > bench-smoke-mp.json
 	@head -c 400 bench-smoke-mp.json; echo

@@ -49,6 +49,7 @@ var experiments = []struct {
 	{"baseline", "hot-path baseline for before/after comparison (see BENCH_PR4.json)", bench.Baseline},
 	{"sweep", "columnar event sweep vs aggregation tree (see BENCH_PR5.json)", bench.SweepFigure},
 	{"sweep-parallel", "parallel chunked sweep + shared multi-query pass (see BENCH_PR7.json)", bench.SweepParallelFigure},
+	{"live-read", "live snapshot reads during ingestion vs batch re-evaluation (see BENCH_PR9.json)", bench.LiveReadFigure},
 }
 
 // jsonReport is the machine-readable output of -json: enough run metadata to

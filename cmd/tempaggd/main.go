@@ -121,6 +121,9 @@ func serve(cfg serveConfig, out io.Writer, ready func(queryAddr, adminAddr strin
 		// stderr slow log also burns budget in the /debug/queries window.
 		o.Queries = obs.NewQueryStats(obs.QueryStatsConfig{SlowThreshold: cfg.slowQuery})
 	}
+	// Live relations publish epoch/seal/reader gauges into the same
+	// registry the /metrics endpoint serves.
+	cat.SetLiveMetrics(o.Metrics)
 	srv := server.New(cat, server.WithObserver(o))
 
 	lis, err := net.Listen("tcp", cfg.listen)

@@ -422,6 +422,117 @@ func SweepParallelFigure(opts Options) (Figure, error) {
 	return fig, nil
 }
 
+// LiveReadFigure measures the PR 9 tentpole: snapshot reads against a live
+// evaluator mid-ingestion. The stream lands in 8 chunks; after each chunk a
+// reader takes a snapshot and evaluates the full aggregate at that epoch. A
+// live read pays one tail sweep plus a sealed-prefix merge (sealed-segment
+// results are memoized across epochs, catch-up merges are tournament-
+// balanced), where re-evaluating from scratch pays a fresh batch sweep
+// over the whole prefix. The gap between those two series prices the epoch
+// machinery against naive re-evaluation at this read rate — the live
+// evaluator's actual win, reads that never block ingestion and cannot
+// tear, is gated by the -race harness, not this figure. The single-read
+// and no-read series bound the comparison: ingest+one-read is the live
+// path's floor, the plain batch sweep is the cost of the answer itself.
+func LiveReadFigure(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	fig := Figure{
+		ID:     "live-read",
+		Title:  "Live Snapshot Reads During Ingestion vs Batch Re-evaluation",
+		Metric: "seconds",
+	}
+	f := aggregate.For(opts.Agg)
+	const readPoints = 8
+	liveReads := Series{Name: "live: 8 snapshot reads mid-ingest"}
+	reEval := Series{Name: "batch re-eval: 8 prefix sweeps"}
+	liveOnce := Series{Name: "live: ingest + final read"}
+	batch := Series{Name: "sweep batch (no mid-stream reads)"}
+	for _, size := range opts.Sizes {
+		var mLive, mRe, mOnce, mBatch []measurement
+		for _, seed := range opts.Seeds {
+			rel, err := genRandom(0)(size, seed)
+			if err != nil {
+				return Figure{}, err
+			}
+			ts := rel.Tuples
+			chunk := (len(ts) + readPoints - 1) / readPoints
+
+			start := time.Now()
+			ev := core.NewLive(core.LiveOptions{})
+			for lo := 0; lo < len(ts); lo += chunk {
+				hi := min(lo+chunk, len(ts))
+				if err := ev.AddBatch(ts[lo:hi]); err != nil {
+					return Figure{}, err
+				}
+				snap, err := ev.Snapshot()
+				if err != nil {
+					return Figure{}, err
+				}
+				if _, err := snap.Result(f); err != nil {
+					return Figure{}, err
+				}
+			}
+			peak := ev.Stats().PeakBytes()
+			if err := ev.Close(); err != nil {
+				return Figure{}, err
+			}
+			mLive = append(mLive, measurement{seconds: time.Since(start).Seconds(), peakBytes: peak})
+
+			start = time.Now()
+			for lo := 0; lo < len(ts); lo += chunk {
+				hi := min(lo+chunk, len(ts))
+				sw := newPrefixSweep(f)
+				if err := sw.AddBatch(ts[:hi]); err != nil {
+					return Figure{}, err
+				}
+				if _, err := sw.Finish(); err != nil {
+					return Figure{}, err
+				}
+			}
+			mRe = append(mRe, measurement{seconds: time.Since(start).Seconds()})
+
+			start = time.Now()
+			once := core.NewLive(core.LiveOptions{})
+			if err := once.AddBatch(ts); err != nil {
+				return Figure{}, err
+			}
+			snap, err := once.Snapshot()
+			if err != nil {
+				return Figure{}, err
+			}
+			if _, err := snap.Result(f); err != nil {
+				return Figure{}, err
+			}
+			if err := once.Close(); err != nil {
+				return Figure{}, err
+			}
+			mOnce = append(mOnce, measurement{seconds: time.Since(start).Seconds()})
+
+			start = time.Now()
+			sw := newPrefixSweep(f)
+			if err := sw.AddBatch(ts); err != nil {
+				return Figure{}, err
+			}
+			if _, err := sw.Finish(); err != nil {
+				return Figure{}, err
+			}
+			mBatch = append(mBatch, measurement{seconds: time.Since(start).Seconds()})
+		}
+		liveReads.Points = append(liveReads.Points, Point{Size: size, Value: timeMetric(median(mLive))})
+		reEval.Points = append(reEval.Points, Point{Size: size, Value: timeMetric(median(mRe))})
+		liveOnce.Points = append(liveOnce.Points, Point{Size: size, Value: timeMetric(median(mOnce))})
+		batch.Points = append(batch.Points, Point{Size: size, Value: timeMetric(median(mBatch))})
+	}
+	fig.Series = []Series{liveReads, reEval, liveOnce, batch}
+	return fig, nil
+}
+
+// newPrefixSweep is the from-scratch evaluator the live series is compared
+// against: a serial columnar sweep, the fastest batch path on random input.
+func newPrefixSweep(f aggregate.Func) core.Evaluator {
+	return core.NewSweepOptions(f, core.SweepOptions{Parallel: 1})
+}
+
 // AblationSpan compares instant grouping against coarse span grouping
 // (§7: with far fewer buckets, even simple strategies are fast).
 func AblationSpan(opts Options) (Figure, error) {

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"tempagg/internal/obs"
 	"tempagg/internal/query"
@@ -50,6 +51,12 @@ type Catalog struct {
 
 	mu      sync.RWMutex
 	entries map[string]Entry
+
+	// liveMu guards the live-relation registry (live.go); a separate lock
+	// so long-running file queries never delay ingest or snapshot reads.
+	liveMu      sync.RWMutex
+	lives       map[string]*liveRelation
+	liveMetrics atomic.Pointer[obs.Metrics]
 }
 
 // Open loads the catalog at dir: every *.rel file becomes a relation named
@@ -288,6 +295,9 @@ func (c *Catalog) queryTraced(sql string, sopts relation.ScanOptions, tr *obs.Qu
 	parseSpan.End()
 	if err != nil {
 		return nil, err
+	}
+	if q.Live {
+		return c.executeLive(q, tr)
 	}
 	info, err := c.Info(q.Relation)
 	if err != nil {

@@ -116,6 +116,58 @@ func diffStrategies(boundaries []interval.Time) []diffStrategy {
 			}
 			return results[idx], nil
 		}},
+		// The live evaluator read at its final epoch. SegmentSize 32 forces
+		// several seal boundaries and a partial tail at the oracle's sizes,
+		// so the segment-merge path and the tail sweep are both in play.
+		{"live-snapshot", func(_ *testing.T, f aggregate.Func, ts []tuple.Tuple, _ int) (*Result, error) {
+			ev := NewLive(LiveOptions{SegmentSize: 32})
+			defer closeLive(ev)
+			if err := ev.AddBatch(ts); err != nil {
+				return nil, err
+			}
+			snap, err := ev.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			return snap.Result(f)
+		}},
+		// Same read, but taken mid-stream first: a snapshot at the halfway
+		// epoch is held and verified against the oracle over exactly that
+		// prefix, then ingestion continues and the final epoch is returned.
+		// This pins the consistency claim — the held snapshot must not see
+		// the second half — and exercises the prefix-memo fallback, since
+		// the old snapshot is read after the memo advanced past it.
+		{"live-midstream-snapshot", func(t *testing.T, f aggregate.Func, ts []tuple.Tuple, _ int) (*Result, error) {
+			ev := NewLive(LiveOptions{SegmentSize: 32})
+			defer closeLive(ev)
+			half := len(ts) / 2
+			if err := ev.AddBatch(ts[:half]); err != nil {
+				return nil, err
+			}
+			mid, err := ev.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			if err := ev.AddBatch(ts[half:]); err != nil {
+				return nil, err
+			}
+			snap, err := ev.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			res, err := snap.Result(f)
+			if err != nil {
+				return nil, err
+			}
+			midRes, err := mid.Result(f)
+			if err != nil {
+				return nil, err
+			}
+			if want := Reference(f, ts[:half]); !midRes.Equal(want) {
+				t.Fatalf("mid-stream snapshot saw tuples past its epoch:\ngot:\n%s\nwant:\n%s", midRes, want)
+			}
+			return res, nil
+		}},
 		{"partitioned-serial", runPartitioned(PartitionOptions{Boundaries: boundaries})},
 		{"partitioned-parallel", runPartitioned(PartitionOptions{Boundaries: boundaries, Parallel: 4})},
 		{"partitioned-spill", runPartitioned(PartitionOptions{Boundaries: boundaries, SpillDir: "spill", Parallel: 2})},

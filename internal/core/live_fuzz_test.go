@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tempagg/internal/aggregate"
+)
+
+// FuzzLiveSnapshotVsReference is the snapshot-consistency fuzz target
+// (wired into the fuzz-smoke CI pass): random workloads ingested through a
+// live evaluator in fuzz-chosen chunk sizes and segment sizes, with a
+// snapshot at every chunk boundary. Every snapshot — checked both at its
+// epoch and again after the whole stream has landed — must equal a fresh
+// batch Reference evaluation over exactly the tuples the snapshot itself
+// materializes, for the fuzz-chosen aggregate; the final epoch is checked
+// for all five. Any torn read at a seal boundary, stale memo, or
+// cross-epoch leak surfaces as a divergence here.
+func FuzzLiveSnapshotVsReference(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(40), uint8(1), uint8(8))
+	f.Add(int64(2), uint8(3), uint8(120), uint8(7), uint8(1))
+	f.Add(int64(3), uint8(7), uint8(255), uint8(33), uint8(64))
+	f.Fuzz(func(t *testing.T, seed int64, kindB, nb, chunkB, segB uint8) {
+		r := rand.New(rand.NewSource(seed))
+		fn := aggregate.For(aggregate.Kinds()[int(kindB)%5])
+		n := int(nb)
+		chunk := int(chunkB)%16 + 1
+		segSize := int(segB)%96 + 1
+		ts := randomTuples(r, n, 1000)
+		if kindB%2 == 0 { // both ingestion orders matter at seal boundaries
+			sort.SliceStable(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+		}
+
+		ev := NewLive(LiveOptions{SegmentSize: segSize})
+		defer closeLive(ev)
+		var held []*LiveSnapshot
+		for lo := 0; lo < len(ts); lo += chunk {
+			hi := min(lo+chunk, len(ts))
+			if err := ev.AddBatch(ts[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+			snap, err := ev.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.Seq() != int64(hi) {
+				t.Fatalf("seq %d after ingesting %d", snap.Seq(), hi)
+			}
+			res, err := snap.Result(fn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Validate(); err != nil {
+				t.Fatalf("seg=%d chunk=%d seq=%d: %v", segSize, chunk, snap.Seq(), err)
+			}
+			if !res.Equal(Reference(fn, snap.Tuples())) {
+				t.Fatalf("seg=%d chunk=%d %v: snapshot @ seq %d differs from oracle",
+					segSize, chunk, fn.Kind(), snap.Seq())
+			}
+			held = append(held, snap)
+		}
+
+		// Retroactive check: epochs must be frozen, not views of the head.
+		for _, snap := range held {
+			res, err := snap.Result(fn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Equal(Reference(fn, ts[:snap.Seq()])) {
+				t.Fatalf("seg=%d chunk=%d %v: held snapshot @ seq %d drifted",
+					segSize, chunk, fn.Kind(), snap.Seq())
+			}
+		}
+
+		// Final epoch, all five aggregates.
+		snap, err := ev.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range aggregate.Kinds() {
+			fk := aggregate.For(kind)
+			res, err := snap.Result(fk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Equal(Reference(fk, ts)) {
+				t.Fatalf("seg=%d %v: final snapshot differs from oracle", segSize, kind)
+			}
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tempagg/internal/aggregate"
+)
+
+// Race/linearizability stress for the live evaluator: N writers ingest
+// concurrently while M readers snapshot and evaluate, with Stats scrapes
+// riding along. Run under -race in CI (make test runs the suite with the
+// detector on). The checks are the protocol's invariants:
+//
+//   - every snapshot's Seq equals the length of its materialized prefix;
+//   - Seq never decreases across snapshots taken by one goroutine
+//     (ingestion order is a total order and Snapshot is linearizable
+//     with respect to it);
+//   - a sampled subset of snapshots is verified bit-for-bit against the
+//     O(n²) Reference oracle over exactly their materialized tuples — the
+//     full oracle on every snapshot would drown the race detector.
+func TestLiveRaceWritersReaders(t *testing.T) {
+	const (
+		writers         = 4
+		readers         = 4
+		tuplesPerWriter = 240
+		segSize         = 32
+	)
+	ev := NewLive(LiveOptions{SegmentSize: segSize})
+	defer closeLive(ev)
+
+	var writerWg, readerWg sync.WaitGroup
+	var writersDone atomic.Bool
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(w int) {
+			defer writerWg.Done()
+			r := rand.New(rand.NewSource(int64(100 + w)))
+			ts := randomTuples(r, tuplesPerWriter, 2000)
+			for lo := 0; lo < len(ts); {
+				hi := min(lo+1+r.Intn(5), len(ts))
+				if err := ev.AddBatch(ts[lo:hi]); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				lo = hi
+			}
+		}(w)
+	}
+
+	for rd := 0; rd < readers; rd++ {
+		readerWg.Add(1)
+		go func(rd int) {
+			defer readerWg.Done()
+			kinds := aggregate.Kinds()
+			var lastSeq int64 = -1
+			for i := 0; ; i++ {
+				if writersDone.Load() {
+					return
+				}
+				snap, err := ev.Snapshot()
+				if err != nil {
+					t.Errorf("reader %d: %v", rd, err)
+					return
+				}
+				if snap.Seq() < lastSeq {
+					t.Errorf("reader %d: seq went backwards: %d after %d", rd, snap.Seq(), lastSeq)
+					return
+				}
+				lastSeq = snap.Seq()
+				prefix := snap.Tuples()
+				if int64(len(prefix)) != snap.Seq() {
+					t.Errorf("reader %d: snapshot seq %d but %d tuples", rd, snap.Seq(), len(prefix))
+					return
+				}
+				f := aggregate.For(kinds[i%len(kinds)])
+				res, err := snap.Result(f)
+				if err != nil {
+					t.Errorf("reader %d: %v", rd, err)
+					return
+				}
+				if err := res.Validate(); err != nil {
+					t.Errorf("reader %d: %v", rd, err)
+					return
+				}
+				if i%16 == 0 {
+					if want := Reference(f, prefix); !res.Equal(want) {
+						t.Errorf("reader %d: snapshot @ seq %d diverged from oracle for %v",
+							rd, snap.Seq(), f.Kind())
+						return
+					}
+				}
+				// Stats scrapes race the writers by design; the counters are
+				// atomics and must always be mutually coherent.
+				s := ev.Stats()
+				if s.Tuples < int(snap.Seq()) {
+					t.Errorf("reader %d: Stats().Tuples = %d behind held snapshot seq %d",
+						rd, s.Tuples, snap.Seq())
+					return
+				}
+			}
+		}(rd)
+	}
+
+	// Readers run until every writer has finished, so snapshots land on
+	// live ingestion for the whole stress window.
+	writerWg.Wait()
+	writersDone.Store(true)
+	readerWg.Wait()
+
+	// Final state: everything admitted, final snapshot matches the oracle.
+	snap, err := ev.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seq() != writers*tuplesPerWriter {
+		t.Fatalf("final seq = %d, want %d", snap.Seq(), writers*tuplesPerWriter)
+	}
+	f := aggregate.For(aggregate.Sum)
+	res, err := snap.Result(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Reference(f, snap.Tuples()); !res.Equal(want) {
+		t.Fatal("final snapshot diverged from oracle")
+	}
+}
+
+// TestLiveRaceSnapshotDuringSeal hammers the seal boundary: segment size 1
+// makes every Add a seal, so snapshots constantly land on generation
+// installs.
+func TestLiveRaceSnapshotDuringSeal(t *testing.T) {
+	ev := NewLive(LiveOptions{SegmentSize: 1})
+	defer closeLive(ev)
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		r := rand.New(rand.NewSource(7))
+		for _, tu := range randomTuples(r, 400, 1000) {
+			if err := ev.Add(tu); err != nil {
+				t.Errorf("add: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				snap, err := ev.Snapshot()
+				if err != nil {
+					t.Errorf("snapshot: %v", err)
+					return
+				}
+				ep := snap.Epoch()
+				if ep.Tail != 0 || int64(ep.Segments) != snap.Seq() {
+					t.Errorf("segment size 1: epoch %+v must have an empty tail and seq segments", ep)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestLiveRaceCloseVsReaders: Close racing snapshots and reads must never
+// corrupt a held snapshot; post-Close snapshots fail cleanly.
+func TestLiveRaceCloseVsReaders(t *testing.T) {
+	ev := NewLive(LiveOptions{SegmentSize: 16})
+	r := rand.New(rand.NewSource(8))
+	ts := randomTuples(r, 100, 1000)
+	if err := ev.AddBatch(ts); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			snap, err := ev.Snapshot()
+			if err != nil {
+				return // closed first; fine
+			}
+			res, err := snap.Result(aggregate.For(aggregate.Count))
+			if err != nil {
+				t.Errorf("read on held snapshot failed: %v", err)
+				return
+			}
+			if err := res.Validate(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		closeLive(ev)
+	}()
+	close(start)
+	wg.Wait()
+	if _, err := ev.Snapshot(); err == nil {
+		t.Fatal("snapshot after close succeeded")
+	}
+}

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+// closeLive closes ev for tests that go on to exercise the closed state.
+// Routing Close through a helper keeps finishonce's per-body analysis out
+// of the intentional misuse these tests perform; production code calls
+// Close directly and is checked.
+func closeLive(ev *LiveEvaluator) {
+	if err := ev.Close(); err != nil {
+		panic(err)
+	}
+}
+
+func TestLiveSealBoundaries(t *testing.T) {
+	ev := NewLive(LiveOptions{SegmentSize: 8})
+	defer closeLive(ev)
+	r := rand.New(rand.NewSource(90))
+	for i, tu := range randomTuples(r, 20, 1000) {
+		if err := ev.Add(tu); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := ev.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := snap.Seq(), int64(i+1); got != want {
+			t.Fatalf("after %d adds: seq %d, want %d", i+1, got, want)
+		}
+	}
+	if got := ev.Seals(); got != 2 {
+		t.Fatalf("Seals() = %d, want 2 (20 tuples / segment size 8)", got)
+	}
+	snap, err := ev.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := snap.Epoch()
+	if ep.Seq != 20 || ep.Segments != 2 || ep.Tail != 4 {
+		t.Fatalf("epoch = %+v, want {Seq:20 Segments:2 Tail:4}", ep)
+	}
+	// A full tail seals immediately: no epoch ever shows Tail == SegmentSize.
+	for i := 0; i < 4; i++ {
+		if err := ev.Add(tuple.MustNew("x", 1, 0, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err = ev.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep := snap.Epoch(); ep.Segments != 3 || ep.Tail != 0 {
+		t.Fatalf("after filling the tail: epoch = %+v, want 3 sealed and an empty tail", ep)
+	}
+}
+
+// TestLiveSnapshotIsolation: a snapshot keeps answering for its epoch no
+// matter how far ingestion advances past it.
+func TestLiveSnapshotIsolation(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	ts := randomTuples(r, 100, 2000)
+	ev := NewLive(LiveOptions{SegmentSize: 16})
+	defer closeLive(ev)
+	if err := ev.AddBatch(ts[:40]); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ev.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.AddBatch(ts[40:]); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range aggregate.Kinds() {
+		f := aggregate.For(kind)
+		got, err := snap.Result(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if want := Reference(f, ts[:40]); !got.Equal(want) {
+			t.Fatalf("%v: snapshot drifted after later ingestion:\ngot:\n%s\nwant:\n%s", kind, got, want)
+		}
+	}
+}
+
+// TestLiveOldSnapshotAfterMemoAdvance: reading a newer snapshot first moves
+// the shared prefix memo past an older snapshot's segment set; the older
+// snapshot must then take the direct-merge path and still be exact.
+func TestLiveOldSnapshotAfterMemoAdvance(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+	ts := randomTuples(r, 96, 2000)
+	ev := NewLive(LiveOptions{SegmentSize: 8})
+	defer closeLive(ev)
+	if err := ev.AddBatch(ts[:30]); err != nil {
+		t.Fatal(err)
+	}
+	old, err := ev.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.AddBatch(ts[30:]); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := ev.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range aggregate.Kinds() {
+		f := aggregate.For(kind)
+		// Advance the memo to the full segment set first.
+		got, err := fresh.Result(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := Reference(f, ts); !got.Equal(want) {
+			t.Fatalf("%v: fresh snapshot differs from oracle", kind)
+		}
+		got, err = old.Result(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := Reference(f, ts[:30]); !got.Equal(want) {
+			t.Fatalf("%v: old snapshot differs from oracle after memo advance:\ngot:\n%s\nwant:\n%s",
+				kind, got, want)
+		}
+	}
+}
+
+// TestLiveAtRange: point and range reads agree with the snapshot's full
+// result and with a direct Reference evaluation.
+func TestLiveAtRange(t *testing.T) {
+	r := rand.New(rand.NewSource(93))
+	ts := randomTuples(r, 64, 1000)
+	ev := NewLive(LiveOptions{SegmentSize: 16})
+	defer closeLive(ev)
+	if err := ev.AddBatch(ts); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ev.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range aggregate.Kinds() {
+		f := aggregate.For(kind)
+		full, err := snap.Result(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Reference(f, ts)
+		for _, at := range []interval.Time{0, 1, 499, 1000, 1500} {
+			got, err := snap.At(f, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wv, ok := want.At(at); !ok || got != wv {
+				t.Fatalf("%v: At(%d) = %v, want %v", kind, at, got, wv)
+			}
+		}
+		window := interval.MustNew(200, 800)
+		ranged, err := snap.Range(f, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ranged.ValidatePartition(window.Start, window.End); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		clipped := &Result{Func: f, Rows: append([]Row(nil), want.Rows...)}
+		if !ranged.Equal(clipped.Clip(window)) {
+			t.Fatalf("%v: Range differs from clipped oracle", kind)
+		}
+		// Range must not have corrupted the memoized full result.
+		again, err := snap.Result(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !again.Equal(full) {
+			t.Fatalf("%v: Range mutated the snapshot's memoized result", kind)
+		}
+	}
+}
+
+func TestLiveCloseSemantics(t *testing.T) {
+	ev := NewLive(LiveOptions{SegmentSize: 4})
+	if err := ev.AddBatch([]tuple.Tuple{
+		tuple.MustNew("a", 1, 0, 10),
+		tuple.MustNew("b", 2, 5, 15),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ev.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeLive(ev)
+	closeLive(ev) // idempotent
+	if err := ev.Add(tuple.MustNew("c", 3, 0, 1)); !errors.Is(err, ErrLiveClosed) {
+		t.Fatalf("Add after Close: err = %v, want ErrLiveClosed", err)
+	}
+	if err := ev.AddBatch(nil); !errors.Is(err, ErrLiveClosed) {
+		t.Fatalf("AddBatch after Close: err = %v, want ErrLiveClosed", err)
+	}
+	if _, err := ev.Snapshot(); !errors.Is(err, ErrLiveClosed) {
+		t.Fatalf("Snapshot after Close: err = %v, want ErrLiveClosed", err)
+	}
+	// The pre-Close snapshot stays readable: it holds only immutable state.
+	f := aggregate.For(aggregate.Sum)
+	got, err := snap.Result(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Reference(f, []tuple.Tuple{
+		tuple.MustNew("a", 1, 0, 10),
+		tuple.MustNew("b", 2, 5, 15),
+	}); !got.Equal(want) {
+		t.Fatalf("snapshot after Close:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if live := ev.Stats().LiveNodes; live != 0 {
+		t.Fatalf("LiveNodes after Close = %d, want 0", live)
+	}
+}
+
+func TestLiveStats(t *testing.T) {
+	ev := NewLive(LiveOptions{SegmentSize: 8})
+	defer closeLive(ev)
+	r := rand.New(rand.NewSource(94))
+	ts := randomTuples(r, 25, 500)
+	if err := ev.AddBatch(ts); err != nil {
+		t.Fatal(err)
+	}
+	s := ev.Stats()
+	if s.Tuples != 25 {
+		t.Fatalf("Tuples = %d, want 25", s.Tuples)
+	}
+	// Cost model: one arrival and one departure event per resident tuple.
+	if s.LiveNodes != 50 || s.PeakNodes != 50 {
+		t.Fatalf("LiveNodes/PeakNodes = %d/%d, want 50/50", s.LiveNodes, s.PeakNodes)
+	}
+}
+
+func TestLiveValidateError(t *testing.T) {
+	ev := NewLive(LiveOptions{})
+	defer closeLive(ev)
+	bad := tuple.MustNew("x", 0, 3, 10)
+	bad.Valid.Start, bad.Valid.End = 10, 3 // inverted on purpose: AddBatch must reject it
+	err := ev.AddBatch([]tuple.Tuple{tuple.MustNew("ok", 1, 0, 5), bad})
+	if err == nil {
+		t.Fatal("AddBatch accepted an inverted interval")
+	}
+	snap, serr := ev.Snapshot()
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	// The valid prefix before the failing tuple is admitted, as under Add.
+	if snap.Seq() != 1 {
+		t.Fatalf("seq after failed batch = %d, want 1", snap.Seq())
+	}
+}
+
+func TestLiveGaugeHook(t *testing.T) {
+	ev := NewLive(LiveOptions{SegmentSize: 4})
+	defer closeLive(ev)
+	var gauges []LiveGauges
+	ev.SetGaugeHook(func(g LiveGauges) { gauges = append(gauges, g) })
+	r := rand.New(rand.NewSource(95))
+	for _, tu := range randomTuples(r, 10, 300) {
+		if err := ev.Add(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(gauges) != 10 {
+		t.Fatalf("hook ran %d times, want 10 (once per AddBatch)", len(gauges))
+	}
+	last := LiveGauges{}
+	for i, g := range gauges {
+		if g.Seq < last.Seq || g.Segments < last.Segments {
+			t.Fatalf("gauge %d went backwards: %+v after %+v", i, g, last)
+		}
+		if g.Tail >= 4 {
+			t.Fatalf("gauge %d: tail %d at segment size 4 (seal must precede publish)", i, g.Tail)
+		}
+		last = g
+	}
+	if last.Seq != 10 || last.Segments != 2 || last.Tail != 2 {
+		t.Fatalf("final gauges = %+v, want {Seq:10 Segments:2 Tail:2}", last)
+	}
+}
+
+// TestLiveSnapshotTuples: the oracle's entry point — Tuples must return
+// exactly the admitted prefix, in ingestion order.
+func TestLiveSnapshotTuples(t *testing.T) {
+	r := rand.New(rand.NewSource(96))
+	ts := randomTuples(r, 50, 800)
+	ev := NewLive(LiveOptions{SegmentSize: 8})
+	defer closeLive(ev)
+	for i, tu := range ts {
+		if err := ev.Add(tu); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := ev.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := snap.Tuples()
+		if len(got) != i+1 {
+			t.Fatalf("after %d adds: %d tuples", i+1, len(got))
+		}
+		for j, tu := range got {
+			if tu != ts[j] {
+				t.Fatalf("tuple %d = %v, want %v", j, tu, ts[j])
+			}
+		}
+	}
+}
+
+func TestLiveEmpty(t *testing.T) {
+	ev := NewLive(LiveOptions{})
+	defer closeLive(ev)
+	snap, err := ev.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seq() != 0 {
+		t.Fatalf("empty snapshot seq = %d", snap.Seq())
+	}
+	for _, kind := range aggregate.Kinds() {
+		f := aggregate.For(kind)
+		got, err := snap.Result(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := Reference(f, nil); !got.Equal(want) {
+			t.Fatalf("%v: empty snapshot differs from empty oracle", kind)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/tuple"
+	"tempagg/internal/workload"
+)
+
+// This file is the snapshot-consistency differential oracle (S36): every
+// snapshot a live evaluator ever hands out must be bit-identical — as a
+// coalesced constant-interval partition — to a fresh batch Reference
+// evaluation over exactly the tuples admitted at that epoch. The generic
+// strategy rows in difftest_test.go cover the final epoch; here the epochs
+// in the middle are the point, across ingestion chunkings, segment sizes,
+// and every workload shape and aggregate.
+
+// liveInterleaving is one way of cutting a relation into ingestion batches
+// with snapshot points between them.
+type liveInterleaving struct {
+	name string
+	// chunk returns the batch length to ingest next, given how many tuples
+	// remain; must be ≥ 1.
+	chunk func(remaining int) int
+}
+
+func liveInterleavings() []liveInterleaving {
+	return []liveInterleaving{
+		{"tuple-at-a-time", func(int) int { return 1 }},
+		{"page", func(int) int { return 7 }},
+		{"half", func(remaining int) int { return max(remaining/2, 1) }},
+		{"all-at-once", func(remaining int) int { return max(remaining, 1) }},
+	}
+}
+
+// TestLiveSnapshotOracle: ingest each workload in chunks, snapshot at every
+// chunk boundary, and require every snapshot of every aggregate to equal
+// the Reference oracle over its admitted prefix. Snapshots are also re-read
+// after ingestion has moved on (held list), so isolation is checked both at
+// the epoch and retroactively.
+func TestLiveSnapshotOracle(t *testing.T) {
+	for _, wl := range diffWorkloads() {
+		for _, n := range []int{0, 1, 37, 160} {
+			cfg := wl.cfg
+			cfg.Tuples = n
+			cfg.Seed = int64(2000 + n)
+			rel, err := workload.Generate(cfg)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", wl.name, n, err)
+			}
+			for _, segSize := range []int{16, 64} {
+				for _, il := range liveInterleavings() {
+					t.Run(fmt.Sprintf("%s/n=%d/seg=%d/%s", wl.name, n, segSize, il.name), func(t *testing.T) {
+						ev := NewLive(LiveOptions{SegmentSize: segSize})
+						defer closeLive(ev)
+						type held struct {
+							snap *LiveSnapshot
+							seq  int64
+						}
+						var snaps []held
+						ts := rel.Tuples
+						for lo := 0; lo < len(ts); {
+							hi := min(lo+il.chunk(len(ts)-lo), len(ts))
+							if err := ev.AddBatch(ts[lo:hi]); err != nil {
+								t.Fatal(err)
+							}
+							lo = hi
+							snap, err := ev.Snapshot()
+							if err != nil {
+								t.Fatal(err)
+							}
+							if snap.Seq() != int64(lo) {
+								t.Fatalf("snapshot seq %d after ingesting %d", snap.Seq(), lo)
+							}
+							// Check the snapshot at its epoch...
+							assertSnapshotMatchesReference(t, snap, ts)
+							snaps = append(snaps, held{snap, int64(lo)})
+						}
+						if len(ts) == 0 {
+							snap, err := ev.Snapshot()
+							if err != nil {
+								t.Fatal(err)
+							}
+							snaps = append(snaps, held{snap, 0})
+						}
+						// ...and retroactively, after the whole stream landed.
+						for _, h := range snaps {
+							if h.snap.Seq() != h.seq {
+								t.Fatalf("held snapshot seq drifted: %d, was %d", h.snap.Seq(), h.seq)
+							}
+							assertSnapshotMatchesReference(t, h.snap, ts)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// assertSnapshotMatchesReference checks every aggregate of snap against a
+// fresh batch Reference evaluation over the snapshot's admitted prefix.
+func assertSnapshotMatchesReference(t *testing.T, snap *LiveSnapshot, all []tuple.Tuple) {
+	t.Helper()
+	prefix := all[:snap.Seq()]
+	for _, kind := range aggregate.Kinds() {
+		f := aggregate.For(kind)
+		got, err := snap.Result(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("%v @ seq %d: %v", kind, snap.Seq(), err)
+		}
+		if want := Reference(f, prefix); !got.Equal(want) {
+			t.Fatalf("%v @ seq %d: snapshot differs from batch oracle:\ngot:\n%s\nwant:\n%s",
+				kind, snap.Seq(), got, want)
+		}
+	}
+}
+
+// TestLiveMetamorphicPrefixReplay: snapshot-at-epoch-k ≡ prefix-replay-of-k.
+// A snapshot taken after k tuples must equal a second, fresh live evaluator
+// fed only those k tuples and read at its final epoch — the live protocol's
+// equivalent of the partition-concatenation property.
+func TestLiveMetamorphicPrefixReplay(t *testing.T) {
+	cfg := workload.Config{Tuples: 150, Lifespan: 4000, Order: workload.Random, LongLivedPct: 30, Seed: 77}
+	rel, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := rel.Tuples
+	ev := NewLive(LiveOptions{SegmentSize: 16})
+	defer closeLive(ev)
+	ingested := 0
+	for _, k := range []int{0, 1, 15, 16, 17, 75, 150} {
+		if err := ev.AddBatch(ts[ingested:k]); err != nil {
+			t.Fatal(err)
+		}
+		ingested = k
+		snap, err := ev.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay := NewLive(LiveOptions{SegmentSize: 16})
+		if err := replay.AddBatch(ts[:k]); err != nil {
+			t.Fatal(err)
+		}
+		rsnap, err := replay.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range aggregate.Kinds() {
+			f := aggregate.For(kind)
+			got, err := snap.Result(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := rsnap.Result(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("%v @ k=%d: snapshot differs from prefix replay", kind, k)
+			}
+		}
+		closeLive(replay)
+	}
+}

@@ -1,0 +1,207 @@
+// LiveSnapshot: the reader half of the live evaluator's epoch protocol.
+// See live.go for the writer half and the sealing rules.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+// LiveEpoch identifies one snapshot's position in the ingestion order.
+type LiveEpoch struct {
+	// Seq is the number of tuples admitted at the epoch — the snapshot
+	// reads exactly the first Seq tuples ever ingested, in order.
+	Seq int64 `json:"seq"`
+	// Segments is the sealed-segment count at the epoch.
+	Segments int `json:"segments"`
+	// Tail is the tail watermark: tuples admitted but not yet sealed.
+	Tail int `json:"tail"`
+}
+
+// String renders the epoch for spans and diagnostics.
+func (ep LiveEpoch) String() string {
+	return fmt.Sprintf("epoch %d (%d sealed + tail %d)", ep.Seq, ep.Segments, ep.Tail)
+}
+
+// LiveSnapshot is one consistent epoch of a LiveEvaluator: reads through
+// it observe exactly the tuples admitted when Snapshot was called, however
+// far ingestion has advanced since. A snapshot is immutable and safe for
+// concurrent use; it stays valid after the evaluator is closed. Per-kind
+// full results are memoized on the snapshot, so At and Range after a
+// Result call are binary searches, not re-evaluations.
+type LiveSnapshot struct {
+	ev      *LiveEvaluator
+	state   *liveState
+	tailLen int64
+	seq     int64
+
+	mu   sync.Mutex
+	memo map[aggregate.Kind]*Result
+}
+
+// Seq is the number of tuples admitted at the snapshot's epoch.
+func (s *LiveSnapshot) Seq() int64 { return s.seq }
+
+// Len is Seq as an int, for slice-shaped callers.
+func (s *LiveSnapshot) Len() int { return int(s.seq) }
+
+// Epoch describes the snapshot's position in the ingestion order.
+func (s *LiveSnapshot) Epoch() LiveEpoch {
+	return LiveEpoch{Seq: s.seq, Segments: len(s.state.segs), Tail: int(s.tailLen)}
+}
+
+// Tuples materializes the tuples admitted at the epoch, in ingestion
+// order. It exists for the differential oracle (a batch Reference run over
+// exactly this slice must match every snapshot read) and for prefix
+// replay; production reads never need it.
+func (s *LiveSnapshot) Tuples() []tuple.Tuple {
+	out := make([]tuple.Tuple, 0, s.seq)
+	for _, g := range s.state.segs {
+		out = append(out, g.tuples()...)
+	}
+	t := s.state.tail
+	for i := int64(0); i < s.tailLen; i++ {
+		// The columns were validated at ingest, so MustNew cannot panic.
+		out = append(out, tuple.MustNew(t.names[i], t.vals[i], t.starts[i], t.ends[i]))
+	}
+	return out
+}
+
+// Result computes the full constant-interval result for f at the epoch:
+// the memoized sealed-segment partials merged with a fresh sweep of the
+// tail prefix. The returned result partitions [0, ∞] and is the caller's
+// to mutate (Clip, Coalesce); the snapshot keeps its own memoized copy.
+func (s *LiveSnapshot) Result(f aggregate.Func) (*Result, error) {
+	res, err := s.full(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Func: res.Func, Rows: append([]Row(nil), res.Rows...)}, nil
+}
+
+// At returns the aggregate value at instant t, evaluated at the epoch.
+func (s *LiveSnapshot) At(f aggregate.Func, t interval.Time) (aggregate.Value, error) {
+	res, err := s.full(f)
+	if err != nil {
+		return aggregate.Value{}, err
+	}
+	v, ok := res.At(t)
+	if !ok {
+		// full results partition [0, ∞]; a miss means t is out of range.
+		return aggregate.Value{}, fmt.Errorf("core: live at %s: no row", interval.FormatTime(t))
+	}
+	return v, nil
+}
+
+// Range returns the constant intervals overlapping window, clipped to it,
+// evaluated at the epoch.
+func (s *LiveSnapshot) Range(f aggregate.Func, window interval.Interval) (*Result, error) {
+	res, err := s.Result(f)
+	if err != nil {
+		return nil, err
+	}
+	return res.Clip(window), nil
+}
+
+// full returns the memoized epoch result for f, computing it on first use.
+func (s *LiveSnapshot) full(f aggregate.Func) (*Result, error) {
+	k := f.Kind()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if res, ok := s.memo[k]; ok {
+		return res, nil
+	}
+	pre, err := s.ev.prefixResult(f, s.state.segs)
+	if err != nil {
+		return nil, err
+	}
+	tail, err := s.tailResult(f)
+	if err != nil {
+		return nil, err
+	}
+	res := mergeResults(f, pre, tail)
+	if s.memo == nil {
+		s.memo = map[aggregate.Kind]*Result{}
+	}
+	s.memo[k] = res
+	return res, nil
+}
+
+// tailResult sweeps the snapshot's tail prefix — at most one segment's
+// worth of tuples, so this is the only per-read evaluation work.
+func (s *LiveSnapshot) tailResult(f aggregate.Func) (*Result, error) {
+	if s.tailLen == 0 {
+		return emptyResult(f), nil
+	}
+	ev := NewSweep(f)
+	t := s.state.tail
+	buf := make([]tuple.Tuple, 0, min(int(s.tailLen), BatchPage))
+	for lo := int64(0); lo < s.tailLen; lo += int64(BatchPage) {
+		hi := min(lo+int64(BatchPage), s.tailLen)
+		buf = buf[:0]
+		for i := lo; i < hi; i++ {
+			buf = append(buf, tuple.MustNew(t.names[i], t.vals[i], t.starts[i], t.ends[i]))
+		}
+		if err := ev.AddBatch(buf); err != nil {
+			return nil, err
+		}
+	}
+	return ev.Finish()
+}
+
+// emptyResult is the zero-tuple result: one constant interval covering the
+// whole time-line with the identity state.
+func emptyResult(f aggregate.Func) *Result {
+	return &Result{Func: f, Rows: []Row{{Interval: interval.Universe(), State: f.Zero()}}}
+}
+
+// mergeAll pairwise-merges full-timeline results into one, balanced like a
+// tournament so that combining S segment results costs O(rows · log S)
+// row visits instead of the left fold's O(rows · S). None of the inputs
+// are mutated; with a single input it is returned as-is, so callers must
+// treat the output as shared.
+func mergeAll(f aggregate.Func, rs []*Result) *Result {
+	switch len(rs) {
+	case 0:
+		return emptyResult(f)
+	case 1:
+		return rs[0]
+	}
+	mid := len(rs) / 2
+	return mergeResults(f, mergeAll(f, rs[:mid]), mergeAll(f, rs[mid:]))
+}
+
+// mergeResults combines two full-timeline partitions into one: row
+// boundaries are unioned and overlapping states merged with f.Merge, which
+// is exact for disjoint tuple populations across all five aggregates
+// (COUNT/SUM/AVG sum their counters; MIN/MAX take the extremum of the two
+// sides' wedge-derived partials). Both inputs must partition [0, ∞]; the
+// output does too. Neither input is mutated.
+func mergeResults(f aggregate.Func, a, b *Result) *Result {
+	out := &Result{Func: f, Rows: make([]Row, 0, len(a.Rows)+len(b.Rows))}
+	i, j := 0, 0
+	cur := interval.Origin
+	for i < len(a.Rows) && j < len(b.Rows) {
+		ra, rb := a.Rows[i], b.Rows[j]
+		end := min(ra.Interval.End, rb.Interval.End)
+		out.Rows = append(out.Rows, Row{
+			Interval: interval.MustNew(cur, end),
+			State:    f.Merge(ra.State, rb.State),
+		})
+		if ra.Interval.End == end {
+			i++
+		}
+		if rb.Interval.End == end {
+			j++
+		}
+		if end == interval.Forever {
+			break
+		}
+		cur = end + 1
+	}
+	return out
+}

@@ -19,15 +19,24 @@ import (
 // second Finish) on the same evaluator value textually after a Finish call
 // is flagged, unless the variable is reassigned in between.
 //
-// With strictStats, Stats calls after Finish are flagged too. The default
-// leaves them legal because the documented contract explicitly permits
-// Stats "at any point" and reading the final PeakNodes after Finish is the
-// blessed reporting pattern (core.Run, partition workers, the benchmarks).
+// core.LiveEvaluator carries the same no-reuse contract with Close as its
+// terminal call: Close drops the sealed segments and tail, so Add,
+// AddBatch, or Snapshot after Close is a bug (they also fail dynamically
+// with ErrLiveClosed; the analyzer surfaces it at build time). Deferred
+// Close calls are exempt — `defer ev.Close()` runs at function exit, after
+// every textually-later use, so the blessed lifecycle idiom stays clean.
+//
+// With strictStats, Stats calls after Finish/Close are flagged too. The
+// default leaves them legal because the documented contract explicitly
+// permits Stats "at any point" and reading the final PeakNodes after the
+// terminal call is the blessed reporting pattern (core.Run, partition
+// workers, the benchmarks).
 func NewFinishOnce(strictStats bool) *Analyzer {
 	return &Analyzer{
 		Name: "finishonce",
 		Doc: "flag Add/AddBatch (and with -strict-stats, Stats) calls on a " +
-			"core.Evaluator after Finish in the same function, and double Finish",
+			"core.Evaluator after Finish, Add/AddBatch/Snapshot on a " +
+			"core.LiveEvaluator after Close, and double Finish/Close",
 		Run: func(pass *Pass) error { return runFinishOnce(pass, strictStats) },
 	}
 }
@@ -41,18 +50,19 @@ type evEvent struct {
 
 func runFinishOnce(pass *Pass, strictStats bool) error {
 	iface := evaluatorInterface(pass.Pkg)
-	if iface == nil {
-		return nil // package cannot name core.Evaluator values
+	liveT := liveEvaluatorType(pass.Pkg)
+	if iface == nil && liveT == nil {
+		return nil // package cannot name core evaluator values
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					checkFinishOnceBody(pass, iface, fn.Body, strictStats)
+					checkFinishOnceBody(pass, iface, liveT, fn.Body, strictStats)
 				}
 			case *ast.FuncLit:
-				checkFinishOnceBody(pass, iface, fn.Body, strictStats)
+				checkFinishOnceBody(pass, iface, liveT, fn.Body, strictStats)
 			}
 			return true
 		})
@@ -74,6 +84,19 @@ func evaluatorInterface(pkg *types.Package) *types.Interface {
 	return iface
 }
 
+// liveEvaluatorType finds core.LiveEvaluator in pkg's import closure.
+func liveEvaluatorType(pkg *types.Package) types.Type {
+	core := findImport(pkg, corePkgPath, map[*types.Package]bool{})
+	if core == nil {
+		return nil
+	}
+	obj := core.Scope().Lookup("LiveEvaluator")
+	if obj == nil {
+		return nil
+	}
+	return obj.Type()
+}
+
 func findImport(pkg *types.Package, path string, seen map[*types.Package]bool) *types.Package {
 	if pkg == nil || seen[pkg] {
 		return nil
@@ -93,15 +116,22 @@ func findImport(pkg *types.Package, path string, seen map[*types.Package]bool) *
 // checkFinishOnceBody analyzes one function body, not descending into
 // nested function literals (each gets its own pass; a goroutine body is a
 // separate flow).
-func checkFinishOnceBody(pass *Pass, iface *types.Interface, body *ast.BlockStmt, strictStats bool) {
-	events := map[string][]evEvent{} // receiver key → ordered uses
-	tainted := map[string]bool{}     // receiver key → address taken, skip
+func checkFinishOnceBody(pass *Pass, iface *types.Interface, liveT types.Type, body *ast.BlockStmt, strictStats bool) {
+	events := map[string][]evEvent{}     // receiver key → ordered Evaluator uses
+	liveEvents := map[string][]evEvent{} // receiver key → ordered LiveEvaluator uses
+	tainted := map[string]bool{}         // receiver key → address taken, skip
+	deferred := map[*ast.CallExpr]bool{} // calls in defer statements, exempt
 
 	var walk func(n ast.Node) bool
 	walk = func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
 			return false
+		case *ast.DeferStmt:
+			// A deferred terminal call runs at function exit, after every
+			// textually-later use: ordering it by source position would
+			// flag the blessed `defer ev.Close()` lifecycle idiom.
+			deferred[n.Call] = true
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if key, ok := receiverKey(pass, n.X); ok {
@@ -111,29 +141,40 @@ func checkFinishOnceBody(pass *Pass, iface *types.Interface, body *ast.BlockStmt
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
 				if key, ok := receiverKey(pass, lhs); ok {
-					events[key] = append(events[key],
-						evEvent{pos: lhs.Pos(), method: "", expr: exprString(lhs)})
+					reset := evEvent{pos: lhs.Pos(), method: "", expr: exprString(lhs)}
+					events[key] = append(events[key], reset)
+					liveEvents[key] = append(liveEvents[key], reset)
 				}
 			}
 		case *ast.CallExpr:
+			if deferred[n] {
+				return true
+			}
 			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
 			if !ok {
 				return true
 			}
 			method := sel.Sel.Name
-			if method != "Add" && method != "AddBatch" && method != "Finish" && method != "Stats" {
+			switch method {
+			case "Add", "AddBatch", "Finish", "Stats", "Snapshot", "Close":
+			default:
 				return true
 			}
 			tv, ok := pass.TypesInfo.Types[sel.X]
-			if !ok || !isEvaluatorType(tv.Type, iface) {
+			if !ok {
 				return true
 			}
 			key, ok := receiverKey(pass, sel.X)
 			if !ok {
 				return true
 			}
-			events[key] = append(events[key],
-				evEvent{pos: n.Pos(), method: method, expr: exprString(sel.X)})
+			e := evEvent{pos: n.Pos(), method: method, expr: exprString(sel.X)}
+			switch {
+			case isLiveEvaluatorType(tv.Type, liveT):
+				liveEvents[key] = append(liveEvents[key], e)
+			case method != "Snapshot" && method != "Close" && isEvaluatorType(tv.Type, iface):
+				events[key] = append(events[key], e)
+			}
 		}
 		return true
 	}
@@ -143,38 +184,63 @@ func checkFinishOnceBody(pass *Pass, iface *types.Interface, body *ast.BlockStmt
 		if tainted[key] {
 			continue // address escaped; the value may be swapped out
 		}
-		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
-		finished := false
-		for _, e := range evs {
-			switch e.method {
-			case "":
-				finished = false // reassigned: a fresh evaluator
-			case "Finish":
-				if finished {
-					pass.Reportf(e.pos, "Finish called twice on %s "+
-						"(evaluator must not be reused after Finish)", e.expr)
-				}
-				finished = true
-			case "Add", "AddBatch":
-				if finished {
-					pass.Reportf(e.pos, "%s called on %s after Finish "+
-						"(evaluator must not be reused after Finish)", e.method, e.expr)
-				}
-			case "Stats":
-				if finished && strictStats {
-					pass.Reportf(e.pos, "Stats called on %s after Finish "+
-						"(strict-stats: snapshot Stats before Finish)", e.expr)
-				}
+		reportReuse(pass, evs, "Finish", "evaluator must not be reused after Finish", strictStats)
+	}
+	for key, evs := range liveEvents {
+		if tainted[key] {
+			continue
+		}
+		reportReuse(pass, evs, "Close", "live evaluator must not be used after Close", strictStats)
+	}
+}
+
+// reportReuse walks one receiver's uses in source order and reports any use
+// after the terminal call ("Finish" for Evaluator, "Close" for
+// LiveEvaluator), plus a repeated terminal call.
+func reportReuse(pass *Pass, evs []evEvent, terminal, contract string, strictStats bool) {
+	sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	finished := false
+	for _, e := range evs {
+		switch e.method {
+		case "":
+			finished = false // reassigned: a fresh evaluator
+		case terminal:
+			if finished {
+				pass.Reportf(e.pos, "%s called twice on %s (%s)", terminal, e.expr, contract)
+			}
+			finished = true
+		case "Stats":
+			if finished && strictStats {
+				pass.Reportf(e.pos, "Stats called on %s after %s "+
+					"(strict-stats: snapshot Stats before %s)", e.expr, terminal, terminal)
+			}
+		default:
+			if finished {
+				pass.Reportf(e.pos, "%s called on %s after %s (%s)",
+					e.method, e.expr, terminal, contract)
 			}
 		}
 	}
+}
+
+// isLiveEvaluatorType reports whether t is core.LiveEvaluator or a pointer
+// to it.
+func isLiveEvaluatorType(t, liveT types.Type) bool {
+	if t == nil || liveT == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	return types.Identical(t, liveT)
 }
 
 // isEvaluatorType reports whether a value of type t can be a
 // core.Evaluator: the interface itself, or a concrete type whose (pointer)
 // method set implements it.
 func isEvaluatorType(t types.Type, iface *types.Interface) bool {
-	if t == nil {
+	if t == nil || iface == nil {
 		return false
 	}
 	if types.AssignableTo(t, iface) {

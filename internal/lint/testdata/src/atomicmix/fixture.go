@@ -46,3 +46,21 @@ func paramIsPublished(c *counters, published *counters) {
 	published.hits = 1 // want `field hits is accessed atomically`
 	_ = c
 }
+
+func publishTail(t *liveTail, v int64) {
+	t.vals = append(t.vals, v) // ok: column data guarded by the watermark
+	atomic.AddInt64(&t.n, 1)   // ok: the atomic publication itself
+}
+
+func snapshotWatermark(t *liveTail) int64 {
+	return atomic.LoadInt64(&t.n) // ok: atomic access
+}
+
+func tornWatermarkRead(t *liveTail) int64 {
+	return t.n // want `field n is accessed atomically`
+}
+
+func tornSealWrite(t *liveTail) {
+	atomic.StoreUint32(&t.sealed, 1)
+	t.sealed = 0 // want `field sealed is accessed atomically`
+}

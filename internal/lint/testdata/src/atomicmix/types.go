@@ -9,3 +9,12 @@ type counters struct {
 	total int64 // never touched atomically: plain access is fine
 	mode  uint32
 }
+
+// liveTail mirrors the live-ingestion tail (internal/core/live.go): the
+// watermark n is the writer→reader publication point and must only be
+// touched through sync/atomic; the column data it guards is plain.
+type liveTail struct {
+	n      int64
+	vals   []int64
+	sealed uint32
+}

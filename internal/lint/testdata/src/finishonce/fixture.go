@@ -1,6 +1,8 @@
 // Fixture for the finishonce analyzer (default mode): Add after Finish and
 // double Finish are flagged; Stats after Finish is permitted by the
-// documented contract; reassignment resets the tracking.
+// documented contract; reassignment resets the tracking. The live
+// evaluator carries the same contract with Close as its terminal call,
+// with deferred Close exempt.
 package fixture
 
 import (
@@ -76,6 +78,49 @@ func fieldReceivers(t tuple.Tuple) {
 	h.ev = core.NewLinkedList(aggregate.For(aggregate.Count))
 	_, _ = h.ev.Finish()
 	_ = h.ev.Add(t) // want `Add called on h\.ev after Finish`
+}
+
+func liveReuseAfterClose(ev *core.LiveEvaluator, t tuple.Tuple) error {
+	if err := ev.Add(t); err != nil { // ok: Add before Close
+		return err
+	}
+	if err := ev.Close(); err != nil {
+		return err
+	}
+	return ev.Add(t) // want `Add called on ev after Close`
+}
+
+func liveDoubleClose(ev *core.LiveEvaluator) {
+	_ = ev.Close()
+	_ = ev.Close() // want `Close called twice on ev`
+}
+
+func liveSnapshotAfterClose(ev *core.LiveEvaluator) (*core.LiveSnapshot, error) {
+	_ = ev.Close()
+	return ev.Snapshot() // want `Snapshot called on ev after Close`
+}
+
+func liveBatchAfterClose(ev *core.LiveEvaluator, ts []tuple.Tuple) error {
+	_ = ev.Close()
+	return ev.AddBatch(ts) // want `AddBatch called on ev after Close`
+}
+
+func liveStatsAfterClose(ev *core.LiveEvaluator) core.Stats {
+	_ = ev.Close()
+	return ev.Stats() // ok by default: reading the final PeakNodes is the reporting pattern
+}
+
+func liveDeferredClose(t tuple.Tuple) error {
+	ev := core.NewLive(core.LiveOptions{})
+	defer ev.Close() // ok: a deferred Close runs at exit, after every use below
+	return ev.Add(t)
+}
+
+func liveReassigned(t tuple.Tuple) error {
+	ev := core.NewLive(core.LiveOptions{})
+	_ = ev.Close()
+	ev = core.NewLive(core.LiveOptions{}) // a fresh evaluator: tracking resets
+	return ev.Add(t)                      // ok: this is the new value
 }
 
 func separateFlows(ev core.Evaluator, t tuple.Tuple) {

@@ -16,3 +16,14 @@ func statsBeforeFinish(ev core.Evaluator) core.Stats {
 	_, _ = ev.Finish()
 	return st
 }
+
+func liveStatsAfterClose(ev *core.LiveEvaluator) core.Stats {
+	_ = ev.Close()
+	return ev.Stats() // want `Stats called on ev after Close`
+}
+
+func liveStatsBeforeClose(ev *core.LiveEvaluator) core.Stats {
+	st := ev.Stats() // ok: snapshot before Close
+	_ = ev.Close()
+	return st
+}

@@ -81,6 +81,18 @@ const (
 	MetricSlowLogErrors   = "tempagg_slowlog_write_errors_total"
 )
 
+// Live-relation metric names (S36). All are labelled by relation: one live
+// evaluator per registered relation, shared by every writer and reader.
+const (
+	MetricLiveEpochSeq      = "tempagg_live_epoch_seq"
+	MetricLiveSegments      = "tempagg_live_sealed_segments"
+	MetricLiveTail          = "tempagg_live_tail_tuples"
+	MetricLiveReaders       = "tempagg_live_readers"
+	MetricLiveIngested      = "tempagg_live_tuples_ingested_total"
+	MetricLiveSealed        = "tempagg_live_segments_sealed_total"
+	MetricLiveSnapshotReads = "tempagg_live_snapshot_reads_total"
+)
+
 // DefaultDurationBuckets are the query-latency histogram bounds, in
 // seconds: wide enough for a 64K-tuple linked-list run (the paper's worst
 // case, ~minutes in 1995, ~seconds today) and fine enough for the tree
@@ -115,6 +127,14 @@ type Metrics struct {
 	duration    *HistogramVec // by algorithm
 	slow        *Counter
 	slowErrs    *Counter
+
+	liveSeq      *GaugeVec   // by relation, last published epoch
+	liveSegments *GaugeVec   // by relation
+	liveTail     *GaugeVec   // by relation
+	liveReaders  *GaugeVec   // by relation, outstanding snapshot leases
+	liveIngested *CounterVec // by relation
+	liveSealed   *CounterVec // by relation
+	liveReads    *CounterVec // by relation
 }
 
 var _ Sink = (*Metrics)(nil)
@@ -161,6 +181,20 @@ func NewMetrics(reg *Registry) *Metrics {
 			"Queries slower than the slow-query threshold."),
 		slowErrs: reg.Counter(MetricSlowLogErrors,
 			"Slow-query log lines that failed to write."),
+		liveSeq: reg.GaugeVec(MetricLiveEpochSeq,
+			"Tuples admitted to the live relation at its last published epoch (S36).", "relation"),
+		liveSegments: reg.GaugeVec(MetricLiveSegments,
+			"Sealed immutable segments held by the live relation.", "relation"),
+		liveTail: reg.GaugeVec(MetricLiveTail,
+			"Tuples in the live relation's mutable tail (not yet sealed).", "relation"),
+		liveReaders: reg.GaugeVec(MetricLiveReaders,
+			"Outstanding snapshot leases: readers holding an epoch of the live relation.", "relation"),
+		liveIngested: reg.CounterVec(MetricLiveIngested,
+			"Tuples ingested into the live relation since registration.", "relation"),
+		liveSealed: reg.CounterVec(MetricLiveSealed,
+			"Tail segments sealed into the immutable set.", "relation"),
+		liveReads: reg.CounterVec(MetricLiveSnapshotReads,
+			"Snapshot reads served against the live relation.", "relation"),
 	}
 }
 
@@ -215,6 +249,50 @@ func (m *Metrics) RecordSlow(writeErr error) {
 	if writeErr != nil {
 		m.slowErrs.Inc()
 	}
+}
+
+// LiveEpoch publishes a live relation's current epoch position: tuples
+// admitted, sealed segments, and tail watermark.
+func (m *Metrics) LiveEpoch(relation string, seq int64, segments, tail int) {
+	if m == nil {
+		return
+	}
+	m.liveSeq.With(relation).Set(seq)
+	m.liveSegments.With(relation).Set(int64(segments))
+	m.liveTail.With(relation).Set(int64(tail))
+}
+
+// LiveIngested counts tuples admitted to a live relation.
+func (m *Metrics) LiveIngested(relation string, n int) {
+	if m == nil {
+		return
+	}
+	m.liveIngested.With(relation).Add(int64(n))
+}
+
+// LiveSealed counts tail segments sealed into the immutable set.
+func (m *Metrics) LiveSealed(relation string, n int64) {
+	if m == nil {
+		return
+	}
+	m.liveSealed.With(relation).Add(n)
+}
+
+// LiveSnapshotRead counts one snapshot read served for a live relation.
+func (m *Metrics) LiveSnapshotRead(relation string) {
+	if m == nil {
+		return
+	}
+	m.liveReads.With(relation).Inc()
+}
+
+// LiveReaders moves a live relation's outstanding-lease gauge by delta:
+// +1 when a snapshot is acquired, -1 when its release runs.
+func (m *Metrics) LiveReaders(relation string, delta int64) {
+	if m == nil {
+		return
+	}
+	m.liveReaders.With(relation).Add(delta)
 }
 
 // evalSink is the resolved-series handle returned by Metrics.Evaluator.

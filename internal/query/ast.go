@@ -134,6 +134,13 @@ type Query struct {
 	At *interval.Time
 	// Relation is the FROM target.
 	Relation string
+	// Live marks a snapshot read against a catalog-registered live
+	// relation (SELECT ... FROM rel LIVE): the query evaluates against one
+	// consistent epoch of the relation's shared LiveEvaluator while
+	// ingestion proceeds. Live queries support the plain aggregate list,
+	// AT, and VALID OVERLAPS; filtering, grouping, DISTINCT, USING, and
+	// EXPLAIN are rejected by check.
+	Live bool
 	// GroupAttr, when set, requests attribute grouping (e.g. GROUP BY Name).
 	GroupAttr *Attr
 	// Where holds the conjunctive filter conditions.
@@ -170,6 +177,9 @@ func (q *Query) String() string {
 		b.WriteString(a.String())
 	}
 	fmt.Fprintf(&b, " FROM %s", q.Relation)
+	if q.Live {
+		b.WriteString(" LIVE")
+	}
 	if q.Window != nil {
 		end := "FOREVER"
 		if q.Window.End != interval.Forever {

@@ -113,6 +113,11 @@ func ExecuteTraced(q *Query, rel *relation.Relation, info *RelationInfo, tr *obs
 	if q.Relation != rel.Name {
 		return nil, fmt.Errorf("query: relation %q not found (have %q)", q.Relation, rel.Name)
 	}
+	if q.Live {
+		// Live reads go through ExecuteLive against a catalog-managed
+		// snapshot; a static relation has no epoch to read.
+		return nil, fmt.Errorf("query: relation %q is not a live relation", q.Relation)
+	}
 	if q.Explain == ExplainAnalyze && tr == nil {
 		// ANALYZE needs the span tree even with no observer installed; a
 		// standalone trace records it without a sink or trace ring.

@@ -1,0 +1,200 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/core"
+	"tempagg/internal/interval"
+	"tempagg/internal/obs"
+	"tempagg/internal/relation"
+	"tempagg/internal/tuple"
+)
+
+func TestParseLive(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT COUNT(Name) FROM hot LIVE",
+		"SELECT COUNT(Name), SUM(Salary) FROM hot LIVE",
+		"SELECT MAX(Salary) FROM hot LIVE VALID OVERLAPS 10 200",
+		"SELECT AVG(Salary) FROM hot LIVE AT 42",
+		"select min(salary) from hot live",
+	} {
+		q, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		if !q.Live {
+			t.Fatalf("%q: Live not set", sql)
+		}
+		// Canonical form round-trips — the FuzzParse invariant.
+		rt, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("%q → %q: %v", sql, q.String(), err)
+		}
+		if !rt.Live || rt.String() != q.String() {
+			t.Fatalf("%q: round trip %q != %q", sql, rt.String(), q.String())
+		}
+	}
+}
+
+func TestParseLiveRejections(t *testing.T) {
+	for _, tc := range []struct{ sql, wantErr string }{
+		{"EXPLAIN SELECT COUNT(Name) FROM hot LIVE", "EXPLAIN is not supported"},
+		{"EXPLAIN ANALYZE SELECT COUNT(Name) FROM hot LIVE", "EXPLAIN is not supported"},
+		{"SELECT Name, COUNT(Name) FROM hot LIVE GROUP BY Name", "GROUP BY is not supported"},
+		{"SELECT COUNT(Name) FROM hot LIVE WHERE Salary > 3", "WHERE is not supported"},
+		{"SELECT COUNT(Name) FROM hot LIVE GROUP BY SPAN 10", "span grouping is not supported"},
+		{"SELECT COUNT(Name) FROM hot LIVE USING SWEEP", "USING is not supported"},
+		{"SELECT COUNT(DISTINCT Name) FROM hot LIVE", "DISTINCT is not supported"},
+	} {
+		_, err := Parse(tc.sql)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%q: err = %v, want %q", tc.sql, err, tc.wantErr)
+		}
+	}
+}
+
+// TestExecuteRejectsLive: the static-relation path must refuse LIVE queries
+// with a clear error instead of silently reading a file — also the
+// FuzzExecute guard.
+func TestExecuteRejectsLive(t *testing.T) {
+	rel := relation.New("hot")
+	rel.Append(tuple.MustNew("a", 1, 0, 5))
+	q, err := Parse("SELECT COUNT(Name) FROM hot LIVE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(q, rel, nil); err == nil || !strings.Contains(err.Error(), "not a live relation") {
+		t.Fatalf("err = %v, want a not-a-live-relation error", err)
+	}
+}
+
+func liveFixture(t *testing.T) (*core.LiveEvaluator, []tuple.Tuple) {
+	t.Helper()
+	ts := []tuple.Tuple{
+		tuple.MustNew("a", 10, 0, 20),
+		tuple.MustNew("b", 5, 10, 30),
+		tuple.MustNew("c", -3, 15, interval.Forever),
+		tuple.MustNew("d", 7, 25, 40),
+	}
+	ev := core.NewLive(core.LiveOptions{SegmentSize: 2})
+	if err := ev.AddBatch(ts); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := ev.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	return ev, ts
+}
+
+func TestExecuteLive(t *testing.T) {
+	ev, ts := liveFixture(t)
+	snap, err := ev.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse("SELECT COUNT(Name), SUM(Salary), AVG(Salary), MIN(Salary), MAX(Salary) FROM hot LIVE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewQueryTrace(q.String())
+	qr, err := ExecuteLive(q, snap, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Groups) != 1 || len(qr.Groups[0].Results) != 5 {
+		t.Fatalf("groups/results = %d/%d", len(qr.Groups), len(qr.Groups[0].Results))
+	}
+	if !qr.Plan.Live || qr.Plan.Algorithm() != "live-snapshot" {
+		t.Fatalf("plan = %+v", qr.Plan)
+	}
+	for i, kind := range aggregate.Kinds() {
+		want := core.Reference(aggregate.For(kind), ts)
+		if got := qr.Groups[0].Results[i]; !got.Equal(want) {
+			t.Fatalf("%v:\ngot:\n%s\nwant:\n%s", kind, got, want)
+		}
+	}
+	// The epoch's tuples are charged once, to the first stats slot.
+	if qr.Groups[0].Stats.Tuples != len(ts) {
+		t.Fatalf("Stats.Tuples = %d, want %d", qr.Groups[0].Stats.Tuples, len(ts))
+	}
+	// The snapshot read is a span with epoch attributes.
+	var found bool
+	for _, sp := range tr.Spans {
+		if sp.Name == "live-snapshot-read" {
+			found = true
+			if sp.Attrs["epoch_seq"] != "4" {
+				t.Fatalf("span attrs = %v", sp.Attrs)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no live-snapshot-read span in %+v", tr.Spans)
+	}
+	if tr.Algorithm != "live-snapshot" {
+		t.Fatalf("trace algorithm = %q", tr.Algorithm)
+	}
+}
+
+func TestExecuteLiveAtAndWindow(t *testing.T) {
+	ev, ts := liveFixture(t)
+	snap, err := ev.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := aggregate.For(aggregate.Sum)
+	want := core.Reference(f, ts)
+
+	q, err := Parse("SELECT SUM(Salary) FROM hot LIVE AT 12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := ExecuteLive(q, snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := qr.Groups[0].Result
+	if len(res.Rows) != 1 || res.Rows[0].Interval != interval.At(12) {
+		t.Fatalf("AT result shape: %s", res)
+	}
+	gotV, ok := res.At(12)
+	wantV, _ := want.At(12)
+	if !ok || gotV != wantV {
+		t.Fatalf("AT 12 = %v, want %v", gotV, wantV)
+	}
+
+	q, err = Parse("SELECT SUM(Salary) FROM hot LIVE VALID OVERLAPS 12 28")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err = ExecuteLive(q, snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := interval.MustNew(12, 28)
+	if err := qr.Groups[0].Result.ValidatePartition(window.Start, window.End); err != nil {
+		t.Fatal(err)
+	}
+	clipped := &core.Result{Func: f, Rows: append([]core.Row(nil), want.Rows...)}
+	if !qr.Groups[0].Result.Equal(clipped.Clip(window)) {
+		t.Fatal("windowed live read differs from clipped oracle")
+	}
+}
+
+func TestExecuteLiveRequiresLiveQuery(t *testing.T) {
+	ev, _ := liveFixture(t)
+	snap, err := ev.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse("SELECT COUNT(Name) FROM hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecuteLive(q, snap, nil); err == nil {
+		t.Fatal("ExecuteLive accepted a non-LIVE query")
+	}
+}

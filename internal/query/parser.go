@@ -119,6 +119,11 @@ func (p *parser) query() (*Query, error) {
 	}
 	q.Relation = relTok.text
 
+	if p.peek().isKeyword("LIVE") {
+		p.next()
+		q.Live = true
+	}
+
 	if p.peek().isKeyword("VALID") {
 		p.next()
 		if err := p.expectKeyword("OVERLAPS"); err != nil {
@@ -373,6 +378,28 @@ func (q *Query) check() error {
 	if q.Using != "" {
 		if _, err := resolveUsing(q); err != nil {
 			return err
+		}
+	}
+	if q.Live {
+		// A live snapshot read serves the shared evaluator's merged segment
+		// results; per-tuple machinery (filters, grouping, dedup) and
+		// strategy overrides have no evaluator of their own to run on.
+		switch {
+		case q.Explain != ExplainNone:
+			return fmt.Errorf("query: EXPLAIN is not supported for LIVE queries")
+		case q.GroupAttr != nil:
+			return fmt.Errorf("query: GROUP BY is not supported for LIVE queries")
+		case len(q.Where) > 0:
+			return fmt.Errorf("query: WHERE is not supported for LIVE queries")
+		case q.Temporal == BySpan:
+			return fmt.Errorf("query: span grouping is not supported for LIVE queries")
+		case q.Using != "":
+			return fmt.Errorf("query: USING is not supported for LIVE queries (the live evaluator is the strategy)")
+		}
+		for _, a := range q.Aggs {
+			if a.Distinct {
+				return fmt.Errorf("query: DISTINCT is not supported for LIVE queries")
+			}
 		}
 	}
 	return nil

@@ -59,6 +59,10 @@ type Plan struct {
 	Partitioned bool
 	// Partitions is the region count for Partitioned plans.
 	Partitions int
+	// Live marks a snapshot read against a shared LiveEvaluator: no
+	// evaluator is constructed, the epoch's memoized segment results are
+	// merged instead (SELECT ... LIVE).
+	Live bool
 	// SampledK marks a plan whose k-ordered tree trusts a sampled (not
 	// declared) disorder bound. The executor treats evaluator rejection as
 	// an estimation miss — it sorts the relation and retries with k=1 —
@@ -91,6 +95,8 @@ type Plan struct {
 func (p Plan) Algorithm() string {
 	alg := p.Spec.Algorithm.String()
 	switch {
+	case p.Live:
+		alg = "live-snapshot"
 	case p.Tuma:
 		alg = "tuma-two-pass"
 	case p.Snapshot:
@@ -109,6 +115,9 @@ func (p Plan) Algorithm() string {
 // String renders the plan.
 func (p Plan) String() string {
 	alg := p.Spec.Algorithm.String()
+	if p.Live {
+		return fmt.Sprintf("live-snapshot — %s", p.Reason)
+	}
 	if p.Tuma {
 		alg = "tuma-two-pass"
 	}

@@ -1,0 +1,67 @@
+// Live ingestion over the line protocol. Alongside SQL queries, a
+// connection may send
+//
+//	INGEST <relation> <name> <value> <start> <end|FOREVER>
+//
+// which appends one tuple to the named live relation, auto-registering it
+// on first use. Concurrent connections may ingest and SELECT ... LIVE the
+// same relation: every read observes one consistent epoch of the shared
+// evaluator, never a torn mid-batch state.
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tempagg/internal/core"
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+// ingestUsage is the error shown for malformed INGEST lines.
+const ingestUsage = "usage: INGEST <relation> <name> <value> <start> <end|FOREVER>"
+
+// executeIngest parses and applies one INGEST line (the part after the
+// INGEST keyword).
+func (s *Server) executeIngest(rest string) Response {
+	fields := strings.Fields(rest)
+	if len(fields) != 5 {
+		return Response{OK: false, Error: "server: " + ingestUsage}
+	}
+	rel, name := fields[0], fields[1]
+	value, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return Response{OK: false, Error: fmt.Sprintf("server: bad value %q: %s", fields[2], ingestUsage)}
+	}
+	start, err := strconv.ParseInt(fields[3], 10, 64)
+	if err != nil {
+		return Response{OK: false, Error: fmt.Sprintf("server: bad start %q: %s", fields[3], ingestUsage)}
+	}
+	var end interval.Time
+	if strings.EqualFold(fields[4], "FOREVER") {
+		end = interval.Forever
+	} else if end, err = strconv.ParseInt(fields[4], 10, 64); err != nil {
+		return Response{OK: false, Error: fmt.Sprintf("server: bad end %q: %s", fields[4], ingestUsage)}
+	}
+	t, err := tuple.New(name, value, start, end)
+	if err != nil {
+		return Response{OK: false, Error: "server: " + err.Error()}
+	}
+	if _, err := s.cat.EnsureLive(rel, core.LiveOptions{}); err != nil {
+		return Response{OK: false, Error: err.Error()}
+	}
+	if err := s.cat.LiveIngest(rel, []tuple.Tuple{t}); err != nil {
+		return Response{OK: false, Error: err.Error()}
+	}
+	return Response{OK: true}
+}
+
+// Ingest sends one INGEST line for t into the named live relation.
+func (c *Client) Ingest(rel string, t tuple.Tuple) (Response, error) {
+	end := "FOREVER"
+	if t.Valid.End != interval.Forever {
+		end = strconv.FormatInt(t.Valid.End, 10)
+	}
+	return c.Query(fmt.Sprintf("INGEST %s %s %d %d %s", rel, t.Name, t.Value, t.Valid.Start, end))
+}

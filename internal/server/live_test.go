@@ -1,0 +1,195 @@
+package server
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tempagg/internal/interval"
+	"tempagg/internal/tuple"
+)
+
+// liveCountAt extracts the single aggregate value at instant `at` from a
+// SELECT ... LIVE AT reply.
+func liveCountAt(t *testing.T, raw []byte) float64 {
+	t.Helper()
+	var resp struct {
+		OK     bool   `json:"ok"`
+		Error  string `json:"error"`
+		Result struct {
+			Groups []struct {
+				Results []struct {
+					Rows []struct {
+						Value *float64 `json:"value"`
+					} `json:"rows"`
+				} `json:"results"`
+			} `json:"groups"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatalf("bad reply: %v\n%s", err, raw)
+	}
+	if !resp.OK {
+		t.Fatalf("reply not ok: %s", resp.Error)
+	}
+	rows := resp.Result.Groups[0].Results[0].Rows
+	if len(rows) != 1 || rows[0].Value == nil {
+		t.Fatalf("AT reply shape: %s", raw)
+	}
+	return *rows[0].Value
+}
+
+func TestServerIngestAndLiveQuery(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Auto-registration: the first INGEST creates the live relation.
+	for i, tu := range []tuple.Tuple{
+		tuple.MustNew("alice", 10, 0, 20),
+		tuple.MustNew("bob", 5, 10, interval.Forever),
+		tuple.MustNew("carol", 7, 15, 30),
+	} {
+		resp, err := c.Ingest("hot", tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.OK {
+			t.Fatalf("ingest %d: %s", i, resp.Error)
+		}
+	}
+	raw, err := c.QueryRaw("SELECT COUNT(Name) FROM hot LIVE AT 16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := liveCountAt(t, raw); got != 3 {
+		t.Fatalf("COUNT at 16 = %v, want 3", got)
+	}
+	// Lowercase protocol keyword works like the SQL keywords do.
+	resp, err := c.Query("ingest hot dave 2 40 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("lowercase ingest: %s", resp.Error)
+	}
+
+	for _, tc := range []struct{ line, wantErr string }{
+		{"INGEST", "usage"},
+		{"INGEST hot onlythree 1", "usage"},
+		{"INGEST hot eve notanumber 0 5", "bad value"},
+		{"INGEST hot eve 1 x 5", "bad start"},
+		{"INGEST hot eve 1 0 y", "bad end"},
+		{"INGEST hot eve 1 9 3", "interval"},
+		{"SELECT COUNT(Name) FROM nosuch LIVE", "not registered"},
+		{"SELECT COUNT(Name) FROM Employed LIVE", "not registered"},
+	} {
+		resp, err := c.Query(tc.line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.OK || !strings.Contains(resp.Error, tc.wantErr) {
+			t.Errorf("%q: %+v, want error containing %q", tc.line, resp, tc.wantErr)
+		}
+	}
+
+	// The static path still works on the same connection.
+	resp, err = c.Query("SELECT COUNT(Name) FROM Employed")
+	if err != nil || !resp.OK {
+		t.Fatalf("static query after live traffic: %+v, %v", resp, err)
+	}
+}
+
+// TestServerConcurrentIngestAndLiveReads drives writers and readers over
+// separate connections mid-ingestion: every read must land on a consistent
+// epoch, so the observed count at a fully-covered instant is monotone per
+// reader and ends exactly at the number of tuples sent.
+func TestServerConcurrentIngestAndLiveReads(t *testing.T) {
+	_, addr := startServer(t)
+	const writers, perWriter, readers = 3, 60, 2
+
+	var writerWg, readerWg sync.WaitGroup
+	var done atomic.Bool
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(w int) {
+			defer writerWg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perWriter; i++ {
+				resp, err := c.Ingest("stream", tuple.MustNew("e", int64(i), 0, 100))
+				if err != nil || !resp.OK {
+					t.Errorf("writer %d: %+v, %v", w, resp, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for rd := 0; rd < readers; rd++ {
+		readerWg.Add(1)
+		go func(rd int) {
+			defer readerWg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			last := float64(-1)
+			for !done.Load() {
+				raw, err := c.QueryRaw("SELECT COUNT(Name) FROM stream LIVE AT 50")
+				if err != nil {
+					t.Errorf("reader %d: %v", rd, err)
+					return
+				}
+				var probe struct {
+					OK    bool   `json:"ok"`
+					Error string `json:"error"`
+				}
+				if err := json.Unmarshal(raw, &probe); err != nil {
+					t.Errorf("reader %d: %v", rd, err)
+					return
+				}
+				if !probe.OK {
+					// The relation may not exist until the first INGEST lands.
+					if strings.Contains(probe.Error, "not registered") {
+						continue
+					}
+					t.Errorf("reader %d: %s", rd, probe.Error)
+					return
+				}
+				got := liveCountAt(t, raw)
+				if got < last {
+					t.Errorf("reader %d: count went backwards: %v after %v", rd, got, last)
+					return
+				}
+				last = got
+			}
+		}(rd)
+	}
+	writerWg.Wait()
+	done.Store(true)
+	readerWg.Wait()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	raw, err := c.QueryRaw("SELECT COUNT(Name) FROM stream LIVE AT 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := liveCountAt(t, raw); got != writers*perWriter {
+		t.Fatalf("final count = %v, want %d", got, writers*perWriter)
+	}
+}

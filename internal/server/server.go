@@ -151,6 +151,10 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 func (s *Server) execute(sql string) Response {
+	// INGEST is a protocol command, not SQL: intercept it before parsing.
+	if first, rest, _ := strings.Cut(sql, " "); strings.EqualFold(first, "INGEST") {
+		return s.executeIngest(rest)
+	}
 	qr, err := s.cat.QueryObserved(sql, relation.ScanOptions{}, s.obs)
 	if err != nil {
 		return Response{OK: false, Error: err.Error()}

@@ -105,6 +105,15 @@ type (
 	// GroupQuery is one SweepGroup registration: an aggregate plus an
 	// optional tuple filter.
 	GroupQuery = core.GroupQuery
+	// LiveEvaluator ingests tuples concurrently with snapshot readers:
+	// epoch-based consistent reads during live ingestion (S36).
+	LiveEvaluator = core.LiveEvaluator
+	// LiveOptions parameterizes a live evaluator (segment size).
+	LiveOptions = core.LiveOptions
+	// LiveSnapshot is one consistent epoch of a live evaluator.
+	LiveSnapshot = core.LiveSnapshot
+	// LiveEpoch identifies a snapshot's position in the ingestion order.
+	LiveEpoch = core.LiveEpoch
 	// ScanOptions configures on-disk relation scans.
 	ScanOptions = relation.ScanOptions
 	// Scanner reads a relation file one page at a time.
@@ -254,6 +263,14 @@ const MaxSweepGroupQueries = core.MaxGroupQueries
 // queries first, then feed tuples with Add/AddBatch, then Finish for one
 // Result per query in registration order.
 func NewSweepGroup(opts SweepOptions) *SweepGroup { return core.NewSweepGroup(opts) }
+
+// NewLive returns an empty live evaluator: writers Add/AddBatch while
+// readers take consistent epochs with Snapshot, without blocking either
+// side on the other.
+func NewLive(opts LiveOptions) *LiveEvaluator { return core.NewLive(opts) }
+
+// ErrLiveClosed is returned by live ingestion and Snapshot after Close.
+var ErrLiveClosed = core.ErrLiveClosed
 
 // NewGroupQuery builds a SweepGroup registration for the given aggregate
 // kind; filter may be nil for an unrestricted query.
