@@ -55,24 +55,30 @@ fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzSweepVsReference -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzParallelSweepVsSerial -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzLiveSnapshotVsReference -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzIndexVsReference -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzPartialStateRoundTrip -fuzztime $(FUZZTIME)
 
 # A fast machine-readable run of the hot-path experiments, gated against
-# the checked-in BENCH_PR7.json: the target fails when any series' median
-# slowdown over the shared points exceeds 25%. Series with no counterpart
-# in the baseline (live-read) are reported but not gated. Five seeds, not
+# the checked-in BENCH_PR9.json: the target fails when any series' median
+# slowdown over the shared points exceeds 50%. Series with no counterpart
+# in the baseline (range-query) are reported but not gated. Five seeds, not
 # three: the smoke points are sub-millisecond and the per-point median
-# needs the extra repetitions to sit inside the gate's tolerance. The JSON
+# needs the extra repetitions to sit inside the gate's tolerance; on a
+# single-core runner those points still jitter by ~40% run to run, so the
+# tolerance sits above that noise floor and below any real algorithmic
+# regression (the cheapest of which double a series). The JSON
 # report is uploaded as a CI artifact for before/after comparison.
 bench-smoke:
-	$(GO) run ./cmd/benchharness -exp baseline,sweep,sweep-parallel,live-read -max-size 4096 -seeds 5 -json -baseline BENCH_PR7.json > bench-smoke.json
+	$(GO) run ./cmd/benchharness -exp baseline,sweep,sweep-parallel,live-read,range-query -max-size 4096 -seeds 5 -json -tolerance 0.5 -baseline BENCH_PR9.json > bench-smoke.json
 	@head -c 400 bench-smoke.json; echo
 
 # The same run at GOMAXPROCS=4, so the chunked scan and parallel radix
 # paths run with real worker counts. On a single-core runner GOMAXPROCS=4
 # still exercises the concurrency (goroutines interleave) even though
-# wall-clock gains need real cores — and oversubscription makes the
-# parallel scan legitimately slower there, so this gate only catches
-# catastrophic (>2x) regressions against the GOMAXPROCS=1 baseline.
+# wall-clock gains need real cores — oversubscription makes the parallel
+# paths legitimately slower there, so this gate compares against its own
+# GOMAXPROCS=4 baseline (BENCH_PR9_MP.json) rather than the GOMAXPROCS=1
+# one, and only catches catastrophic (>2x) regressions.
 bench-smoke-mp:
-	GOMAXPROCS=4 $(GO) run ./cmd/benchharness -exp baseline,sweep,sweep-parallel,live-read -max-size 4096 -seeds 5 -json -tolerance 1.0 -baseline BENCH_PR7.json > bench-smoke-mp.json
+	GOMAXPROCS=4 $(GO) run ./cmd/benchharness -exp baseline,sweep,sweep-parallel,live-read,range-query -max-size 4096 -seeds 5 -json -tolerance 1.0 -baseline BENCH_PR9_MP.json > bench-smoke-mp.json
 	@head -c 400 bench-smoke-mp.json; echo

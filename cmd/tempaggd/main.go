@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"tempagg/internal/catalog"
+	"tempagg/internal/core"
 	"tempagg/internal/obs"
 	"tempagg/internal/server"
 )
@@ -53,11 +54,13 @@ func main() {
 
 // serveConfig is the server-mode configuration from flags.
 type serveConfig struct {
-	db        string
-	listen    string
-	httpAddr  string
-	slowQuery time.Duration
-	traces    int
+	db          string
+	listen      string
+	httpAddr    string
+	slowQuery   time.Duration
+	traces      int
+	rangeIndex  bool
+	resultCache int
 }
 
 func run(args []string, out io.Writer, stop <-chan struct{}) error {
@@ -70,6 +73,8 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		traces   = fs.Int("traces", 128, "query traces kept for /debug/traces")
 		connect  = fs.String("connect", "", "server address to query as a client")
 		sql      = fs.String("query", "", "query to send in client mode")
+		rangeIdx = fs.Bool("range-index", true, "serve eligible range queries from resident interval indexes")
+		resCache = fs.Int("result-cache", core.DefaultResultCacheCapacity, "result-cache entries (0 = default capacity, negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,7 +87,8 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 			return fmt.Errorf("-db is required with -listen")
 		}
 		cfg := serveConfig{db: *db, listen: *listen, httpAddr: *httpAddr,
-			slowQuery: *slow, traces: *traces}
+			slowQuery: *slow, traces: *traces,
+			rangeIndex: *rangeIdx, resultCache: *resCache}
 		return serve(cfg, out, nil, stop)
 	case *connect != "":
 		if *sql == "" {
@@ -124,6 +130,15 @@ func serve(cfg serveConfig, out io.Writer, ready func(queryAddr, adminAddr strin
 	// Live relations publish epoch/seal/reader gauges into the same
 	// registry the /metrics endpoint serves.
 	cat.SetLiveMetrics(o.Metrics)
+	// Range-query acceleration (S37): resident interval indexes and the
+	// versioned result cache, both on by default.
+	if cfg.rangeIndex {
+		cat.EnableRangeIndex()
+	}
+	if cfg.resultCache >= 0 {
+		cat.EnableResultCache(cfg.resultCache)
+	}
+	defer cat.Close()
 	srv := server.New(cat, server.WithObserver(o))
 
 	lis, err := net.Listen("tcp", cfg.listen)

@@ -79,9 +79,10 @@ func TestFlagValidation(t *testing.T) {
 }
 
 // TestObsSmoke is the CI obs-smoke gate: boot the daemon with its admin
-// surface, run a plain query and an EXPLAIN ANALYZE over the wire, and
-// fail if /metrics, /debug/traces, /debug/queries, or /debug/pprof/heap
-// is broken, the advertised counters stayed at zero, or the JSON debug
+// surface, run a plain query cold and the same query warm under EXPLAIN
+// ANALYZE, and fail if /metrics, /debug/traces, /debug/queries, or
+// /debug/pprof/heap is broken, the advertised counters stayed at zero,
+// the warm run was not served from the result cache, or the JSON debug
 // payloads lost their schema. When OBS_SMOKE_ARTIFACT is set, the
 // /debug/traces body is written there so CI can upload it as an artifact.
 func TestObsSmoke(t *testing.T) {
@@ -93,8 +94,11 @@ func TestObsSmoke(t *testing.T) {
 	type addrs struct{ query, admin string }
 	up := make(chan addrs, 1)
 	done := make(chan error, 1)
+	// resultCache 0 enables the cache at default capacity; rangeIndex stays
+	// off so the cold query exercises the sweep path the counter assertions
+	// below depend on (tuples processed, nodes allocated).
 	cfg := serveConfig{db: dir, listen: "127.0.0.1:0", httpAddr: "127.0.0.1:0",
-		slowQuery: time.Nanosecond, traces: 16}
+		slowQuery: time.Nanosecond, traces: 16, resultCache: 0}
 	var out strings.Builder
 	go func() {
 		done <- serve(cfg, &out, func(q, a string) { up <- addrs{q, a} }, stop)
@@ -124,13 +128,16 @@ func TestObsSmoke(t *testing.T) {
 		t.Fatalf("query failed: %+v, %v", resp, err)
 	}
 
-	// EXPLAIN ANALYZE over the wire: the reply's "explain" field must carry
-	// the traced report (plan, span tree, counters) alongside the rows.
+	// EXPLAIN ANALYZE over the wire, warm: the cold query above filled the
+	// result cache, so the report must show the hit — the result-cache plan
+	// line plus the lookup span with outcome=hit — instead of an execute
+	// span (S37).
 	raw, err := c.QueryRaw("EXPLAIN ANALYZE SELECT COUNT(Name) FROM Employed")
 	if err != nil {
 		t.Fatalf("EXPLAIN ANALYZE failed: %v", err)
 	}
-	for _, want := range []string{`"explain"`, "trace:", "counters:", "execute"} {
+	for _, want := range []string{`"explain"`, "trace:", "counters:",
+		"result cache hit at version", "result-cache[outcome=hit]"} {
 		if !strings.Contains(string(raw), want) {
 			t.Errorf("EXPLAIN ANALYZE reply missing %q:\n%s", want, raw)
 		}
@@ -177,6 +184,14 @@ func TestObsSmoke(t *testing.T) {
 			t.Errorf("%s is all zeros after a query:\n%s", name, metrics)
 		}
 	}
+	// The cold query missed the result cache and the warm EXPLAIN ANALYZE
+	// hit it; both counters are unlabeled, so match them bare.
+	for _, name := range []string{obs.MetricResultCacheHits, obs.MetricResultCacheMisses} {
+		re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` ([1-9][0-9]*)$`)
+		if !re.MatchString(metrics) {
+			t.Errorf("%s missing or zero in /metrics after a warm query:\n%s", name, metrics)
+		}
+	}
 	get("/debug/pprof/heap")
 
 	// /debug/traces must stay schema-stable JSON: every trace carries a
@@ -204,12 +219,10 @@ func TestObsSmoke(t *testing.T) {
 	if len(traces) != 2 {
 		t.Fatalf("/debug/traces holds %d traces, want 2", len(traces))
 	}
+	cached := 0
 	for _, tr := range traces {
 		if tr.TraceID == "" || tr.Query == "" || tr.Algorithm == "" {
 			t.Errorf("trace missing identity fields: %+v", tr)
-		}
-		if tr.Stats.Tuples == 0 {
-			t.Errorf("trace %s has zero tuples", tr.TraceID)
 		}
 		names := map[string]bool{}
 		for _, sp := range tr.Spans {
@@ -218,11 +231,29 @@ func TestObsSmoke(t *testing.T) {
 			}
 			names[sp.Name] = true
 		}
+		// A cache-served trace never executes — it reads no tuples and its
+		// span tree is parse plus the result-cache lookup. Every other trace
+		// keeps the full stage ladder.
+		if tr.Algorithm == "result-cache" {
+			cached++
+			for _, want := range []string{"parse", "result-cache"} {
+				if !names[want] {
+					t.Errorf("cached trace %s missing %q span: %+v", tr.TraceID, want, tr.Spans)
+				}
+			}
+			continue
+		}
+		if tr.Stats.Tuples == 0 {
+			t.Errorf("trace %s has zero tuples", tr.TraceID)
+		}
 		for _, want := range []string{"parse", "plan", "execute"} {
 			if !names[want] {
 				t.Errorf("trace %s missing %q span: %+v", tr.TraceID, want, tr.Spans)
 			}
 		}
+	}
+	if cached != 1 {
+		t.Errorf("want exactly 1 cache-served trace, got %d:\n%s", cached, tracesBody)
 	}
 
 	// /debug/queries must serve the rolling window with per-stage series.

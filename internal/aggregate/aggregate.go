@@ -95,6 +95,14 @@ func (s State) Empty() bool { return s.count == 0 }
 // Count returns the number of tuples absorbed.
 func (s State) Count() int64 { return s.count }
 
+// Counters exposes the state's raw counters — tuples absorbed, their value
+// sum, and the running extremum — for evaluators that externalize partial
+// states (serialization, index nodes). FromCounters is the inverse: for any
+// state s, FromCounters(s.Counters()) == s.
+func (s State) Counters() (count, sum, ext int64) {
+	return s.count, s.sum, s.ext
+}
+
 // Func evaluates one aggregate kind over States.
 type Func struct {
 	kind Kind

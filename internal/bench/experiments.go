@@ -533,6 +533,161 @@ func newPrefixSweep(f aggregate.Func) core.Evaluator {
 	return core.NewSweepOptions(f, core.SweepOptions{Parallel: 1})
 }
 
+// rangeQuerySizes picks the sweep sizes for RangeQueryFigure: the S37
+// target range 64K–1M events when the caller asked for the full sweep,
+// opts.Sizes untouched in smoke runs (-max-size below 64K).
+func rangeQuerySizes(sizes []int) []int {
+	for _, n := range sizes {
+		if n >= 1<<16 {
+			return []int{1 << 16, 1 << 18, 1 << 20}
+		}
+	}
+	return sizes
+}
+
+// rangeWindows spreads n windows of the given selectivity across the
+// relation lifespan, deterministically, so every strategy answers the
+// exact same queries.
+func rangeWindows(n int, frac float64) []interval.Interval {
+	length := interval.Time(frac * float64(workload.DefaultLifespan))
+	if length < 1 {
+		length = 1
+	}
+	span := workload.DefaultLifespan - length
+	ws := make([]interval.Interval, n)
+	for i := range ws {
+		lo := span * interval.Time(i) / interval.Time(n)
+		ws[i] = interval.MustNew(lo, lo+length-1)
+	}
+	return ws
+}
+
+// RangeQueryFigure measures the S37 tentpole: range-restricted aggregates
+// answered by O(k + log n) partial merges against a resident interval
+// index, versus the full columnar sweep (which must absorb every tuple and
+// clip), versus a warm result-cache read (the per-query floor: one LRU get
+// plus a defensive row copy). Three selectivities bracket the window
+// sizes; the one-time index build is its own series so the amortization
+// point is visible rather than hidden inside the lookup medians.
+func RangeQueryFigure(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	sizes := rangeQuerySizes(opts.Sizes)
+	fig := Figure{
+		ID:     "range-query",
+		Title:  "Range Queries: Interval Index vs Full Sweep vs Result Cache",
+		Metric: "seconds",
+	}
+	f := aggregate.For(opts.Agg)
+	const queries = 8
+	sels := []struct {
+		name string
+		frac float64
+	}{{"1%", 0.01}, {"10%", 0.10}, {"50%", 0.50}}
+
+	build := Series{Name: "index build (one-time)"}
+	idxSeries := make([]Series, len(sels))
+	sweepSeries := make([]Series, len(sels))
+	cacheSeries := make([]Series, len(sels))
+	for i, sel := range sels {
+		idxSeries[i] = Series{Name: "index lookup, " + sel.name + " selectivity"}
+		sweepSeries[i] = Series{Name: "full sweep, " + sel.name + " selectivity"}
+		cacheSeries[i] = Series{Name: "result cache hit, " + sel.name + " selectivity"}
+	}
+	for _, size := range sizes {
+		mBuild := []measurement{}
+		mIdx := make([][]measurement, len(sels))
+		mSweep := make([][]measurement, len(sels))
+		mCache := make([][]measurement, len(sels))
+		for _, seed := range opts.Seeds {
+			rel, err := genRandom(0)(size, seed)
+			if err != nil {
+				return Figure{}, err
+			}
+			ts := rel.Tuples
+
+			// One seed's measurements live in a closure so a single
+			// deferred Close covers every error path.
+			if err := func() error {
+				start := time.Now()
+				idx, err := core.NewIntervalIndex(ts)
+				if err != nil {
+					return err
+				}
+				defer idx.Close()
+				mBuild = append(mBuild, measurement{seconds: time.Since(start).Seconds()})
+
+				for i, sel := range sels {
+					ws := rangeWindows(queries, sel.frac)
+
+					start = time.Now()
+					for _, w := range ws {
+						if _, err := idx.Range(f, w); err != nil {
+							return err
+						}
+					}
+					mIdx[i] = append(mIdx[i], measurement{seconds: time.Since(start).Seconds() / queries})
+
+					// The sweep must absorb every tuple regardless of the
+					// window, so one evaluation prices any of the queries.
+					start = time.Now()
+					sw := newPrefixSweep(f)
+					if err := sw.AddBatch(ts); err != nil {
+						return err
+					}
+					res, err := sw.Finish()
+					if err != nil {
+						return err
+					}
+					res.Clip(ws[0])
+					mSweep[i] = append(mSweep[i], measurement{seconds: time.Since(start).Seconds()})
+
+					m, err := cacheHitCost(f, idx, ws)
+					if err != nil {
+						return err
+					}
+					mCache[i] = append(mCache[i], m)
+				}
+				return nil
+			}(); err != nil {
+				return Figure{}, err
+			}
+		}
+		build.Points = append(build.Points, Point{Size: size, Value: timeMetric(median(mBuild))})
+		for i := range sels {
+			idxSeries[i].Points = append(idxSeries[i].Points, Point{Size: size, Value: timeMetric(median(mIdx[i]))})
+			sweepSeries[i].Points = append(sweepSeries[i].Points, Point{Size: size, Value: timeMetric(median(mSweep[i]))})
+			cacheSeries[i].Points = append(cacheSeries[i].Points, Point{Size: size, Value: timeMetric(median(mCache[i]))})
+		}
+	}
+	fig.Series = append(fig.Series, build)
+	for i := range sels {
+		fig.Series = append(fig.Series, idxSeries[i], sweepSeries[i], cacheSeries[i])
+	}
+	return fig, nil
+}
+
+// cacheHitCost primes a result cache with every window's answer, then times
+// the warm Gets: the per-query floor once a result is resident (one LRU
+// probe plus the defensive row copy).
+func cacheHitCost(f aggregate.Func, idx *core.IntervalIndex, ws []interval.Interval) (measurement, error) {
+	rc := core.NewResultCache(len(ws) * 2)
+	defer rc.Close()
+	for _, w := range ws {
+		r, err := idx.Range(f, w)
+		if err != nil {
+			return measurement{}, err
+		}
+		rc.Put(core.CacheKey{Relation: "R", Version: "v", Kind: f.Kind(), Window: w}, r)
+	}
+	start := time.Now()
+	for _, w := range ws {
+		if _, ok := rc.Get(core.CacheKey{Relation: "R", Version: "v", Kind: f.Kind(), Window: w}); !ok {
+			return measurement{}, fmt.Errorf("bench: range-query: primed cache missed")
+		}
+	}
+	return measurement{seconds: time.Since(start).Seconds() / float64(len(ws))}, nil
+}
+
 // AblationSpan compares instant grouping against coarse span grouping
 // (§7: with far fewer buckets, even simple strategies are fast).
 func AblationSpan(opts Options) (Figure, error) {

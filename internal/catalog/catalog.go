@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tempagg/internal/core"
 	"tempagg/internal/obs"
 	"tempagg/internal/query"
 	"tempagg/internal/relation"
@@ -57,6 +58,13 @@ type Catalog struct {
 	liveMu      sync.RWMutex
 	lives       map[string]*liveRelation
 	liveMetrics atomic.Pointer[obs.Metrics]
+
+	// Range-query acceleration (cache.go): the per-relation interval-index
+	// cache and the versioned result cache, both opt-in.
+	idxMu      sync.Mutex
+	indexes    map[string]indexEntry
+	rangeIndex atomic.Bool
+	results    atomic.Pointer[core.ResultCache]
 }
 
 // Open loads the catalog at dir: every *.rel file becomes a relation named
@@ -307,5 +315,26 @@ func (c *Catalog) queryTraced(sql string, sopts relation.ScanOptions, tr *obs.Qu
 	if err != nil {
 		return nil, err
 	}
-	return query.ExecuteFileTraced(q, path, &info, sopts, tr)
+	// Range-query acceleration (cache.go): attach the resident interval
+	// index so the planner can price an index-lookup plan, and consult the
+	// versioned result cache before evaluating anything. A randomized scan
+	// still reads the same tuple set, so both caches remain sound under it.
+	version := fileFingerprint(path)
+	if c.rangeIndex.Load() && version != "" && query.IndexEligible(q) {
+		if idx, ierr := c.indexFor(q.Relation, path, version); ierr == nil {
+			info.Index = idx
+		}
+	}
+	rc := c.results.Load()
+	if rc == nil || version == "" || !cacheable(q) {
+		return query.ExecuteFileTraced(q, path, &info, sopts, tr)
+	}
+	if qr, ok := c.serveCached(rc, q, version, tr); ok {
+		return qr, nil
+	}
+	qr, err := query.ExecuteFileTraced(q, path, &info, sopts, tr)
+	if err == nil {
+		c.storeResults(rc, q, version, qr)
+	}
+	return qr, err
 }

@@ -193,5 +193,20 @@ func (c *Catalog) executeLive(q *query.Query, tr *obs.QueryTrace) (*query.QueryR
 		return nil, err
 	}
 	defer release()
-	return query.ExecuteLive(q, snap, tr)
+	// The epoch seqno is the live relation's version: ingestion advances
+	// it, so cached answers from older epochs are structurally unreachable
+	// and age out of the LRU (cache.go).
+	rc := c.results.Load()
+	if rc == nil || !cacheable(q) {
+		return query.ExecuteLive(q, snap, tr)
+	}
+	version := fmt.Sprintf("epoch:%d", snap.Seq())
+	if qr, ok := c.serveCached(rc, q, version, tr); ok {
+		return qr, nil
+	}
+	qr, err := query.ExecuteLive(q, snap, tr)
+	if err == nil {
+		c.storeResults(rc, q, version, qr)
+	}
+	return qr, err
 }

@@ -140,6 +140,137 @@ func TestLiveRaceIngestQueryScrape(t *testing.T) {
 	}
 }
 
+// TestLiveRangeCacheRaceIngestQueryScrape is the S37 companion to the
+// ingest/read stress above: readers issue range-restricted LIVE queries —
+// the index-live-tail path over sealed-segment indexes plus the epoch-keyed
+// result cache — while writers ingest and scrapers hit the admin surface.
+// Each reader checks two monotonicity invariants: the window count never
+// goes backwards (a cache hit must never resurrect an older epoch's
+// answer), and snapshot seqnos acquired between queries never decrease.
+func TestLiveRangeCacheRaceIngestQueryScrape(t *testing.T) {
+	const (
+		writers         = 3
+		readers         = 3
+		tuplesPerWriter = 120
+	)
+	cat, err := catalog.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	o := obs.NewObserver(64, nil)
+	o.Queries = obs.NewQueryStats(obs.QueryStatsConfig{})
+	cat.SetLiveMetrics(o.Metrics)
+	cat.EnableResultCache(64)
+	if _, err := cat.RegisterLive("hot", core.LiveOptions{SegmentSize: 32}); err != nil {
+		t.Fatal(err)
+	}
+	admin := httptest.NewServer(server.AdminMux(o))
+	defer admin.Close()
+
+	var writerWg, rest sync.WaitGroup
+	var writersDone atomic.Bool
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(w int) {
+			defer writerWg.Done()
+			for i := 0; i < tuplesPerWriter; i++ {
+				tu := tuple.MustNew("e", int64(w*1000+i), 0, 10)
+				if err := cat.LiveIngest("hot", []tuple.Tuple{tu}); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	queries := []string{
+		"SELECT COUNT(Name) FROM hot LIVE VALID OVERLAPS 2 8",
+		"SELECT COUNT(Name) FROM hot LIVE AT 5",
+	}
+	for rd := 0; rd < readers; rd++ {
+		rest.Add(1)
+		go func(rd int) {
+			defer rest.Done()
+			var lastCount, lastSeq int64 = -1, -1
+			for i := 0; !writersDone.Load(); i++ {
+				qr, err := cat.QueryObserved(queries[i%len(queries)], relation.ScanOptions{}, o)
+				if err != nil {
+					t.Errorf("reader %d: %v", rd, err)
+					return
+				}
+				v, ok := qr.Groups[0].Result.At(5)
+				if !ok {
+					t.Errorf("reader %d: no row at instant 5", rd)
+					return
+				}
+				if v.Int < lastCount {
+					t.Errorf("reader %d: count went backwards: %d after %d", rd, v.Int, lastCount)
+					return
+				}
+				lastCount = v.Int
+				snap, release, err := cat.AcquireLiveSnapshot("hot")
+				if err != nil {
+					t.Errorf("reader %d: %v", rd, err)
+					return
+				}
+				seq := snap.Seq()
+				release()
+				if seq < lastSeq {
+					t.Errorf("reader %d: epoch went backwards: %d after %d", rd, seq, lastSeq)
+					return
+				}
+				lastSeq = seq
+			}
+		}(rd)
+	}
+
+	for _, ep := range []string{"/metrics", "/debug/queries"} {
+		rest.Add(1)
+		go func(url string) {
+			defer rest.Done()
+			for !writersDone.Load() {
+				resp, err := http.Get(url)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := io.ReadAll(resp.Body); err != nil {
+					t.Error(err)
+				}
+				resp.Body.Close()
+			}
+		}(admin.URL + ep)
+	}
+
+	writerWg.Wait()
+	writersDone.Store(true)
+	rest.Wait()
+
+	// Quiesced: the final epoch holds every tuple, a repeated range query is
+	// a guaranteed cache hit at that epoch, and the cache saw real traffic.
+	if n, err := cat.LiveReaders("hot"); err != nil || n != 0 {
+		t.Fatalf("outstanding snapshot leases after quiesce: %d (%v)", n, err)
+	}
+	for i := 0; i < 2; i++ {
+		qr, err := cat.QueryObserved(queries[0], relation.ScanOptions{}, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok := qr.Groups[0].Result.At(5)
+		if !ok || v.Int != int64(writers*tuplesPerWriter) {
+			t.Fatalf("final window count %d (ok=%v), want %d", v.Int, ok, writers*tuplesPerWriter)
+		}
+		if i == 1 && !qr.Plan.Cached {
+			t.Fatalf("repeat of %q at a quiet epoch missed the cache: %+v", queries[0], qr.Plan)
+		}
+	}
+	stats := cat.ResultCacheStats()
+	if stats.Misses == 0 || stats.Hits == 0 {
+		t.Fatalf("result cache saw no traffic under load: %+v", stats)
+	}
+}
+
 // TestLiveLeaseAccounting: acquire/release must move the reader count and
 // gauge exactly, and release must be idempotent.
 func TestLiveLeaseAccounting(t *testing.T) {

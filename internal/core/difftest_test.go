@@ -168,6 +168,34 @@ func diffStrategies(boundaries []interval.Time) []diffStrategy {
 			}
 			return res, nil
 		}},
+		// The materialized partial-state interval index read over the whole
+		// time-line: every elementary interval's state is a root-path merge
+		// of node partials, so this diffs the canonical-node assignment and
+		// the per-kind State reconstitution against the oracle. Windowed
+		// lookups are diffed separately (TestIndexRangePositions).
+		{"index-lookup", func(_ *testing.T, f aggregate.Func, ts []tuple.Tuple, _ int) (*Result, error) {
+			idx, err := NewIntervalIndex(ts)
+			if err != nil {
+				return nil, err
+			}
+			return idx.Result(f)
+		}},
+		// The live indexed range read at full span: sealed segments answer
+		// from their memoized per-segment indexes, the tail prefix is swept,
+		// and the window partitions are merged — the mixed index+tail path a
+		// live VALID OVERLAPS query takes (S37).
+		{"index-live-tail", func(_ *testing.T, f aggregate.Func, ts []tuple.Tuple, _ int) (*Result, error) {
+			ev := NewLive(LiveOptions{SegmentSize: 32})
+			defer closeLive(ev)
+			if err := ev.AddBatch(ts); err != nil {
+				return nil, err
+			}
+			snap, err := ev.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			return snap.RangeIndexed(f, interval.Universe())
+		}},
 		{"partitioned-serial", runPartitioned(PartitionOptions{Boundaries: boundaries})},
 		{"partitioned-parallel", runPartitioned(PartitionOptions{Boundaries: boundaries, Parallel: 4})},
 		{"partitioned-spill", runPartitioned(PartitionOptions{Boundaries: boundaries, SpillDir: "spill", Parallel: 2})},

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
 	"tempagg/internal/tuple"
 )
 
@@ -293,6 +294,95 @@ func FuzzParallelSweepVsSerial(f *testing.F) {
 			}
 			if !reflect.DeepEqual(results[qi].Rows, want.Rows) {
 				t.Fatalf("workers=%d n=%d query %d: shared-pass rows differ from dedicated sweep", workers, n, qi)
+			}
+		}
+	})
+}
+
+// FuzzIndexVsReference is the differential fuzz target for the interval
+// index: whatever the tuple shape, the windowed lookup must match the
+// clipped oracle for every aggregate kind, and the full-timeline read must
+// match the oracle exactly. The window endpoints are fuzzer-chosen, so
+// boundary-aligned, interior, instant, and past-horizon windows all occur.
+func FuzzIndexVsReference(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(40), uint16(0), uint16(100))
+	f.Add(int64(2), uint8(3), uint8(120), uint16(500), uint16(40))
+	f.Add(int64(3), uint8(7), uint8(255), uint16(999), uint16(0))
+	f.Fuzz(func(t *testing.T, seed int64, kindB, nb uint8, aW, widthW uint16) {
+		r := rand.New(rand.NewSource(seed))
+		fn := aggregate.For(aggregate.Kinds()[int(kindB)%5])
+		ts := randomTuples(r, int(nb), 1000)
+		idx, err := NewIntervalIndex(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := idx.Result(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := full.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		want := Reference(fn, ts)
+		if !full.Equal(want) {
+			t.Fatalf("n=%d %v: index full result differs from oracle", nb, fn.Kind())
+		}
+		w := interval.MustNew(interval.Time(aW), interval.Time(aW)+interval.Time(widthW))
+		got, err := idx.Range(fn, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.ValidatePartition(w.Start, w.End); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want.Clip(w)) {
+			t.Fatalf("n=%d %v window %v: index range differs from clipped oracle", nb, fn.Kind(), w)
+		}
+	})
+}
+
+// FuzzPartialStateRoundTrip drives the canonical partial encoding from both
+// directions. Forward: a partial built from fuzzer values must round-trip
+// bit-exactly through encode/decode and reconstitute the directly-computed
+// state for every kind. Backward: arbitrary bytes either fail to decode or
+// decode to a partial whose re-encoding reproduces the consumed bytes —
+// the canonical-form guarantee that makes encoded partials comparable
+// byte-wise.
+func FuzzPartialStateRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(4), []byte{0x00})
+	f.Add(int64(2), uint8(0), []byte{0x02, 0x06, 0x02, 0x04})
+	f.Add(int64(3), uint8(200), []byte{0x80, 0x00})
+	f.Fuzz(func(t *testing.T, seed int64, nb uint8, raw []byte) {
+		r := rand.New(rand.NewSource(seed))
+		var p IndexPartial
+		vals := make([]int64, int(nb)%24)
+		for i := range vals {
+			vals[i] = r.Int63n(4001) - 2000
+			p.add(vals[i])
+		}
+		enc := p.AppendBinary(nil)
+		dec, n, err := DecodeIndexPartial(enc)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if n != len(enc) || dec != p {
+			t.Fatalf("round-trip: %+v -> %+v (consumed %d of %d)", p, dec, n, len(enc))
+		}
+		for _, k := range aggregate.Kinds() {
+			fn := aggregate.For(k)
+			want := fn.Zero()
+			for _, v := range vals {
+				want = fn.Add(want, v)
+			}
+			if !fn.StateEqual(dec.State(fn), want) {
+				t.Fatalf("%v over %v: reconstituted state differs", k, vals)
+			}
+		}
+		// Backward: decode arbitrary bytes; on success the consumed prefix
+		// must be the decoded partial's one canonical encoding.
+		if q, n, err := DecodeIndexPartial(raw); err == nil {
+			if got := q.AppendBinary(nil); !reflect.DeepEqual(got, raw[:n]) {
+				t.Fatalf("non-canonical bytes % x accepted for %+v (canonical % x)", raw[:n], q, got)
 			}
 		}
 	})

@@ -87,6 +87,13 @@ type liveSegment struct {
 	once [5]sync.Once // indexed by aggregate.Kind
 	res  [5]*Result
 	err  [5]error
+
+	// The segment's partial-state interval index (index.go), built once on
+	// first range read and reused across every later epoch — the segment is
+	// immutable, so the index never invalidates (S37).
+	idxOnce sync.Once
+	idx     *IntervalIndex
+	idxErr  error
 }
 
 func (g *liveSegment) len() int { return len(g.names) }
@@ -99,6 +106,17 @@ func (g *liveSegment) tuples() []tuple.Tuple {
 		out[i] = tuple.MustNew(g.names[i], g.vals[i], g.starts[i], g.ends[i])
 	}
 	return out
+}
+
+// index builds (once) the segment's partial-state interval index, shared
+// by every snapshot and aggregate kind: one tree answers range reads for
+// all five aggregates, so a windowed read touches O(log n) partials per
+// sealed segment instead of merging full per-segment results.
+func (g *liveSegment) index() (*IntervalIndex, error) {
+	g.idxOnce.Do(func() {
+		g.idx, g.idxErr = NewIntervalIndex(g.tuples())
+	})
+	return g.idx, g.idxErr
 }
 
 // result computes (once per aggregate kind) the segment's constant-interval

@@ -107,6 +107,37 @@ func (s *LiveSnapshot) Range(f aggregate.Func, window interval.Interval) (*Resul
 	return res.Clip(window), nil
 }
 
+// RangeIndexed is Range through the sealed segments' partial-state
+// interval indexes: each sealed segment answers the window from its
+// memoized index in O(k + log n) partial merges, the mutable tail prefix
+// is swept clipped to the window, and the per-source window partitions
+// are merged. The indexes are built once per segment and reused across
+// every later epoch — only the tail is ever re-evaluated (S37). The rows
+// are bit-identical to Range's.
+func (s *LiveSnapshot) RangeIndexed(f aggregate.Func, window interval.Interval) (*Result, error) {
+	if err := window.Validate(); err != nil {
+		return nil, err
+	}
+	parts := make([]*Result, 0, len(s.state.segs)+1)
+	for _, g := range s.state.segs {
+		idx, err := g.index()
+		if err != nil {
+			return nil, err
+		}
+		r, err := idx.Range(f, window)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, r)
+	}
+	tail, err := s.tailRange(f, window)
+	if err != nil {
+		return nil, err
+	}
+	parts = append(parts, tail)
+	return mergeAllSpan(f, parts, window), nil
+}
+
 // full returns the memoized epoch result for f, computing it on first use.
 func (s *LiveSnapshot) full(f aggregate.Func) (*Result, error) {
 	k := f.Kind()
@@ -134,10 +165,20 @@ func (s *LiveSnapshot) full(f aggregate.Func) (*Result, error) {
 // tailResult sweeps the snapshot's tail prefix — at most one segment's
 // worth of tuples, so this is the only per-read evaluation work.
 func (s *LiveSnapshot) tailResult(f aggregate.Func) (*Result, error) {
+	return s.tailSpan(f, interval.Universe())
+}
+
+// tailRange sweeps the tail prefix clipped to window; the result
+// partitions the window.
+func (s *LiveSnapshot) tailRange(f aggregate.Func, window interval.Interval) (*Result, error) {
+	return s.tailSpan(f, window)
+}
+
+func (s *LiveSnapshot) tailSpan(f aggregate.Func, span interval.Interval) (*Result, error) {
 	if s.tailLen == 0 {
-		return emptyResult(f), nil
+		return &Result{Func: f, Rows: []Row{{Interval: span, State: f.Zero()}}}, nil
 	}
-	ev := NewSweep(f)
+	ev := NewSweepRange(f, span)
 	t := s.state.tail
 	buf := make([]tuple.Tuple, 0, min(int(s.tailLen), BatchPage))
 	for lo := int64(0); lo < s.tailLen; lo += int64(BatchPage) {
@@ -165,26 +206,34 @@ func emptyResult(f aggregate.Func) *Result {
 // are mutated; with a single input it is returned as-is, so callers must
 // treat the output as shared.
 func mergeAll(f aggregate.Func, rs []*Result) *Result {
+	return mergeAllSpan(f, rs, interval.Universe())
+}
+
+// mergeAllSpan is mergeAll over results that each partition span rather
+// than the whole time-line; with no inputs the span carries the identity
+// state.
+func mergeAllSpan(f aggregate.Func, rs []*Result, span interval.Interval) *Result {
 	switch len(rs) {
 	case 0:
-		return emptyResult(f)
+		return &Result{Func: f, Rows: []Row{{Interval: span, State: f.Zero()}}}
 	case 1:
 		return rs[0]
 	}
 	mid := len(rs) / 2
-	return mergeResults(f, mergeAll(f, rs[:mid]), mergeAll(f, rs[mid:]))
+	return mergeResults(f, mergeAllSpan(f, rs[:mid], span), mergeAllSpan(f, rs[mid:], span))
 }
 
-// mergeResults combines two full-timeline partitions into one: row
+// mergeResults combines two partitions of the same span into one: row
 // boundaries are unioned and overlapping states merged with f.Merge, which
 // is exact for disjoint tuple populations across all five aggregates
 // (COUNT/SUM/AVG sum their counters; MIN/MAX take the extremum of the two
-// sides' wedge-derived partials). Both inputs must partition [0, ∞]; the
-// output does too. Neither input is mutated.
+// sides' wedge-derived partials). Both inputs must partition the same
+// range — [0, ∞] for full results, the query window for indexed range
+// reads; the output partitions it too. Neither input is mutated.
 func mergeResults(f aggregate.Func, a, b *Result) *Result {
 	out := &Result{Func: f, Rows: make([]Row, 0, len(a.Rows)+len(b.Rows))}
 	i, j := 0, 0
-	cur := interval.Origin
+	cur := a.Rows[0].Interval.Start
 	for i < len(a.Rows) && j < len(b.Rows) {
 		ra, rb := a.Rows[i], b.Rows[j]
 		end := min(ra.Interval.End, rb.Interval.End)
@@ -198,7 +247,9 @@ func mergeResults(f aggregate.Func, a, b *Result) *Result {
 		if rb.Interval.End == end {
 			j++
 		}
-		if end == interval.Forever {
+		if i >= len(a.Rows) || j >= len(b.Rows) {
+			// Partitions of one span exhaust together; breaking here also
+			// keeps the End+1 step from overflowing past ∞.
 			break
 		}
 		cur = end + 1

@@ -1,0 +1,145 @@
+// ResultCache: an LRU, version-keyed cache of finished range-query
+// results (DESIGN.md S37).
+//
+// Staleness is structural, not timed: the cache key carries the relation's
+// version — a file fingerprint for batch relations, the live epoch seqno
+// for live ones — so ingestion can never cause a stale entry to be served.
+// A new epoch simply keys new entries; superseded epochs age out through
+// the LRU. This is the invalidation clock Colley's delta-summation work
+// gets from maintaining summaries under appends, obtained here for free
+// from the live protocol's published seqno (S36).
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"tempagg/internal/aggregate"
+	"tempagg/internal/interval"
+)
+
+// DefaultResultCacheCapacity is the entry bound a zero capacity resolves
+// to: enough for a dashboard's worth of distinct (window, aggregate)
+// panels across a handful of epochs.
+const DefaultResultCacheCapacity = 256
+
+// CacheKey identifies one cached range-query answer.
+type CacheKey struct {
+	// Relation is the relation name.
+	Relation string
+	// Version pins the relation contents the entry was computed over: a
+	// file fingerprint for batch relations, "epoch:<seq>" for live ones.
+	// Any change of contents changes the version, so stale entries are
+	// unreachable rather than merely expired.
+	Version string
+	// Kind is the aggregate computed.
+	Kind aggregate.Kind
+	// Distinct marks duplicate-eliminated input.
+	Distinct bool
+	// Window is the query's restriction: the VALID OVERLAPS window, or
+	// [t, t] for an AT query.
+	Window interval.Interval
+}
+
+// CacheStats is a point-in-time snapshot of the cache's counters.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	Entries                 int
+}
+
+// ResultCache is a bounded LRU over finished results. It is safe for
+// concurrent use. Entries are stored and served by copy: callers may
+// mutate what Get returns (Clip, Coalesce) without corrupting the cache.
+// After Close the cache must not be used (tempagglint's finishonce
+// analyzer enforces this like the evaluators' Finish contract).
+type ResultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent; values are *cacheEntry
+	entries map[CacheKey]*list.Element
+	stats   CacheStats
+	closed  bool
+}
+
+type cacheEntry struct {
+	key CacheKey
+	res *Result
+}
+
+// NewResultCache returns a cache bounded to capacity entries; capacity
+// ≤ 0 means DefaultResultCacheCapacity.
+func NewResultCache(capacity int) *ResultCache {
+	if capacity <= 0 {
+		capacity = DefaultResultCacheCapacity
+	}
+	return &ResultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: map[CacheKey]*list.Element{},
+	}
+}
+
+// Get returns a copy of the entry for key, marking it most recently used.
+// A miss (or a closed cache) returns false.
+func (c *ResultCache) Get(key CacheKey) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, false
+	}
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.order.MoveToFront(el)
+	res := el.Value.(*cacheEntry).res
+	return &Result{Func: res.Func, Rows: append([]Row(nil), res.Rows...)}, true
+}
+
+// Put stores a copy of res under key, evicting least-recently-used
+// entries beyond capacity, and reports how many were evicted. Storing an
+// existing key refreshes its value and recency.
+func (c *ResultCache) Put(key CacheKey, res *Result) (evicted int) {
+	clone := &Result{Func: res.Func, Rows: append([]Row(nil), res.Rows...)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = clone
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: clone})
+	for len(c.entries) > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		evicted++
+	}
+	c.stats.Evictions += int64(evicted)
+	return evicted
+}
+
+// Stats snapshots the cache's counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}
+
+// Close empties the cache; subsequent Get and Put calls are inert misses.
+// Close is idempotent.
+func (c *ResultCache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.order.Init()
+	c.entries = map[CacheKey]*list.Element{}
+	return nil
+}

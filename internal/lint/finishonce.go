@@ -26,6 +26,13 @@ import (
 // Close calls are exempt — `defer ev.Close()` runs at function exit, after
 // every textually-later use, so the blessed lifecycle idiom stays clean.
 //
+// core.IntervalIndex and core.ResultCache (S37) follow the LiveEvaluator
+// pattern: Close is terminal, so lookups (At/Range/Result/MarshalBinary on
+// the index, Get/Put on the cache) after Close are flagged, as is a second
+// Close. Both fail dynamically too (ErrIndexClosed; the cache goes inert),
+// but an inert cache silently misses every Get — a performance bug no test
+// asserts on, which is exactly what a static check is for.
+//
 // With strictStats, Stats calls after Finish/Close are flagged too. The
 // default leaves them legal because the documented contract explicitly
 // permits Stats "at any point" and reading the final PeakNodes after the
@@ -35,8 +42,9 @@ func NewFinishOnce(strictStats bool) *Analyzer {
 	return &Analyzer{
 		Name: "finishonce",
 		Doc: "flag Add/AddBatch (and with -strict-stats, Stats) calls on a " +
-			"core.Evaluator after Finish, Add/AddBatch/Snapshot on a " +
-			"core.LiveEvaluator after Close, and double Finish/Close",
+			"core.Evaluator after Finish, use of a core.LiveEvaluator, " +
+			"core.IntervalIndex, or core.ResultCache after Close, and " +
+			"double Finish/Close",
 		Run: func(pass *Pass) error { return runFinishOnce(pass, strictStats) },
 	}
 }
@@ -48,10 +56,40 @@ type evEvent struct {
 	expr   string // receiver rendering, for the message
 }
 
+// closable is one core type with a terminal Close and the methods that
+// must not follow it.
+type closable struct {
+	typ      types.Type
+	methods  map[string]bool // non-terminal methods tracked for this type
+	contract string
+}
+
 func runFinishOnce(pass *Pass, strictStats bool) error {
 	iface := evaluatorInterface(pass.Pkg)
-	liveT := liveEvaluatorType(pass.Pkg)
-	if iface == nil && liveT == nil {
+	var closables []closable
+	for _, spec := range []struct {
+		name     string
+		methods  []string
+		contract string
+	}{
+		{"LiveEvaluator", []string{"Add", "AddBatch", "Snapshot", "Stats"},
+			"live evaluator must not be used after Close"},
+		{"IntervalIndex", []string{"At", "Range", "Result", "MarshalBinary"},
+			"interval index must not be used after Close"},
+		{"ResultCache", []string{"Get", "Put", "Stats"},
+			"result cache must not be used after Close"},
+	} {
+		t := coreNamedType(pass.Pkg, spec.name)
+		if t == nil {
+			continue
+		}
+		ms := map[string]bool{}
+		for _, m := range spec.methods {
+			ms[m] = true
+		}
+		closables = append(closables, closable{typ: t, methods: ms, contract: spec.contract})
+	}
+	if iface == nil && len(closables) == 0 {
 		return nil // package cannot name core evaluator values
 	}
 	for _, f := range pass.Files {
@@ -59,10 +97,10 @@ func runFinishOnce(pass *Pass, strictStats bool) error {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					checkFinishOnceBody(pass, iface, liveT, fn.Body, strictStats)
+					checkFinishOnceBody(pass, iface, closables, fn.Body, strictStats)
 				}
 			case *ast.FuncLit:
-				checkFinishOnceBody(pass, iface, liveT, fn.Body, strictStats)
+				checkFinishOnceBody(pass, iface, closables, fn.Body, strictStats)
 			}
 			return true
 		})
@@ -84,13 +122,13 @@ func evaluatorInterface(pkg *types.Package) *types.Interface {
 	return iface
 }
 
-// liveEvaluatorType finds core.LiveEvaluator in pkg's import closure.
-func liveEvaluatorType(pkg *types.Package) types.Type {
+// coreNamedType finds a named core type in pkg's import closure.
+func coreNamedType(pkg *types.Package, name string) types.Type {
 	core := findImport(pkg, corePkgPath, map[*types.Package]bool{})
 	if core == nil {
 		return nil
 	}
-	obj := core.Scope().Lookup("LiveEvaluator")
+	obj := core.Scope().Lookup(name)
 	if obj == nil {
 		return nil
 	}
@@ -116,9 +154,13 @@ func findImport(pkg *types.Package, path string, seen map[*types.Package]bool) *
 // checkFinishOnceBody analyzes one function body, not descending into
 // nested function literals (each gets its own pass; a goroutine body is a
 // separate flow).
-func checkFinishOnceBody(pass *Pass, iface *types.Interface, liveT types.Type, body *ast.BlockStmt, strictStats bool) {
-	events := map[string][]evEvent{}     // receiver key → ordered Evaluator uses
-	liveEvents := map[string][]evEvent{} // receiver key → ordered LiveEvaluator uses
+func checkFinishOnceBody(pass *Pass, iface *types.Interface, closables []closable, body *ast.BlockStmt, strictStats bool) {
+	events := map[string][]evEvent{} // receiver key → ordered Evaluator uses
+	// closeEvents[i] tracks receivers of closables[i].
+	closeEvents := make([]map[string][]evEvent, len(closables))
+	for i := range closeEvents {
+		closeEvents[i] = map[string][]evEvent{}
+	}
 	tainted := map[string]bool{}         // receiver key → address taken, skip
 	deferred := map[*ast.CallExpr]bool{} // calls in defer statements, exempt
 
@@ -143,7 +185,9 @@ func checkFinishOnceBody(pass *Pass, iface *types.Interface, liveT types.Type, b
 				if key, ok := receiverKey(pass, lhs); ok {
 					reset := evEvent{pos: lhs.Pos(), method: "", expr: exprString(lhs)}
 					events[key] = append(events[key], reset)
-					liveEvents[key] = append(liveEvents[key], reset)
+					for i := range closeEvents {
+						closeEvents[i][key] = append(closeEvents[i][key], reset)
+					}
 				}
 			}
 		case *ast.CallExpr:
@@ -155,11 +199,6 @@ func checkFinishOnceBody(pass *Pass, iface *types.Interface, liveT types.Type, b
 				return true
 			}
 			method := sel.Sel.Name
-			switch method {
-			case "Add", "AddBatch", "Finish", "Stats", "Snapshot", "Close":
-			default:
-				return true
-			}
 			tv, ok := pass.TypesInfo.Types[sel.X]
 			if !ok {
 				return true
@@ -169,11 +208,20 @@ func checkFinishOnceBody(pass *Pass, iface *types.Interface, liveT types.Type, b
 				return true
 			}
 			e := evEvent{pos: n.Pos(), method: method, expr: exprString(sel.X)}
-			switch {
-			case isLiveEvaluatorType(tv.Type, liveT):
-				liveEvents[key] = append(liveEvents[key], e)
-			case method != "Snapshot" && method != "Close" && isEvaluatorType(tv.Type, iface):
-				events[key] = append(events[key], e)
+			for i, c := range closables {
+				if !isCoreNamedType(tv.Type, c.typ) {
+					continue
+				}
+				if method == "Close" || c.methods[method] {
+					closeEvents[i][key] = append(closeEvents[i][key], e)
+				}
+				return true
+			}
+			switch method {
+			case "Add", "AddBatch", "Finish", "Stats":
+				if isEvaluatorType(tv.Type, iface) {
+					events[key] = append(events[key], e)
+				}
 			}
 		}
 		return true
@@ -186,11 +234,13 @@ func checkFinishOnceBody(pass *Pass, iface *types.Interface, liveT types.Type, b
 		}
 		reportReuse(pass, evs, "Finish", "evaluator must not be reused after Finish", strictStats)
 	}
-	for key, evs := range liveEvents {
-		if tainted[key] {
-			continue
+	for i, c := range closables {
+		for key, evs := range closeEvents[i] {
+			if tainted[key] {
+				continue
+			}
+			reportReuse(pass, evs, "Close", c.contract, strictStats)
 		}
-		reportReuse(pass, evs, "Close", "live evaluator must not be used after Close", strictStats)
 	}
 }
 
@@ -223,17 +273,17 @@ func reportReuse(pass *Pass, evs []evEvent, terminal, contract string, strictSta
 	}
 }
 
-// isLiveEvaluatorType reports whether t is core.LiveEvaluator or a pointer
-// to it.
-func isLiveEvaluatorType(t, liveT types.Type) bool {
-	if t == nil || liveT == nil {
+// isCoreNamedType reports whether t is the given named core type or a
+// pointer to it.
+func isCoreNamedType(t, want types.Type) bool {
+	if t == nil || want == nil {
 		return false
 	}
 	t = types.Unalias(t)
 	if p, ok := t.(*types.Pointer); ok {
 		t = types.Unalias(p.Elem())
 	}
-	return types.Identical(t, liveT)
+	return types.Identical(t, want)
 }
 
 // isEvaluatorType reports whether a value of type t can be a

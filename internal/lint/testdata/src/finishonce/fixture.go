@@ -8,6 +8,7 @@ package fixture
 import (
 	"tempagg/internal/aggregate"
 	"tempagg/internal/core"
+	"tempagg/internal/interval"
 	"tempagg/internal/tuple"
 )
 
@@ -121,6 +122,64 @@ func liveReassigned(t tuple.Tuple) error {
 	_ = ev.Close()
 	ev = core.NewLive(core.LiveOptions{}) // a fresh evaluator: tracking resets
 	return ev.Add(t)                      // ok: this is the new value
+}
+
+func indexRangeAfterClose(idx *core.IntervalIndex, f aggregate.Func, w interval.Interval) (*core.Result, error) {
+	if _, err := idx.Range(f, w); err != nil { // ok: lookup before Close
+		return nil, err
+	}
+	_ = idx.Close()
+	return idx.Range(f, w) // want `Range called on idx after Close`
+}
+
+func indexDoubleClose(idx *core.IntervalIndex) {
+	_ = idx.Close()
+	_ = idx.Close() // want `Close called twice on idx`
+}
+
+func indexMarshalAfterClose(idx *core.IntervalIndex) ([]byte, error) {
+	_ = idx.Close()
+	return idx.MarshalBinary() // want `MarshalBinary called on idx after Close`
+}
+
+func indexDeferredClose(ts []tuple.Tuple, f aggregate.Func) (*core.Result, error) {
+	idx, err := core.NewIntervalIndex(ts)
+	if err != nil {
+		return nil, err
+	}
+	defer idx.Close() // ok: a deferred Close runs at exit, after every use below
+	return idx.Result(f)
+}
+
+func cacheGetAfterClose(rc *core.ResultCache, k core.CacheKey) (*core.Result, bool) {
+	if r, ok := rc.Get(k); ok { // ok: Get before Close
+		return r, true
+	}
+	_ = rc.Close()
+	return rc.Get(k) // want `Get called on rc after Close`
+}
+
+func cachePutAfterClose(rc *core.ResultCache, k core.CacheKey, r *core.Result) int {
+	_ = rc.Close()
+	return rc.Put(k, r) // want `Put called on rc after Close`
+}
+
+func cacheDoubleClose(rc *core.ResultCache) {
+	_ = rc.Close()
+	_ = rc.Close() // want `Close called twice on rc`
+}
+
+func cacheStatsAfterClose(rc *core.ResultCache) core.CacheStats {
+	_ = rc.Close()
+	return rc.Stats() // ok by default: reading the final counters is the reporting pattern
+}
+
+func cacheReassigned(k core.CacheKey) (*core.Result, bool) {
+	rc := core.NewResultCache(4)
+	_ = rc.Close()
+	rc = core.NewResultCache(4) // a fresh cache: tracking resets
+	defer rc.Close()
+	return rc.Get(k) // ok: this is the new value
 }
 
 func separateFlows(ev core.Evaluator, t tuple.Tuple) {

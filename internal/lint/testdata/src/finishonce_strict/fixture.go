@@ -27,3 +27,14 @@ func liveStatsBeforeClose(ev *core.LiveEvaluator) core.Stats {
 	_ = ev.Close()
 	return st
 }
+
+func cacheStatsAfterClose(rc *core.ResultCache) core.CacheStats {
+	_ = rc.Close()
+	return rc.Stats() // want `Stats called on rc after Close`
+}
+
+func cacheStatsBeforeClose(rc *core.ResultCache) core.CacheStats {
+	st := rc.Stats() // ok: snapshot before Close
+	_ = rc.Close()
+	return st
+}

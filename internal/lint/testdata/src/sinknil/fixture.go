@@ -90,6 +90,16 @@ func mergeKillsGuard(s obs.Sink, flaky bool) error {
 	return s.Flush() // want `Flush called on possibly-nil obs\.Sink s`
 }
 
+func (e *eval) indexBuildBad(nodes, tuples int) {
+	e.es.IndexBuild(nodes, tuples) // want `IndexBuild called on possibly-nil obs\.EvalSink e\.es`
+}
+
+func (e *eval) indexLookupGood(merges int) {
+	if e.es != nil {
+		e.es.IndexLookup(merges) // ok: guarded
+	}
+}
+
 func guardedInLoop(e *eval, n int) {
 	for i := 0; i < n; i++ {
 		if e.es == nil {

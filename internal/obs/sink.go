@@ -57,6 +57,13 @@ type EvalSink interface {
 	// SweepShared reports one shared multi-query pass (core.SweepGroup)
 	// serving n registered queries. Called once at the group's Finish.
 	SweepShared(queries int)
+	// IndexBuild reports one interval-index construction (S37): segment-tree
+	// node slots materialized and tuples indexed. Called once per build.
+	IndexBuild(nodes, tuples int)
+	// IndexLookup reports one index-served range or point lookup and the
+	// node-partial merges performed to answer it — the lookup's cost in the
+	// paper's §6 currency.
+	IndexLookup(merges int)
 }
 
 // Metric names exported by Metrics. Each maps to a §6 cost-model quantity;
@@ -79,6 +86,18 @@ const (
 	MetricQueryDuration   = "tempagg_query_duration_seconds"
 	MetricSlowQueries     = "tempagg_slow_queries_total"
 	MetricSlowLogErrors   = "tempagg_slowlog_write_errors_total"
+)
+
+// Interval-index and result-cache metric names (S37). Index metrics carry
+// the algorithm label like every evaluator metric; the result cache is one
+// catalog-wide structure and its counters are unlabelled.
+const (
+	MetricIndexNodes           = "tempagg_index_nodes"
+	MetricIndexLookups         = "tempagg_index_lookups_total"
+	MetricIndexMerges          = "tempagg_index_partial_merges_total"
+	MetricResultCacheHits      = "tempagg_result_cache_hits_total"
+	MetricResultCacheMisses    = "tempagg_result_cache_misses_total"
+	MetricResultCacheEvictions = "tempagg_result_cache_evictions_total"
 )
 
 // Live-relation metric names (S36). All are labelled by relation: one live
@@ -127,6 +146,13 @@ type Metrics struct {
 	duration    *HistogramVec // by algorithm
 	slow        *Counter
 	slowErrs    *Counter
+
+	idxNodes   *GaugeVec   // by algorithm, max over builds
+	idxLookups *CounterVec // by algorithm
+	idxMerges  *CounterVec // by algorithm
+	cacheHits  *Counter
+	cacheMiss  *Counter
+	cacheEvict *Counter
 
 	liveSeq      *GaugeVec   // by relation, last published epoch
 	liveSegments *GaugeVec   // by relation
@@ -181,6 +207,18 @@ func NewMetrics(reg *Registry) *Metrics {
 			"Queries slower than the slow-query threshold."),
 		slowErrs: reg.Counter(MetricSlowLogErrors,
 			"Slow-query log lines that failed to write."),
+		idxNodes: reg.GaugeVec(MetricIndexNodes,
+			"High-water mark of partial-state node slots materialized by one interval-index build (S37).", "algorithm"),
+		idxLookups: reg.CounterVec(MetricIndexLookups,
+			"Range and point lookups served from the interval index.", "algorithm"),
+		idxMerges: reg.CounterVec(MetricIndexMerges,
+			"Node-partial merges performed by index lookups (O(k + log n) per lookup).", "algorithm"),
+		cacheHits: reg.Counter(MetricResultCacheHits,
+			"Range-query results served from the epoch-keyed result cache (S37)."),
+		cacheMiss: reg.Counter(MetricResultCacheMisses,
+			"Result-cache lookups that had to evaluate."),
+		cacheEvict: reg.Counter(MetricResultCacheEvictions,
+			"Result-cache entries evicted by the LRU bound."),
 		liveSeq: reg.GaugeVec(MetricLiveEpochSeq,
 			"Tuples admitted to the live relation at its last published epoch (S36).", "relation"),
 		liveSegments: reg.GaugeVec(MetricLiveSegments,
@@ -217,6 +255,9 @@ func (m *Metrics) Evaluator(algorithm string) EvalSink {
 		sweepWork:   m.sweepWork.With(algorithm),
 		sweepChunks: m.sweepChunks.With(algorithm),
 		sweepShared: m.sweepShared.With(algorithm),
+		idxNodes:    m.idxNodes.With(algorithm),
+		idxLookups:  m.idxLookups.With(algorithm),
+		idxMerges:   m.idxMerges.With(algorithm),
 	}
 }
 
@@ -249,6 +290,30 @@ func (m *Metrics) RecordSlow(writeErr error) {
 	if writeErr != nil {
 		m.slowErrs.Inc()
 	}
+}
+
+// ResultCacheHit counts one range query served from the result cache.
+func (m *Metrics) ResultCacheHit() {
+	if m == nil {
+		return
+	}
+	m.cacheHits.Inc()
+}
+
+// ResultCacheMiss counts one result-cache lookup that had to evaluate.
+func (m *Metrics) ResultCacheMiss() {
+	if m == nil {
+		return
+	}
+	m.cacheMiss.Inc()
+}
+
+// ResultCacheEvicted counts entries evicted by the cache's LRU bound.
+func (m *Metrics) ResultCacheEvicted(n int) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.cacheEvict.Add(int64(n))
 }
 
 // LiveEpoch publishes a live relation's current epoch position: tuples
@@ -310,6 +375,9 @@ type evalSink struct {
 	sweepWork   *Histogram
 	sweepChunks *Counter
 	sweepShared *Counter
+	idxNodes    *Gauge
+	idxLookups  *Counter
+	idxMerges   *Counter
 }
 
 func (s *evalSink) TuplesProcessed(n int) { s.tuples.Add(int64(n)) }
@@ -332,4 +400,12 @@ func (s *evalSink) SweepParallel(workers, chunks int) {
 }
 func (s *evalSink) SweepShared(queries int) {
 	s.sweepShared.Add(int64(queries))
+}
+func (s *evalSink) IndexBuild(nodes, tuples int) {
+	s.idxNodes.SetMax(int64(nodes))
+	s.tuples.Add(int64(tuples))
+}
+func (s *evalSink) IndexLookup(merges int) {
+	s.idxLookups.Inc()
+	s.idxMerges.Add(int64(merges))
 }

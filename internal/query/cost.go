@@ -62,12 +62,28 @@ type alternative struct {
 //     input already has a cheaper plan);
 //   - linked list: one scan, list resident (≈2n nodes), CPU-bound quadratic
 //     walking — priced with a quadratic CPU term.
-func costAlternatives(info RelationInfo, m CostModel, decomposable bool) []alternative {
+func costAlternatives(info RelationInfo, m CostModel, decomposable, indexable bool) []alternative {
 	n := info.Tuples
 	scan := m.PageIO * pages(n)
 	cpu := m.CPUTuple * float64(n)
 
 	var alts []alternative
+
+	if indexable {
+		// A resident interval index answers the query with O(log n) partial
+		// merges per emitted row: no page I/O, no per-tuple CPU. Its memory
+		// is charged to the catalog that built it, not the query, so the
+		// only cost is the root-path walk.
+		depth := 1
+		for 1<<depth < 2*n+2 {
+			depth++
+		}
+		alts = append(alts, alternative{
+			plan: Plan{UseIndex: true,
+				Reason: "cost-based: resident interval index, O(k + log n) partial merges"},
+			cost: m.CPUTuple * float64(2*depth+16),
+		})
+	}
 
 	treeBytes := float64(4*n+1) * core.NodeBytes
 	alts = append(alts, alternative{
@@ -155,7 +171,7 @@ func PlanQueryCosted(q *Query, info RelationInfo, m CostModel) (Plan, error) {
 	if q.Using != "" || !m.Enabled() {
 		return PlanQuery(q, info)
 	}
-	alts := costAlternatives(info, m, decomposableAggs(q))
+	alts := costAlternatives(info, m, decomposableAggs(q), info.Index != nil && IndexEligible(q))
 	best := alts[0]
 	for _, a := range alts[1:] {
 		if a.cost < best.cost {
@@ -184,7 +200,8 @@ func samePlanShape(a, b Plan) bool {
 	return a.Spec.Algorithm == b.Spec.Algorithm &&
 		a.SortFirst == b.SortFirst &&
 		a.Tuma == b.Tuma && a.Snapshot == b.Snapshot &&
-		a.Partitioned == b.Partitioned
+		a.Partitioned == b.Partitioned &&
+		a.UseIndex == b.UseIndex && a.Cached == b.Cached
 }
 
 // priceAlternatives renders the planner's alternatives as trace-ready
@@ -195,7 +212,7 @@ func priceAlternatives(q *Query, info RelationInfo, m CostModel, chosen Plan) ([
 	if !m.Enabled() {
 		m = explainModel
 	}
-	alts := costAlternatives(info, m, decomposableAggs(q))
+	alts := costAlternatives(info, m, decomposableAggs(q), info.Index != nil && IndexEligible(q))
 	out := make([]obs.PlanCost, 0, len(alts)+1)
 	matched := false
 	for _, a := range alts {

@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"tempagg/internal/aggregate"
@@ -129,9 +130,11 @@ func ExecuteTraced(q *Query, rel *relation.Relation, info *RelationInfo, tr *obs
 	}
 	planSpan := tr.StartSpan("plan")
 	var plan Plan
-	if q.At != nil {
+	if q.At != nil && q.Using != "INDEX" && !(q.Using == "" && meta.Index != nil && IndexEligible(q)) {
 		// Snapshot reduction: the value at one instant needs no constant
 		// intervals — a single aggregation pass over the qualifying tuples.
+		// With a resident index (or USING INDEX) the point lookup is one
+		// O(log n) root-path merge instead, planned below like any query.
 		plan = Plan{Snapshot: true, Reason: fmt.Sprintf("snapshot at %d: direct aggregation, no constant intervals", *q.At)}
 	} else {
 		// With cost-based planning on an unsorted relation of undeclared
@@ -156,6 +159,26 @@ func ExecuteTraced(q *Query, rel *relation.Relation, info *RelationInfo, tr *obs
 		qr.Explain = RenderExplain(qr, nil)
 		return qr, nil
 	}
+	// An index plan needs its index: the catalog's resident one when
+	// supplied, otherwise built here over the relation — worth it only
+	// under USING INDEX (the qualitative planner never chooses the index
+	// without a resident handle), kept for the query's duration.
+	var idx *core.IntervalIndex
+	if plan.UseIndex {
+		idx = meta.Index
+		if idx == nil {
+			buildSpan := tr.StartSpan("index-build")
+			built, err := core.NewIntervalIndex(rel.Tuples)
+			buildSpan.End()
+			if err != nil {
+				return nil, err
+			}
+			built.SetSink(tr.Sink())
+			defer built.Close()
+			idx = built
+		}
+	}
+
 	execSpan := tr.StartSpan("execute")
 	execCtx := execSpan.Context()
 
@@ -245,6 +268,11 @@ func ExecuteTraced(q *Query, rel *relation.Relation, info *RelationInfo, tr *obs
 				err   error
 			)
 			switch {
+			case plan.UseIndex:
+				// Index eligibility guarantees a single unfiltered group, so
+				// input plays no part: the answer is assembled from node
+				// partials alone.
+				res, err = indexLookup(idx, q, f, tr)
 			case q.At != nil:
 				res = snapshotResult(f, input, *q.At)
 				stats = core.Stats{Tuples: len(input)}
@@ -304,6 +332,58 @@ func sinkTuples(tr *obs.QueryTrace, algorithm string, n int) {
 	if s := tr.Sink(); s != nil {
 		s.Evaluator(algorithm).TuplesProcessed(n)
 	}
+}
+
+// indexLookup answers one aggregate of an index-served plan: the point
+// lookup for AT, the clipped window partition for VALID OVERLAPS, the full
+// [0, ∞] result otherwise. Rows are bit-identical to the evaluator paths'.
+func indexLookup(idx *core.IntervalIndex, q *Query, f aggregate.Func, tr *obs.QueryTrace) (*core.Result, error) {
+	span := tr.StartSpan(core.IndexLookupAlg)
+	defer span.End()
+	var (
+		res *core.Result
+		err error
+	)
+	switch {
+	case q.At != nil:
+		res, err = idx.At(f, *q.At)
+	case q.Window != nil:
+		res, err = idx.Range(f, *q.Window)
+	default:
+		res, err = idx.Result(f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	span.SetAttr("rows", strconv.Itoa(len(res.Rows)))
+	return res, nil
+}
+
+// executeIndexOnly serves an entire index-eligible query from a resident
+// index: no scan, no materialized relation, one lookup per select-list
+// aggregate. The caller has already verified plan.UseIndex and a non-nil
+// index.
+func executeIndexOnly(q *Query, plan Plan, idx *core.IntervalIndex, tr *obs.QueryTrace) (*QueryResult, error) {
+	execSpan := tr.StartSpan("execute")
+	gr := GroupResult{}
+	for _, a := range q.Aggs {
+		res, err := indexLookup(idx, q, aggregate.For(a.Kind), tr)
+		if err != nil {
+			execSpan.End()
+			return nil, err
+		}
+		gr.Results = append(gr.Results, res)
+		gr.AllStats = append(gr.AllStats, core.Stats{})
+	}
+	execSpan.End()
+	gr.Result = gr.Results[0]
+	gr.Stats = gr.AllStats[0]
+	tr.SetGroups(1)
+	qr := &QueryResult{Query: q, Plan: plan, Groups: []GroupResult{gr}}
+	if q.Explain == ExplainAnalyze {
+		qr.Explain = RenderExplain(qr, tr)
+	}
+	return qr, nil
 }
 
 // snapshotResult folds the tuples valid at the instant into a single-row

@@ -43,10 +43,15 @@ func ExecuteLive(q *Query, snap *core.LiveSnapshot, tr *obs.QueryTrace) (*QueryR
 		switch {
 		case q.At != nil:
 			// The point read keeps the AT result shape of the batch path:
-			// one row covering exactly [at, at].
-			res, err = snap.Range(f, interval.At(*q.At))
+			// one row covering exactly [at, at]. Range-restricted live reads
+			// go through the sealed segments' memoized interval indexes —
+			// only the mutable tail is swept per epoch (index-live-tail,
+			// S37).
+			res, err = snap.RangeIndexed(f, interval.At(*q.At))
+			span.SetAttr("range_path", "index-live-tail")
 		case q.Window != nil:
-			res, err = snap.Range(f, *q.Window)
+			res, err = snap.RangeIndexed(f, *q.Window)
+			span.SetAttr("range_path", "index-live-tail")
 		default:
 			res, err = snap.Result(f)
 		}

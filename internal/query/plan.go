@@ -37,6 +37,11 @@ type RelationInfo struct {
 	// the §6.3 strategies (see CostModel); otherwise the qualitative rules
 	// below apply.
 	Cost CostModel
+	// Index, when non-nil, is a resident materialized interval index over
+	// the relation (core.IntervalIndex, DESIGN.md S37). The planner then
+	// prices an index-lookup alternative that answers eligible queries in
+	// O(k + log n) partial merges with no relation scan at all.
+	Index *core.IntervalIndex
 }
 
 // Plan is the optimizer's decision for an instant-grouped query.
@@ -68,6 +73,16 @@ type Plan struct {
 	// an estimation miss — it sorts the relation and retries with k=1 —
 	// instead of failing the query.
 	SampledK bool
+	// UseIndex marks a plan served from the materialized interval index:
+	// no evaluator runs, the answer is assembled from O(log n) node
+	// partials per emitted row (S37). Chosen automatically when the
+	// relation has a resident index and the query is index-eligible
+	// (IndexEligible), or forced with USING INDEX.
+	UseIndex bool
+	// Cached marks a result served verbatim from the catalog's result
+	// cache: nothing was planned or evaluated, the rows were copied out of
+	// the LRU under a (relation, version, kind, window) key.
+	Cached bool
 	// SharedSweep marks a sweep plan whose several aggregates run as one
 	// core.SweepGroup pass — the relation is ingested, sorted, and scanned
 	// once for the whole select list instead of once per aggregate. Set only
@@ -95,6 +110,10 @@ type Plan struct {
 func (p Plan) Algorithm() string {
 	alg := p.Spec.Algorithm.String()
 	switch {
+	case p.Cached:
+		alg = "result-cache"
+	case p.UseIndex:
+		alg = core.IndexLookupAlg
 	case p.Live:
 		alg = "live-snapshot"
 	case p.Tuma:
@@ -115,6 +134,12 @@ func (p Plan) Algorithm() string {
 // String renders the plan.
 func (p Plan) String() string {
 	alg := p.Spec.Algorithm.String()
+	if p.Cached {
+		return fmt.Sprintf("result-cache — %s", p.Reason)
+	}
+	if p.UseIndex {
+		return fmt.Sprintf("%s — %s", core.IndexLookupAlg, p.Reason)
+	}
 	if p.Live {
 		return fmt.Sprintf("live-snapshot — %s", p.Reason)
 	}
@@ -189,6 +214,11 @@ func resolveUsing(q *Query) (Plan, error) {
 		}, nil
 	case "TUMA":
 		return Plan{Tuma: true}, nil
+	case "INDEX":
+		if !IndexEligible(q) {
+			return Plan{}, fmt.Errorf("query: USING INDEX serves only plain range-restricted aggregates (no WHERE, GROUP BY, DISTINCT, or span grouping)")
+		}
+		return Plan{UseIndex: true}, nil
 	}
 	return Plan{}, fmt.Errorf("query: unknown algorithm %q in USING clause", q.Using)
 }
@@ -232,8 +262,34 @@ func PlanQuery(q *Query, info RelationInfo) (Plan, error) {
 	return plan, nil
 }
 
+// IndexEligible reports whether q's shape can be served from a
+// materialized interval index: an instant-grouped aggregate over the whole
+// relation — optionally range-restricted by VALID OVERLAPS or AT — with no
+// WHERE filter, attribute grouping, DISTINCT, or live read. The index
+// holds partials over every tuple, so any predicate that drops tuples
+// disqualifies it.
+func IndexEligible(q *Query) bool {
+	if len(q.Where) > 0 || q.GroupAttr != nil || q.Live || q.Temporal == BySpan {
+		return false
+	}
+	for _, a := range q.Aggs {
+		if a.Distinct {
+			return false
+		}
+	}
+	return len(q.Aggs) > 0
+}
+
 // planQualitative applies the qualitative §6.3 rules (no cost model).
 func planQualitative(q *Query, info RelationInfo) (Plan, error) {
+	if info.Index != nil && IndexEligible(q) {
+		// A resident index beats every scan-based strategy: the answer is
+		// O(k + log n) partial merges, no relation pass at all (S37).
+		return Plan{
+			UseIndex: true,
+			Reason:   "resident interval index: O(k + log n) partial merges, no scan (S37)",
+		}, nil
+	}
 	if n := info.ExpectedConstantIntervals; n > 0 && n <= 64 {
 		return Plan{
 			Spec:   core.Spec{Algorithm: core.LinkedList},

@@ -73,6 +73,12 @@ func executeFileTraced(q *Query, path string, info *RelationInfo, sopts relation
 		return qr, nil
 	}
 
+	if plan.UseIndex && meta.Index != nil && q.Explain != ExplainPlan {
+		// Served entirely from the resident index: the relation file is
+		// never scanned — the whole point of materializing the partials.
+		return executeIndexOnly(q, plan, meta.Index, tr)
+	}
+
 	anyDistinct := false
 	for _, a := range q.Aggs {
 		anyDistinct = anyDistinct || a.Distinct
@@ -85,7 +91,10 @@ func executeFileTraced(q *Query, path string, info *RelationInfo, sopts relation
 	// Partitioned plans materialize: the routing pass needs the relation's
 	// lifespan for boundary placement, which a single forward scan cannot
 	// supply up front.
-	streamable := q.Temporal == ByInstant && q.At == nil &&
+	// Index plans without a resident handle (USING INDEX on a bare file)
+	// materialize: the in-memory executor builds the index over the loaded
+	// tuples. The zero-valued Spec would otherwise stream as a linked list.
+	streamable := q.Temporal == ByInstant && q.At == nil && !plan.UseIndex &&
 		!anyDistinct && !plan.Partitioned && !(ktreeNeedsSort && !plan.SortFirst) &&
 		(!plan.Tuma || (q.GroupAttr == nil && len(q.Aggs) == 1))
 	if !streamable {
